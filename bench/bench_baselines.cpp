@@ -1,0 +1,131 @@
+// E4: HCA against the two baselines the paper positions itself against —
+// flat (non-hierarchical) ICA over the K64 abstraction (Section 4, first
+// paragraphs: it must "keep trace of the internal logic of the hierarchy
+// of MUXes" and explodes the state space) and a machine-agnostic
+// multilevel partitioner in the style of Chu et al. [4].
+//
+// Also runs the DESIGN.md ablations: node-filter beam width and the route
+// allocator (the paper's `no candidates action`) on/off.
+
+#include <cstdio>
+#include <ctime>
+
+#include "baseline/flat_ica.hpp"
+#include "baseline/multilevel.hpp"
+#include "ddg/kernels.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+
+using namespace hca;
+
+namespace {
+
+double seconds(std::clock_t since) {
+  return static_cast<double>(std::clock() - since) / CLOCKS_PER_SEC;
+}
+
+void compareOnKernel(const ddg::Kernel& kernel,
+                     const machine::DspFabricModel& model) {
+  std::printf("%s (%d instructions)\n", kernel.name.c_str(),
+              kernel.ddg.stats().numInstructions);
+
+  {  // HCA
+    std::clock_t t0 = std::clock();
+    const core::HcaDriver driver(model);
+    const auto result = driver.run(kernel.ddg);
+    const double sec = seconds(t0);
+    if (result.legal) {
+      const auto mii = core::computeMii(kernel.ddg, model, result);
+      std::printf("  %-12s legal=yes finalMII=%-3d candidates=%-8lld %5.2fs\n",
+                  "HCA", mii.finalMii,
+                  static_cast<long long>(result.stats.candidatesEvaluated),
+                  sec);
+    } else {
+      std::printf("  %-12s legal=no  candidates=%-8lld %5.2fs\n", "HCA",
+                  static_cast<long long>(result.stats.candidatesEvaluated),
+                  sec);
+    }
+  }
+  {  // flat ICA
+    std::clock_t t0 = std::clock();
+    const auto result = baseline::runFlatIca(kernel.ddg, model);
+    const double sec = seconds(t0);
+    std::printf(
+        "  %-12s assign=%-3s hierarchy=%-3s maxCn=%-3d candidates=%-8lld "
+        "%5.2fs\n",
+        "flat-ICA", result.assignmentLegal ? "yes" : "no",
+        result.hierarchyLegal ? "yes" : "no", result.maxCnPressure,
+        static_cast<long long>(result.seeStats.candidatesEvaluated), sec);
+  }
+  {  // multilevel partitioning
+    std::clock_t t0 = std::clock();
+    const auto result = baseline::runMultilevel(kernel.ddg, model);
+    const double sec = seconds(t0);
+    std::printf(
+        "  %-12s hierarchy=%-3s cut=%-4d maxCnLoad=%-3d moves=%-5d %5.2fs\n",
+        "multilevel", result.hierarchyLegal ? "yes" : "no", result.cutEdges,
+        result.maxCnLoad, result.refinementMoves, sec);
+  }
+  std::printf("\n");
+}
+
+void ablations(const machine::DspFabricModel& model) {
+  const auto kernel = ddg::buildFir2Dim();
+
+  std::printf("Ablation: node-filter beam width (fir2dim)\n");
+  for (const int beam : {1, 2, 4, 8, 16}) {
+    core::HcaOptions options;
+    options.see.beamWidth = beam;
+    options.see.candidateKeep = std::min(beam, 10);
+    std::clock_t t0 = std::clock();
+    const core::HcaDriver driver(model, options);
+    const auto result = driver.run(kernel.ddg);
+    if (result.legal) {
+      const auto mii = core::computeMii(kernel.ddg, model, result);
+      std::printf("  beam=%-3d legal=yes finalMII=%-3d %5.2fs\n", beam,
+                  mii.finalMii, seconds(t0));
+    } else {
+      std::printf("  beam=%-3d legal=no  %5.2fs\n", beam, seconds(t0));
+    }
+  }
+
+  std::printf("\nAblation: route allocator — the `no candidates action`\n");
+  for (const bool enabled : {true, false}) {
+    core::HcaOptions options;
+    options.see.enableRouteAllocator = enabled;
+    options.targetIiSlack = 4;
+    options.searchProfiles = 3;
+    std::clock_t t0 = std::clock();
+    const core::HcaDriver driver(model, options);
+    const auto result = driver.run(kernel.ddg);
+    std::printf("  routing=%-3s legal=%-3s routeInvocations=%lld %5.2fs\n",
+                enabled ? "on" : "off", result.legal ? "yes" : "no",
+                static_cast<long long>(result.stats.routeInvocations),
+                seconds(t0));
+  }
+
+  std::printf("\nAblation: Mapper broadcast/splitting pressure (fir2dim)\n");
+  {
+    core::HcaOptions options;
+    const core::HcaDriver driver(model, options);
+    const auto result = driver.run(kernel.ddg);
+    if (result.legal) {
+      std::printf("  max values per wire across levels: %d\n",
+                  result.stats.maxWirePressure);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  machine::DspFabricConfig config;
+  config.n = config.m = config.k = 8;
+  const machine::DspFabricModel model(config);
+
+  std::printf("HCA vs baselines on the paper machine (%s)\n\n",
+              config.toString().c_str());
+  for (auto& kernel : ddg::table1Kernels()) compareOnKernel(kernel, model);
+  ablations(model);
+  return 0;
+}

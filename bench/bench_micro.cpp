@@ -1,0 +1,132 @@
+// E6: google-benchmark micro-benchmarks of the tool-chain components:
+// recurrence-MII computation, the reference interpreter, one SEE run, the
+// Mapper, the full HCA pipeline, and the modulo scheduler.
+
+#include <benchmark/benchmark.h>
+
+#include "ddg/interp.hpp"
+#include "ddg/kernels.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+#include "hca/postprocess.hpp"
+#include "machine/rcp.hpp"
+#include "mapper/mapper.hpp"
+#include "sched/modulo.hpp"
+#include "see/engine.hpp"
+
+namespace {
+
+using namespace hca;
+
+machine::DspFabricModel paperFabric() {
+  machine::DspFabricConfig config;
+  config.n = config.m = config.k = 8;
+  return machine::DspFabricModel(config);
+}
+
+void BM_MiiRec(benchmark::State& state) {
+  const auto kernel =
+      ddg::table1Kernels()[static_cast<std::size_t>(state.range(0))];
+  const ddg::LatencyModel lat;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.ddg.miiRec(lat));
+  }
+}
+BENCHMARK(BM_MiiRec)->DenseRange(0, 3);
+
+void BM_Interpreter(benchmark::State& state) {
+  const auto kernel = ddg::buildIdctHor();
+  const auto config = ddg::kernelInterpConfig(kernel, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddg::interpret(kernel.ddg, config));
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_SeeSingleLevel(benchmark::State& state) {
+  // One RCP assignment: the paper's single-level framework workload.
+  const auto kernel = ddg::buildFir2Dim();
+  machine::RcpConfig config;
+  config.clusters = 8;
+  config.inputPorts = 4;
+  config.memClusterStride = 1;
+  const auto pg = machine::rcpPatternGraph(config);
+  see::SeeProblem problem;
+  problem.ddg = &kernel.ddg;
+  for (std::int32_t v = 0; v < kernel.ddg.numNodes(); ++v) {
+    if (ddg::isInstruction(kernel.ddg.node(DdgNodeId(v)).op)) {
+      problem.workingSet.emplace_back(v);
+    }
+  }
+  problem.pg = &pg;
+  problem.constraints = machine::rcpConstraints(config);
+  problem.inWiresPerCluster = config.inputPorts;
+  problem.outWiresPerCluster = config.inputPorts;
+  see::SeeOptions options;
+  options.weights.targetIi = 8;
+  const see::SpaceExplorationEngine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(problem));
+  }
+}
+BENCHMARK(BM_SeeSingleLevel);
+
+void BM_Mapper(benchmark::State& state) {
+  machine::PatternGraph pg;
+  for (int i = 0; i < 4; ++i) {
+    pg.addCluster(machine::ResourceTable(4, 4));
+  }
+  pg.connectClustersCompletely();
+  machine::CopyFlow flow(pg);
+  int v = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      flow.addCopy(*pg.arcBetween(ClusterId(s), ClusterId(d)), ValueId(v++));
+      flow.addCopy(*pg.arcBetween(ClusterId(s), ClusterId(d)), ValueId(v++));
+    }
+  }
+  mapper::MapperInput input;
+  input.pg = &pg;
+  input.flow = &flow;
+  input.inWiresPerChild = 8;
+  input.outWiresPerChild = 8;
+  const mapper::Mapper mapperPass;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapperPass.map(input));
+  }
+}
+BENCHMARK(BM_Mapper);
+
+void BM_HcaFullPipeline(benchmark::State& state) {
+  const auto kernel =
+      ddg::table1Kernels()[static_cast<std::size_t>(state.range(0))];
+  const auto model = paperFabric();
+  const core::HcaDriver driver(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.run(kernel.ddg));
+  }
+}
+BENCHMARK(BM_HcaFullPipeline)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void BM_ModuloScheduler(benchmark::State& state) {
+  const auto kernel = ddg::buildFir2Dim();
+  const auto model = paperFabric();
+  const core::HcaDriver driver(model);
+  const auto hca = driver.run(kernel.ddg);
+  if (!hca.legal) {
+    state.SkipWithError("clusterization failed");
+    return;
+  }
+  const auto mapping = core::buildFinalMapping(kernel.ddg, model, hca);
+  const auto mii = core::computeMii(kernel.ddg, model, hca);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::moduloSchedule(mapping, model, mii.finalMii));
+  }
+}
+BENCHMARK(BM_ModuloScheduler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

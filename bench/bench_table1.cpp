@@ -1,0 +1,83 @@
+// E1 + E3: reproduces Table 1 of the paper ("HCA test on four multimedia
+// application loops") and the Section 5 narration that the final MII stays
+// close to the theoretical optimum of an equivalent unified-bank machine.
+//
+// Columns: the paper's inputs (N_Instr, MIIRec, MIIRes), the legality
+// verdict and final MII of our HCA implementation, the paper's published
+// final MII, and — beyond the paper — the II actually achieved by the
+// modulo scheduler plus the end-to-end simulator verdict.
+
+#include <cstdio>
+#include <ctime>
+
+#include "ddg/kernels.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+#include "hca/postprocess.hpp"
+#include "sched/modulo.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hca;
+
+int main() {
+  machine::DspFabricConfig config;
+  config.n = config.m = config.k = 8;  // the paper's best configuration
+  const machine::DspFabricModel model(config);
+
+  std::printf("Table 1 — HCA test on four multimedia application loops\n");
+  std::printf("Machine: %s\n\n", config.toString().c_str());
+  std::printf(
+      "%-16s %7s %6s %6s %6s | %5s %8s %9s | %8s %6s %5s\n", "Loop",
+      "N_Instr", "MIIRec", "MIIRes", "iniMII", "legal", "finalMII",
+      "paperMII", "schedII", "simOK", "sec");
+  std::printf("%s\n", std::string(104, '-').c_str());
+
+  for (auto& kernel : ddg::table1Kernels()) {
+    const auto stats = kernel.ddg.stats();
+    const int miiRec =
+        static_cast<int>(kernel.ddg.miiRec(model.config().latency));
+    const int miiRes = core::unifiedMiiRes(stats, model);
+
+    const std::clock_t t0 = std::clock();
+    const core::HcaDriver driver(model);
+    const auto result = driver.run(kernel.ddg);
+    const double seconds =
+        static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC;
+
+    if (!result.legal) {
+      std::printf("%-16s %7d %6d %6d %6d | %5s %8s %9d | %8s %6s %5.1f\n",
+                  kernel.name.c_str(), stats.numInstructions, miiRec, miiRes,
+                  std::max(miiRec, miiRes), "no", "-", kernel.paper.finalMii,
+                  "-", "-", seconds);
+      continue;
+    }
+    const auto mii = core::computeMii(kernel.ddg, model, result);
+    const auto mapping = core::buildFinalMapping(kernel.ddg, model, result);
+    const auto sched = sched::moduloSchedule(mapping, model, mii.finalMii);
+
+    const char* simVerdict = "-";
+    if (sched.ok) {
+      const int iterations = std::min(kernel.safeIterations, 8);
+      sim::SimConfig simConfig;
+      simConfig.iterations = iterations;
+      simConfig.memory =
+          ddg::kernelInterpConfig(kernel, iterations).memory;
+      simVerdict = sim::matchesReference(kernel.ddg, mapping, model,
+                                         sched.schedule, simConfig)
+                       ? "yes"
+                       : "NO";
+    }
+    std::printf("%-16s %7d %6d %6d %6d | %5s %8d %9d | %8d %6s %5.1f\n",
+                kernel.name.c_str(), stats.numInstructions, miiRec, miiRes,
+                mii.iniMii, "yes", mii.finalMii, kernel.paper.finalMii,
+                sched.ok ? sched.schedule.ii : -1, simVerdict, seconds);
+  }
+  std::printf(
+      "\nNotes: N_Instr/MIIRec/MIIRes reproduce the paper exactly (input\n"
+      "calibration, DESIGN.md §4). finalMII is our heuristic's result; the\n"
+      "paper reports 3/3/8/6 with months of hand-tuning. schedII is the\n"
+      "modulo scheduler's achieved II (>= finalMII by construction); simOK\n"
+      "verifies the scheduled fabric execution against the reference\n"
+      "interpreter.\n");
+  return 0;
+}

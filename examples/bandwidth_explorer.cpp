@@ -1,0 +1,63 @@
+// Interactive architecture exploration: clusterize a Table 1 kernel onto a
+// DSPFabric with user-chosen MUX bandwidths (the design-space knob of the
+// paper's Section 5 experiments).
+//
+//   $ ./examples/bandwidth_explorer [kernel] [N] [M] [K]
+//   $ ./examples/bandwidth_explorer idcthor 4 4 8
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ddg/kernels.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hca;
+
+  const char* name = argc > 1 ? argv[1] : "fir2dim";
+  const int n = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int m = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int k = argc > 4 ? std::atoi(argv[4]) : 8;
+
+  auto kernels = ddg::table1Kernels();
+  const ddg::Kernel* kernel = nullptr;
+  for (const auto& candidate : kernels) {
+    if (candidate.name == name) kernel = &candidate;
+  }
+  if (kernel == nullptr) {
+    std::printf("unknown kernel '%s'; choose one of:", name);
+    for (const auto& candidate : kernels) {
+      std::printf(" %s", candidate.name.c_str());
+    }
+    std::printf("\n");
+    return 1;
+  }
+
+  machine::DspFabricConfig config;
+  config.n = n;
+  config.m = m;
+  config.k = k;
+  const machine::DspFabricModel model(config);
+  std::printf("%s on %s\n", kernel->name.c_str(), config.toString().c_str());
+
+  const core::HcaDriver driver(model);
+  const auto result = driver.run(kernel->ddg);
+  if (!result.legal) {
+    std::printf("no legal clusterization: %s\n",
+                result.failureReason.c_str());
+    return 1;
+  }
+  const auto mii = core::computeMii(kernel->ddg, model, result);
+  std::printf("legal clusterization\n  %s\n", mii.toString().c_str());
+  std::printf("  paper's final MII at N=M=K=8: %d\n", kernel->paper.finalMii);
+  std::printf("  search: %d outer attempts, %lld candidates, %d backtracks\n",
+              result.stats.outerAttempts,
+              static_cast<long long>(result.stats.candidatesEvaluated),
+              result.stats.backtrackAttempts);
+  std::printf("  wires: max %d values time-sharing one wire, %zu MUX "
+              "settings\n",
+              result.stats.maxWirePressure, result.reconfig.settings.size());
+  return 0;
+}

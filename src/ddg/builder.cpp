@@ -1,0 +1,188 @@
+#include "ddg/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace hca::ddg {
+
+DdgBuilder::Value DdgBuilder::carry(std::int64_t init, std::string name) {
+  SlotInfo slot;
+  slot.init = init;
+  slot.name = std::move(name);
+  slots_.push_back(std::move(slot));
+  return Value(static_cast<std::int32_t>(slots_.size()) - 1, /*isSlot=*/true);
+}
+
+void DdgBuilder::close(Value slotValue, Value producer,
+                       std::int32_t distance) {
+  HCA_REQUIRE(slotValue.isSlot_, "close() expects a carry slot");
+  HCA_REQUIRE(distance >= 1, "carried distance must be >= 1");
+  HCA_REQUIRE(!producer.isSlot_ || producer.index_ != slotValue.index_,
+              "cannot close a slot with itself");
+  auto& slot = slots_[static_cast<std::size_t>(slotValue.index_)];
+  HCA_REQUIRE(!slot.closed, "carry slot closed twice");
+  if (producer.isSlot_) {
+    // Closing with another slot: that slot must already be closed so we can
+    // forward to its producer (chained carries compose distances).
+    const auto& other = slots_[static_cast<std::size_t>(producer.index_)];
+    HCA_REQUIRE(other.closed, "closing with a still-open carry slot");
+    slot.boundTo = other.boundTo;
+    slot.distance = distance + other.distance;
+  } else {
+    slot.boundTo = producer.index_;
+    slot.distance = distance;
+  }
+  slot.closed = true;
+}
+
+DdgBuilder::PendingOperand DdgBuilder::resolve(Value v,
+                                               std::int32_t extraDistance,
+                                               std::int64_t init) {
+  PendingOperand op;
+  op.distance = extraDistance;
+  op.init = init;
+  if (v.isSlot_) {
+    op.slot = v.index_;
+  } else {
+    HCA_REQUIRE(v.index_ >= 0, "use of an uninitialized Value");
+    op.nodeSrc = v.index_;
+  }
+  return op;
+}
+
+DdgBuilder::Value DdgBuilder::emitInternal(
+    Op op, std::vector<PendingOperand> operands, std::int64_t imm0,
+    std::int64_t imm1, std::string name) {
+  HCA_REQUIRE(!finished_, "builder already finished");
+  DdgNode node;
+  node.op = op;
+  node.imm0 = imm0;
+  node.imm1 = imm1;
+  node.name = std::move(name);
+  // Operands are patched in finish(); keep placeholders for arity checking.
+  node.operands.resize(operands.size());
+  const DdgNodeId id = ddg_.addNode(std::move(node));
+  pending_.push_back(std::move(operands));
+  return Value(id.value(), /*isSlot=*/false);
+}
+
+DdgBuilder::Value DdgBuilder::emit(Op op, std::vector<Value> operands,
+                                   std::int64_t imm0, std::int64_t imm1,
+                                   std::string name) {
+  std::vector<PendingOperand> pending;
+  pending.reserve(operands.size());
+  for (Value v : operands) pending.push_back(resolve(v, 0, 0));
+  return emitInternal(op, std::move(pending), imm0, imm1, std::move(name));
+}
+
+DdgBuilder::Value DdgBuilder::at(Value producer, std::int32_t distance,
+                                 std::int64_t init) {
+  HCA_REQUIRE(distance >= 0, "at(): negative distance");
+  if (distance == 0) return producer;
+  // A carried read of an existing producer is an immediately-closed slot.
+  Value slot = carry(init);
+  close(slot, producer, distance);
+  return slot;
+}
+
+Ddg DdgBuilder::finish() {
+  HCA_REQUIRE(!finished_, "builder finished twice");
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    HCA_REQUIRE(slots_[s].closed, "carry slot #" << s << " ('"
+                                                 << slots_[s].name
+                                                 << "') never closed");
+  }
+  for (std::int32_t v = 0; v < ddg_.numNodes(); ++v) {
+    auto& node = ddg_.node(DdgNodeId(v));
+    const auto& pend = pending_[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      const PendingOperand& p = pend[i];
+      Operand resolved;
+      if (p.slot >= 0) {
+        const auto& slot = slots_[static_cast<std::size_t>(p.slot)];
+        resolved.src = DdgNodeId(slot.boundTo);
+        resolved.distance = slot.distance + p.distance;
+        resolved.init = slot.init;
+      } else {
+        resolved.src = DdgNodeId(p.nodeSrc);
+        resolved.distance = p.distance;
+        resolved.init = p.init;
+      }
+      node.operands[i] = resolved;
+    }
+  }
+  finished_ = true;
+  ddg_.validate();
+  return std::move(ddg_);
+}
+
+DdgNodeId DdgBuilder::idOf(Value v) const {
+  HCA_REQUIRE(!v.isSlot_, "idOf() on a carry slot");
+  return DdgNodeId(v.index_);
+}
+
+// --- thin wrappers ---------------------------------------------------------
+
+DdgBuilder::Value DdgBuilder::cst(std::int64_t literal, std::string name) {
+  return emit(Op::kConst, {}, literal, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::add(Value a, Value b, std::string name) {
+  return emit(Op::kAdd, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::sub(Value a, Value b, std::string name) {
+  return emit(Op::kSub, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::mul(Value a, Value b, std::string name) {
+  return emit(Op::kMul, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::mac(Value acc, Value a, Value b,
+                                  std::string name) {
+  return emit(Op::kMac, {acc, a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::neg(Value a, std::string name) {
+  return emit(Op::kNeg, {a}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::abs(Value a, std::string name) {
+  return emit(Op::kAbs, {a}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::min(Value a, Value b, std::string name) {
+  return emit(Op::kMin, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::max(Value a, Value b, std::string name) {
+  return emit(Op::kMax, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::shl(Value a, Value b, std::string name) {
+  return emit(Op::kShl, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::shr(Value a, Value b, std::string name) {
+  return emit(Op::kShr, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::and_(Value a, Value b, std::string name) {
+  return emit(Op::kAnd, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::or_(Value a, Value b, std::string name) {
+  return emit(Op::kOr, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::xor_(Value a, Value b, std::string name) {
+  return emit(Op::kXor, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::cmplt(Value a, Value b, std::string name) {
+  return emit(Op::kCmpLt, {a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::select(Value c, Value a, Value b,
+                                     std::string name) {
+  return emit(Op::kSelect, {c, a, b}, 0, 0, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::clip(Value a, std::int64_t lo, std::int64_t hi,
+                                   std::string name) {
+  return emit(Op::kClip, {a}, lo, hi, std::move(name));
+}
+DdgBuilder::Value DdgBuilder::load(Value addr, std::int64_t offset,
+                                   std::string name) {
+  return emit(Op::kLoad, {addr}, offset, 0, std::move(name));
+}
+void DdgBuilder::store(Value addr, Value value, std::int64_t offset,
+                       std::string name) {
+  emit(Op::kStore, {addr, value}, offset, 0, std::move(name));
+}
+
+}  // namespace hca::ddg

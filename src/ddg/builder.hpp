@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+
+/// SSA-style construction helper for DDGs.
+///
+/// The only non-trivial part of building a loop-body DDG is the dependence
+/// cycles: a loop-carried operand references a node that does not exist yet.
+/// The builder models this with *carry slots*: `carry(init)` creates a
+/// placeholder usable as an operand; `close(slot, producer, distance)` later
+/// binds every recorded use to the real producer with the given iteration
+/// distance. `finish()` verifies all slots are closed and validates the DDG.
+namespace hca::ddg {
+
+class DdgBuilder {
+ public:
+  /// A value usable as an operand: either a DDG node or an open carry slot.
+  class Value {
+   public:
+    Value() = default;
+
+   private:
+    friend class DdgBuilder;
+    Value(std::int32_t index, bool isSlot) : index_(index), isSlot_(isSlot) {}
+    std::int32_t index_ = -1;
+    bool isSlot_ = false;
+  };
+
+  /// --- carried values -------------------------------------------------
+  /// Creates a loop-carried slot whose first `distance` iterations observe
+  /// `init` (distance is fixed at close()).
+  Value carry(std::int64_t init, std::string name = {});
+  /// Binds `slot` to `producer`: every use of the slot becomes a use of
+  /// `producer` at the given iteration distance (>= 1).
+  void close(Value slot, Value producer, std::int32_t distance = 1);
+
+  /// --- leaf and arithmetic nodes ---------------------------------------
+  Value cst(std::int64_t literal, std::string name = {});
+  Value add(Value a, Value b, std::string name = {});
+  Value sub(Value a, Value b, std::string name = {});
+  Value mul(Value a, Value b, std::string name = {});
+  Value mac(Value acc, Value a, Value b, std::string name = {});
+  Value neg(Value a, std::string name = {});
+  Value abs(Value a, std::string name = {});
+  Value min(Value a, Value b, std::string name = {});
+  Value max(Value a, Value b, std::string name = {});
+  Value shl(Value a, Value b, std::string name = {});
+  Value shr(Value a, Value b, std::string name = {});
+  Value and_(Value a, Value b, std::string name = {});
+  Value or_(Value a, Value b, std::string name = {});
+  Value xor_(Value a, Value b, std::string name = {});
+  Value cmplt(Value a, Value b, std::string name = {});
+  Value select(Value c, Value a, Value b, std::string name = {});
+  Value clip(Value a, std::int64_t lo, std::int64_t hi, std::string name = {});
+
+  /// --- memory -----------------------------------------------------------
+  Value load(Value addr, std::int64_t offset = 0, std::string name = {});
+  void store(Value addr, Value value, std::int64_t offset = 0,
+             std::string name = {});
+
+  /// Generic escape hatch.
+  Value emit(Op op, std::vector<Value> operands, std::int64_t imm0 = 0,
+             std::int64_t imm1 = 0, std::string name = {});
+
+  /// Reads a value at an explicit loop-carried distance without a slot
+  /// (usable when the producer already exists, e.g. sliding-window reuse of
+  /// a load from the previous iteration).
+  Value at(Value producer, std::int32_t distance, std::int64_t init = 0);
+
+  /// Validates (all slots closed, Ddg::validate) and returns the DDG.
+  Ddg finish();
+
+  /// Node id of a (non-slot) value — usable for test assertions.
+  [[nodiscard]] DdgNodeId idOf(Value v) const;
+
+ private:
+  struct PendingOperand {
+    // Operand as recorded before slot resolution. If slot >= 0, src is
+    // resolved at close() time; extraDistance adds on top of the slot's
+    // distance (for `at()` applied to a slot).
+    std::int32_t nodeSrc = -1;
+    std::int32_t slot = -1;
+    std::int32_t distance = 0;
+    std::int64_t init = 0;
+  };
+  struct SlotInfo {
+    std::int64_t init = 0;
+    std::string name;
+    std::int32_t boundTo = -1;    // producing node after close()
+    std::int32_t distance = 0;
+    bool closed = false;
+  };
+
+  PendingOperand resolve(Value v, std::int32_t extraDistance,
+                         std::int64_t init);
+  Value emitInternal(Op op, std::vector<PendingOperand> operands,
+                     std::int64_t imm0, std::int64_t imm1, std::string name);
+
+  Ddg ddg_;
+  std::vector<std::vector<PendingOperand>> pending_;  // per node
+  std::vector<SlotInfo> slots_;
+  bool finished_ = false;
+};
+
+}  // namespace hca::ddg

@@ -1,0 +1,170 @@
+#include "ddg/ddg.hpp"
+
+#include <ostream>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/dot.hpp"
+#include "support/str.hpp"
+
+namespace hca::ddg {
+
+DdgNodeId Ddg::addNode(DdgNode node) {
+  const auto id = DdgNodeId(static_cast<std::int32_t>(nodes_.size()));
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+const DdgNode& Ddg::node(DdgNodeId id) const {
+  HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+              "DDG node id out of range: " << to_string(id));
+  return nodes_[id.index()];
+}
+
+DdgNode& Ddg::node(DdgNodeId id) {
+  HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+              "DDG node id out of range: " << to_string(id));
+  return nodes_[id.index()];
+}
+
+std::vector<Ddg::Use> Ddg::usesOf(DdgNodeId id) const {
+  std::vector<Use> uses;
+  for (std::int32_t v = 0; v < numNodes(); ++v) {
+    const auto& ops = nodes_[static_cast<std::size_t>(v)].operands;
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(ops.size()); ++i) {
+      if (ops[static_cast<std::size_t>(i)].src == id) {
+        uses.push_back(Use{DdgNodeId(v), i});
+      }
+    }
+  }
+  return uses;
+}
+
+DdgStats Ddg::stats() const {
+  DdgStats s;
+  for (const auto& n : nodes_) {
+    if (!isInstruction(n.op)) {
+      ++s.numConsts;
+      continue;
+    }
+    ++s.numInstructions;
+    if (isMemoryOp(n.op)) {
+      ++s.numMemOps;
+    } else if (opResource(n.op) == ResourceClass::kAlu) {
+      ++s.numAluOps;
+    }
+  }
+  return s;
+}
+
+void Ddg::validate() const {
+  for (std::int32_t v = 0; v < numNodes(); ++v) {
+    const auto& n = nodes_[static_cast<std::size_t>(v)];
+    HCA_REQUIRE(static_cast<int>(n.operands.size()) == opArity(n.op),
+                "node " << v << " (" << opName(n.op) << ") has "
+                        << n.operands.size() << " operands, expected "
+                        << opArity(n.op));
+    for (const auto& operand : n.operands) {
+      HCA_REQUIRE(operand.src.valid() && operand.src.value() < numNodes(),
+                  "node " << v << " has dangling operand");
+      HCA_REQUIRE(operand.distance >= 0,
+                  "node " << v << " has negative dependence distance");
+      HCA_REQUIRE(
+          nodes_[operand.src.index()].op != Op::kStore,
+          "node " << v << " consumes the (void) result of a store");
+    }
+  }
+  const auto view = graphView();
+  const auto intraOnly = [&](std::int32_t e) {
+    const auto [consumer, idx] = view.edgeOperand[static_cast<std::size_t>(e)];
+    return nodes_[static_cast<std::size_t>(consumer)]
+               .operands[static_cast<std::size_t>(idx)]
+               .distance == 0;
+  };
+  HCA_REQUIRE(!graph::hasCycle(view.graph, intraOnly),
+              "DDG has an intra-iteration dependence cycle");
+}
+
+Ddg::GraphView Ddg::graphView() const {
+  GraphView view;
+  view.graph.resize(numNodes());
+  for (std::int32_t v = 0; v < numNodes(); ++v) {
+    const auto& ops = nodes_[static_cast<std::size_t>(v)].operands;
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(ops.size()); ++i) {
+      view.graph.addEdge(ops[static_cast<std::size_t>(i)].src.value(), v);
+      view.edgeOperand.emplace_back(v, i);
+    }
+  }
+  return view;
+}
+
+std::int64_t Ddg::miiRec(const LatencyModel& lat) const {
+  const auto view = graphView();
+  const auto latency = [&](std::int32_t e) -> std::int64_t {
+    const std::int32_t src = view.graph.edge(e).src;
+    return lat.of(nodes_[static_cast<std::size_t>(src)].op);
+  };
+  const auto distance = [&](std::int32_t e) -> std::int64_t {
+    const auto [consumer, idx] = view.edgeOperand[static_cast<std::size_t>(e)];
+    return nodes_[static_cast<std::size_t>(consumer)]
+        .operands[static_cast<std::size_t>(idx)]
+        .distance;
+  };
+  return graph::minFeasibleInitiationInterval(view.graph, latency, distance);
+}
+
+std::vector<std::int64_t> Ddg::heights(const LatencyModel& lat) const {
+  const auto view = graphView();
+  const auto intraOnly = [&](std::int32_t e) {
+    const auto [consumer, idx] = view.edgeOperand[static_cast<std::size_t>(e)];
+    return nodes_[static_cast<std::size_t>(consumer)]
+               .operands[static_cast<std::size_t>(idx)]
+               .distance == 0;
+  };
+  const auto latency = [&](std::int32_t e) -> std::int64_t {
+    const std::int32_t src = view.graph.edge(e).src;
+    return lat.of(nodes_[static_cast<std::size_t>(src)].op);
+  };
+  return graph::longestPathToSinks(view.graph, intraOnly, latency);
+}
+
+std::vector<DdgNodeId> Ddg::topoOrder() const {
+  const auto view = graphView();
+  const auto intraOnly = [&](std::int32_t e) {
+    const auto [consumer, idx] = view.edgeOperand[static_cast<std::size_t>(e)];
+    return nodes_[static_cast<std::size_t>(consumer)]
+               .operands[static_cast<std::size_t>(idx)]
+               .distance == 0;
+  };
+  const auto order = graph::topologicalOrder(view.graph, intraOnly);
+  HCA_REQUIRE(order.has_value(), "DDG has an intra-iteration cycle");
+  std::vector<DdgNodeId> out;
+  out.reserve(order->size());
+  for (std::int32_t v : *order) out.emplace_back(v);
+  return out;
+}
+
+void Ddg::toDot(std::ostream& os, const std::string& title) const {
+  DotWriter dot(os, title);
+  for (std::int32_t v = 0; v < numNodes(); ++v) {
+    const auto& n = nodes_[static_cast<std::size_t>(v)];
+    std::string label = strCat("#", v, " ", opName(n.op));
+    if (n.op == Op::kConst) label = strCat("#", v, " ", n.imm0);
+    if (!n.name.empty()) label += strCat("\\n", n.name);
+    const char* shape = isMemoryOp(n.op) ? "shape=ellipse"
+                        : n.op == Op::kConst ? "shape=plaintext"
+                                             : "";
+    dot.node(strCat("n", v), label, shape);
+  }
+  for (std::int32_t v = 0; v < numNodes(); ++v) {
+    const auto& n = nodes_[static_cast<std::size_t>(v)];
+    for (const auto& operand : n.operands) {
+      const std::string label =
+          operand.distance > 0 ? strCat("d=", operand.distance) : "";
+      const std::string attrs = operand.distance > 0 ? "style=dashed" : "";
+      dot.edge(strCat("n", operand.src.value()), strCat("n", v), label, attrs);
+    }
+  }
+}
+
+}  // namespace hca::ddg

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ddg/opcode.hpp"
+#include "graph/digraph.hpp"
+#include "support/ids.hpp"
+
+/// Data Dependency Graph of one loop body.
+///
+/// Nodes are operations of a single loop iteration; operands reference the
+/// producing node together with an *iteration distance*: distance 0 is an
+/// intra-iteration dependence, distance d > 0 reads the value the producer
+/// computed d iterations earlier (a loop-carried dependence). Loop-carried
+/// operands carry an initial value used for the first d iterations, which
+/// makes the DDG directly executable by the reference interpreter.
+namespace hca::ddg {
+
+struct Operand {
+  DdgNodeId src;
+  std::int32_t distance = 0;
+  /// Value observed while iteration index < distance (live-in).
+  std::int64_t init = 0;
+};
+
+struct DdgNode {
+  Op op = Op::kConst;
+  std::vector<Operand> operands;
+  std::int64_t imm0 = 0;  // kConst: literal; kLoad/kStore: offset; kClip: lo
+  std::int64_t imm1 = 0;  // kClip: hi
+  std::string name;       // debug label
+};
+
+/// Aggregate statistics consumed by the MII bounds and by the Table 1
+/// harness.
+struct DdgStats {
+  int numInstructions = 0;  // everything but kConst
+  int numAluOps = 0;
+  int numMemOps = 0;  // loads + stores (DMA requests)
+  int numConsts = 0;
+};
+
+class Ddg {
+ public:
+  DdgNodeId addNode(DdgNode node);
+
+  [[nodiscard]] std::int32_t numNodes() const {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+  [[nodiscard]] const DdgNode& node(DdgNodeId id) const;
+  [[nodiscard]] DdgNode& node(DdgNodeId id);
+
+  /// Consumers of each node, as (consumer, operandIndex) pairs.
+  struct Use {
+    DdgNodeId consumer;
+    std::int32_t operandIndex;
+  };
+  [[nodiscard]] std::vector<Use> usesOf(DdgNodeId id) const;
+
+  [[nodiscard]] DdgStats stats() const;
+
+  /// Checks structural sanity: operand arity per op, ids in range,
+  /// non-negative distances, intra-iteration acyclicity, and that every
+  /// dependence cycle has positive total distance. Throws
+  /// InvalidArgumentError on violation.
+  void validate() const;
+
+  /// Dependence digraph view: one graph node per DDG node, one edge per
+  /// operand (producer -> consumer). Edge order matches a row-major walk of
+  /// the operand lists; `edgeOperand` maps edge ids back.
+  struct GraphView {
+    graph::Digraph graph;
+    /// edge id -> (consumer node, operand index)
+    std::vector<std::pair<std::int32_t, std::int32_t>> edgeOperand;
+  };
+  [[nodiscard]] GraphView graphView() const;
+
+  /// Recurrence-constrained MII: max over dependence cycles of
+  /// ceil(total latency / total distance), >= 1.
+  [[nodiscard]] std::int64_t miiRec(const LatencyModel& lat) const;
+
+  /// Per-node priority heights: longest latency path to any sink over
+  /// intra-iteration edges (the classic modulo-scheduling priority).
+  [[nodiscard]] std::vector<std::int64_t> heights(
+      const LatencyModel& lat) const;
+
+  /// Nodes in a topological order of the intra-iteration (distance 0)
+  /// subgraph.
+  [[nodiscard]] std::vector<DdgNodeId> topoOrder() const;
+
+  void toDot(std::ostream& os, const std::string& title = "ddg") const;
+
+ private:
+  std::vector<DdgNode> nodes_;
+};
+
+}  // namespace hca::ddg

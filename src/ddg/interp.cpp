@@ -1,0 +1,106 @@
+#include "ddg/interp.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace hca::ddg {
+
+std::int64_t evalPure(const DdgNode& n, const std::vector<std::int64_t>& in) {
+  switch (n.op) {
+    case Op::kConst: return n.imm0;
+    case Op::kAdd: return in[0] + in[1];
+    case Op::kSub: return in[0] - in[1];
+    case Op::kMul: return in[0] * in[1];
+    case Op::kMac: return in[0] + in[1] * in[2];
+    case Op::kNeg: return -in[0];
+    case Op::kAbs: return in[0] < 0 ? -in[0] : in[0];
+    case Op::kMin: return std::min(in[0], in[1]);
+    case Op::kMax: return std::max(in[0], in[1]);
+    case Op::kShl: return in[0] << (in[1] & 63);
+    case Op::kShr: return in[0] >> (in[1] & 63);
+    case Op::kAnd: return in[0] & in[1];
+    case Op::kOr: return in[0] | in[1];
+    case Op::kXor: return in[0] ^ in[1];
+    case Op::kCmpLt: return in[0] < in[1] ? 1 : 0;
+    case Op::kSelect: return in[0] != 0 ? in[1] : in[2];
+    case Op::kClip: return std::clamp(in[0], n.imm0, n.imm1);
+    case Op::kRecv: return in[0];
+    case Op::kLoad:
+    case Op::kStore: break;  // handled by the caller (memory side effects)
+  }
+  HCA_UNREACHABLE("evalPure on a memory op");
+}
+
+InterpResult interpret(const Ddg& ddg, const InterpConfig& config) {
+  ddg.validate();
+  HCA_REQUIRE(config.iterations >= 0, "negative iteration count");
+
+  const auto order = ddg.topoOrder();
+  const std::int32_t n = ddg.numNodes();
+
+  // History ring buffers: history[v] keeps the most recent maxDist+1 values
+  // of node v, indexed by iteration modulo its depth.
+  std::int32_t maxDist = 0;
+  for (std::int32_t v = 0; v < n; ++v) {
+    for (const auto& op : ddg.node(DdgNodeId(v)).operands) {
+      maxDist = std::max(maxDist, op.distance);
+    }
+  }
+  const std::int32_t depth = maxDist + 1;
+  std::vector<std::vector<std::int64_t>> history(
+      static_cast<std::size_t>(n),
+      std::vector<std::int64_t>(static_cast<std::size_t>(depth), 0));
+
+  InterpResult result;
+  result.memory = config.memory;
+  result.lastValues.assign(static_cast<std::size_t>(n), 0);
+
+  const auto slot = [&](int iteration) {
+    return static_cast<std::size_t>(iteration % depth);
+  };
+
+  std::vector<std::int64_t> inputs;
+  for (int it = 0; it < config.iterations; ++it) {
+    for (const DdgNodeId id : order) {
+      const DdgNode& node = ddg.node(id);
+      inputs.clear();
+      for (const auto& operand : node.operands) {
+        if (operand.distance > it) {
+          inputs.push_back(operand.init);
+        } else {
+          inputs.push_back(
+              history[operand.src.index()][slot(it - operand.distance)]);
+        }
+      }
+      std::int64_t value = 0;
+      if (node.op == Op::kLoad) {
+        const std::int64_t addr = inputs[0] + node.imm0;
+        HCA_REQUIRE(addr >= 0 && addr < static_cast<std::int64_t>(
+                                            result.memory.size()),
+                    "load out of bounds at iteration "
+                        << it << ", node " << to_string(id) << ", address "
+                        << addr);
+        value = result.memory[static_cast<std::size_t>(addr)];
+      } else if (node.op == Op::kStore) {
+        const std::int64_t addr = inputs[0] + node.imm0;
+        HCA_REQUIRE(addr >= 0 && addr < static_cast<std::int64_t>(
+                                            result.memory.size()),
+                    "store out of bounds at iteration "
+                        << it << ", node " << to_string(id) << ", address "
+                        << addr);
+        result.memory[static_cast<std::size_t>(addr)] = inputs[1];
+        result.storeTrace.push_back(
+            InterpTraceEntry{it, id, addr, inputs[1]});
+        value = 0;
+      } else {
+        value = evalPure(node, inputs);
+      }
+      history[id.index()][slot(it)] = value;
+      result.lastValues[id.index()] = value;
+    }
+  }
+  return result;
+}
+
+}  // namespace hca::ddg

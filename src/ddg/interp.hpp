@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+
+/// Reference interpreter for loop-body DDGs.
+///
+/// Executes the loop for a given number of iterations over a flat synthetic
+/// memory, honoring loop-carried operand semantics (an operand with distance
+/// d reads the value its producer computed d iterations earlier, or the
+/// operand's `init` value while the iteration index is < d). This is the
+/// golden model the fabric simulator is checked against.
+namespace hca::ddg {
+
+struct InterpConfig {
+  int iterations = 16;
+  /// Initial memory contents; loads outside the image throw.
+  std::vector<std::int64_t> memory;
+};
+
+struct InterpTraceEntry {
+  int iteration = 0;
+  DdgNodeId node;
+  std::int64_t address = 0;
+  std::int64_t value = 0;
+};
+
+struct InterpResult {
+  std::vector<std::int64_t> memory;          // memory after the run
+  std::vector<InterpTraceEntry> storeTrace;  // every store, in program order
+  /// Value of each node on the final iteration (diagnostics / tests).
+  std::vector<std::int64_t> lastValues;
+};
+
+/// Runs the DDG. Throws InvalidArgumentError on out-of-bounds accesses or a
+/// malformed DDG.
+InterpResult interpret(const Ddg& ddg, const InterpConfig& config);
+
+/// Evaluates one side-effect-free node (everything except load/store) on
+/// the given operand values. Shared with the fabric simulator.
+std::int64_t evalPure(const DdgNode& node,
+                      const std::vector<std::int64_t>& inputs);
+
+}  // namespace hca::ddg

@@ -1,0 +1,626 @@
+#include "ddg/kernels.hpp"
+
+#include <array>
+
+#include "ddg/builder.hpp"
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::ddg {
+
+namespace {
+using V = DdgBuilder::Value;
+}  // namespace
+
+InterpConfig kernelInterpConfig(const Kernel& kernel, int iterations,
+                                std::uint64_t seed) {
+  HCA_REQUIRE(iterations <= kernel.safeIterations,
+              "kernel '" << kernel.name << "' is in-bounds only for "
+                         << kernel.safeIterations << " iterations");
+  InterpConfig config;
+  config.iterations = iterations;
+  config.memory.resize(static_cast<std::size_t>(kernel.memorySize));
+  Rng rng(seed);
+  for (auto& word : config.memory) {
+    word = static_cast<std::int64_t>(rng.below(256));  // pixel-like data
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// fir2dim — DSPStone 2-D FIR filter (3x3 taps), 3 output pixels/iteration.
+//
+// Three input-row pointers walk a circular line buffer; rows 0 and 1 carry a
+// wrap check (add -> cmplt -> select: the 3-cycle recurrence that yields
+// MIIRec = 3), row 2 and the output pointer advance linearly. Each iteration
+// loads the 3 new columns of each row (9 loads) and reuses the 2 previous
+// columns through loop-carried reads of last iteration's loads (the sliding
+// window). Each of the 3 outputs is a 9-tap multiply-accumulate with
+// rounding, descaling shift, clip, and a store.
+//
+// Instruction tally (57):
+//   loop counter                      add                      =  1
+//   row ptr 0 (circular)              add cmplt select         =  3
+//   row ptr 1 (circular)              add cmplt select         =  3
+//   row ptr 2 (linear)                add                      =  1
+//   output ptr                        add                      =  1
+//   loads (3 rows x 3 new columns)                             =  9
+//   3 outputs x (mul + 8 mac + round-add + shr + clip)         = 36
+//   stores                                                     =  3
+// Memory ops: 9 loads + 3 stores = 12 -> ceil(12/8) = 2 = MIIRes
+// (issue bound ceil(57/64) = 1). Recurrence bound: 3.
+// ---------------------------------------------------------------------------
+Kernel buildFir2Dim() {
+  constexpr int kLen = 64;       // circular line-buffer length
+  constexpr int kR0 = 0, kR1 = kLen, kR2 = 2 * kLen, kOut = 3 * kLen;
+  constexpr int kMemSize = 4 * kLen;
+  // Row pointers advance by 3 and loads reach offset +4; wrap before
+  // base + kLen - 4 keeps every access in the row.
+  constexpr int kWrapLimit0 = kR0 + kLen - 5;
+  constexpr int kWrapLimit1 = kR1 + kLen - 5;
+
+  DdgBuilder b;
+  const V three = b.cst(3, "stride");
+  const V one = b.cst(1);
+
+  // Loop counter (kernel-only modulo-scheduled loops keep the counter live).
+  V cnt = b.carry(0, "cnt");
+  b.close(cnt, b.add(cnt, one, "cnt.next"), 1);
+
+  // Row pointer 0: circular with wrap (the MIIRec=3 recurrence).
+  V r0 = b.carry(kR0, "r0");
+  const V r0n = b.add(r0, three, "r0.adv");
+  const V w0 = b.cmplt(r0n, b.cst(kWrapLimit0), "r0.inrange");
+  const V r0next = b.select(w0, r0n, b.cst(kR0), "r0.next");
+  b.close(r0, r0next, 1);
+
+  // Row pointer 1: circular with wrap.
+  V r1 = b.carry(kR1, "r1");
+  const V r1n = b.add(r1, three, "r1.adv");
+  const V w1 = b.cmplt(r1n, b.cst(kWrapLimit1), "r1.inrange");
+  const V r1next = b.select(w1, r1n, b.cst(kR1), "r1.next");
+  b.close(r1, r1next, 1);
+
+  // Row pointer 2 and the output pointer: plain linear advance.
+  V r2 = b.carry(kR2, "r2");
+  b.close(r2, b.add(r2, three, "r2.next"), 1);
+  V op = b.carry(kOut, "out");
+  const V opNext = b.add(op, three, "out.next");
+  b.close(op, opNext, 1);
+
+  // Loads: columns j+2, j+3, j+4 of each row (pointer value = column j).
+  const std::array<V, 3> rowPtr = {r0, r1, r2};
+  // window[r][k] = pixel of row r at column j+k, k in 0..4.
+  std::array<std::array<V, 5>, 3> window;
+  for (int r = 0; r < 3; ++r) {
+    std::array<V, 3> newLoads;
+    for (int k = 0; k < 3; ++k) {
+      newLoads[static_cast<std::size_t>(k)] =
+          b.load(rowPtr[static_cast<std::size_t>(r)], 2 + k,
+                 strCat("x", r, ".", 2 + k));
+    }
+    // Columns j and j+1 were loaded (as offsets +3, +4) one iteration ago.
+    window[static_cast<std::size_t>(r)][0] = b.at(newLoads[1], 1);
+    window[static_cast<std::size_t>(r)][1] = b.at(newLoads[2], 1);
+    for (int k = 0; k < 3; ++k) {
+      window[static_cast<std::size_t>(r)][static_cast<std::size_t>(2 + k)] =
+          newLoads[static_cast<std::size_t>(k)];
+    }
+  }
+
+  // 3x3 coefficient matrix (Gaussian-ish blur), immediates.
+  const std::array<std::array<int, 3>, 3> kCoef = {
+      {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}}};
+  std::array<std::array<V, 3>, 3> coef;
+  for (int r = 0; r < 3; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      coef[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] =
+          b.cst(kCoef[static_cast<std::size_t>(r)]
+                     [static_cast<std::size_t>(k)],
+                strCat("c", r, k));
+    }
+  }
+  const V half = b.cst(8, "round");  // sum of coefficients = 16 -> >>4
+  const V shift = b.cst(4, "shift");
+
+  for (int o = 0; o < 3; ++o) {
+    V acc = b.mul(window[0][static_cast<std::size_t>(o)], coef[0][0],
+                  strCat("y", o, ".mul"));
+    for (int r = 0; r < 3; ++r) {
+      for (int k = 0; k < 3; ++k) {
+        if (r == 0 && k == 0) continue;
+        acc = b.mac(acc,
+                    window[static_cast<std::size_t>(r)]
+                          [static_cast<std::size_t>(o + k)],
+                    coef[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(k)],
+                    strCat("y", o, ".mac", r, k));
+      }
+    }
+    const V rounded = b.add(acc, half, strCat("y", o, ".rnd"));
+    const V scaled = b.shr(rounded, shift, strCat("y", o, ".shr"));
+    const V clipped = b.clip(scaled, 0, 255, strCat("y", o, ".clip"));
+    b.store(op, clipped, o, strCat("st", o));
+  }
+
+  Kernel kernel;
+  kernel.name = "fir2dim";
+  kernel.description =
+      "DSPStone 2-D FIR filter, 3x3 taps, 3 output pixels per iteration, "
+      "circular input line buffer";
+  kernel.ddg = b.finish();
+  kernel.paper = Table1Row{57, 3, 2, true, 3};
+  kernel.memorySize = kMemSize;
+  // Output pointer is the only non-wrapping address: kOut + 3*it + 2 < mem.
+  kernel.safeIterations = (kLen - 3) / 3;
+  return kernel;
+}
+
+// ---------------------------------------------------------------------------
+// idcthor — OpenDivx horizontal 8-point IDCT (one row per iteration),
+// classic even/odd fixed-point butterfly network (W1..W7 constants).
+//
+// Instruction tally (82):
+//   loop counter          add                                  =  1
+//   row read pointer      add                                  =  1
+//   row write pointer     add                                  =  1
+//   loads s0..s7                                               =  8
+//   even part:  x0 = (s0<<11)+128 ; x1 = s4<<11      (shl add shl) =  3
+//   odd  stage: 6 lines of (add/sub + mul) pairs                = 12
+//   mid  stage: x8/x0 +- ; W6 block (3 lines x 2) ; 4 +/-       = 12
+//   last stage: 4 +/- ; two (181*(a+-b)+128)>>8 blocks (4 each)  = 12
+//   outputs: 8 x (add/sub + shr)                                = 16
+//   clips:   8                                                  =  8
+//   stores s'0..s'7                                             =  8
+// Memory ops: 16 -> ceil(16/8) = 2; issue bound ceil(82/64) = 2 -> MIIRes 2.
+// All recurrences are single carried adds -> MIIRec 1.
+// ---------------------------------------------------------------------------
+Kernel buildIdctHor() {
+  constexpr int kRows = 64;
+  constexpr int kIn = 0, kOutBase = 8 * kRows;
+  constexpr int kMemSize = 16 * kRows;
+
+  DdgBuilder b;
+  const V eight = b.cst(8, "rowstride");
+  const V one = b.cst(1);
+
+  V cnt = b.carry(0, "cnt");
+  b.close(cnt, b.add(cnt, one, "cnt.next"), 1);
+  V rp = b.carry(kIn, "rp");
+  b.close(rp, b.add(rp, eight, "rp.next"), 1);
+  V wp = b.carry(kOutBase, "wp");
+  b.close(wp, b.add(wp, eight, "wp.next"), 1);
+
+  std::array<V, 8> s;
+  for (int k = 0; k < 8; ++k) {
+    s[static_cast<std::size_t>(k)] = b.load(rp, k, strCat("s", k));
+  }
+
+  // Fixed-point DCT constants (<<11), as in the classic idct_int32 kernel.
+  const V w1 = b.cst(2841, "W1"), w2 = b.cst(2676, "W2"),
+          w3 = b.cst(2408, "W3"), w5 = b.cst(1609, "W5"),
+          w6 = b.cst(1108, "W6"), w7 = b.cst(565, "W7");
+  const V w1mw7 = b.cst(2841 - 565), w1pw7 = b.cst(2841 + 565);
+  const V w3mw5 = b.cst(2408 - 1609), w3pw5 = b.cst(2408 + 1609);
+  const V w2mw6 = b.cst(2676 - 1108), w2pw6 = b.cst(2676 + 1108);
+  const V c128 = b.cst(128), c181 = b.cst(181);
+  const V sh11 = b.cst(11), sh8 = b.cst(8);
+
+  // Even part.
+  V x0 = b.add(b.shl(s[0], sh11, "x0.shl"), c128, "x0");
+  V x1 = b.shl(s[4], sh11, "x1");
+  V x2 = s[6], x3 = s[2], x4 = s[1], x5 = s[7], x6 = s[5], x7 = s[3];
+
+  // Odd part, first stage.
+  V x8 = b.mul(b.add(x4, x5, "o1.add"), w7, "x8");
+  x4 = b.add(x8, b.mul(x4, w1mw7, "o2.mul"), "x4'");
+  x5 = b.sub(x8, b.mul(x5, w1pw7, "o3.mul"), "x5'");
+  x8 = b.mul(b.add(x6, x7, "o4.add"), w3, "x8'");
+  x6 = b.sub(x8, b.mul(x6, w3mw5, "o5.mul"), "x6'");
+  x7 = b.sub(x8, b.mul(x7, w3pw5, "o6.mul"), "x7'");
+
+  // Second stage.
+  x8 = b.add(x0, x1, "x8''");
+  x0 = b.sub(x0, x1, "x0'");
+  x1 = b.mul(b.add(x3, x2, "m1.add"), w6, "x1'");
+  x2 = b.sub(x1, b.mul(x2, w2pw6, "m2.mul"), "x2'");
+  x3 = b.add(x1, b.mul(x3, w2mw6, "m3.mul"), "x3'");
+  x1 = b.add(x4, x6, "x1''");
+  x4 = b.sub(x4, x6, "x4''");
+  x6 = b.add(x5, x7, "x6''");
+  x5 = b.sub(x5, x7, "x5''");
+
+  // Third stage.
+  x7 = b.add(x8, x3, "x7''");
+  x8 = b.sub(x8, x3, "x8'''");
+  x3 = b.add(x0, x2, "x3''");
+  x0 = b.sub(x0, x2, "x0''");
+  x2 = b.shr(b.add(b.mul(b.add(x4, x5, "l1.add"), c181, "l1.mul"), c128,
+                   "l1.rnd"),
+             sh8, "x2''");
+  x4 = b.shr(b.add(b.mul(b.sub(x4, x5, "l2.sub"), c181, "l2.mul"), c128,
+                   "l2.rnd"),
+             sh8, "x4'''");
+
+  // Outputs: (a +/- b) >> 8, clipped.
+  const std::array<std::pair<V, V>, 8> outPairs = {
+      {{x7, x1}, {x3, x2}, {x0, x4}, {x8, x6},
+       {x8, x6}, {x0, x4}, {x3, x2}, {x7, x1}}};
+  for (int k = 0; k < 8; ++k) {
+    const auto [a, bv] = outPairs[static_cast<std::size_t>(k)];
+    const V combined = k < 4 ? b.add(a, bv, strCat("y", k, ".comb"))
+                             : b.sub(a, bv, strCat("y", k, ".comb"));
+    const V scaled = b.shr(combined, sh8, strCat("y", k, ".shr"));
+    const V clipped = b.clip(scaled, -256, 255, strCat("y", k, ".clip"));
+    b.store(wp, clipped, k, strCat("st", k));
+  }
+  (void)w1;
+  (void)w2;
+  (void)w3;
+  (void)w5;
+
+  Kernel kernel;
+  kernel.name = "idcthor";
+  kernel.description =
+      "OpenDivx horizontal 8-point inverse DCT, one row per iteration, "
+      "fixed-point even/odd butterfly";
+  kernel.ddg = b.finish();
+  kernel.paper = Table1Row{82, 1, 2, true, 3};
+  kernel.memorySize = kMemSize;
+  kernel.safeIterations = kRows;
+  return kernel;
+}
+
+// ---------------------------------------------------------------------------
+// mpeg2inter — MPEG-2 bidirectional prediction interpolation, 4 output
+// pixels per iteration. Forward reference uses h+v half-pel (4-point
+// average of two rows out of a circular line buffer), backward reference
+// uses horizontal half-pel; the two predictions are averaged and clipped.
+//
+// The forward row-0 pointer walks the circular buffer one pixel load at a
+// time: four chained adds plus the wrap check (cmplt + select) form the
+// 6-latency / distance-1 recurrence that sets MIIRec = 6.
+//
+// Instruction tally (79):
+//   fwd row-0 ptr  add add add add cmplt select                =  6
+//   fwd row-1 ptr  add cmplt select                            =  3
+//   bwd ptr        add cmplt select                            =  3
+//   out ptr        add                                         =  1
+//   counter        add ; exit predicate cmplt                  =  2
+//   loads: 4 fwd row0 + 4 fwd row1 + 4 bwd                     = 12
+//   per pixel (x4):
+//     fwd 4-pt avg   add add add add shr                       = 20
+//     bwd 2-pt avg   add add shr                               = 12
+//     combine        add add shr clip                          = 16
+//   stores                                                     =  4
+// Memory ops: 16 -> ceil(16/8) = 2; issue bound ceil(79/64) = 2 -> MIIRes 2.
+// ---------------------------------------------------------------------------
+Kernel buildMpeg2Inter() {
+  constexpr int kLen = 64;
+  constexpr int kF0 = 0, kF1 = kLen, kB = 2 * kLen, kOut = 3 * kLen;
+  constexpr int kMemSize = 4 * kLen;
+
+  DdgBuilder b;
+  const V one = b.cst(1), two = b.cst(2), four = b.cst(4);
+
+  // Forward row 0: circular, advanced by four chained unit increments
+  // (per-pixel circular-buffer addressing), wrap at the end. This is the
+  // MIIRec = 6 recurrence.
+  V p0 = b.carry(kF0, "p0");
+  const V p1 = b.add(p0, one, "p.1");
+  const V p2 = b.add(p1, one, "p.2");
+  const V p3 = b.add(p2, one, "p.3");
+  const V p4 = b.add(p3, one, "p.4");
+  const V pw = b.cmplt(p4, b.cst(kF0 + kLen - 5), "p.inrange");
+  const V pNext = b.select(pw, p4, b.cst(kF0), "p.next");
+  b.close(p0, pNext, 1);
+
+  // Forward row 1: linear advance by 4 with wrap.
+  V q = b.carry(kF1, "q");
+  const V qn = b.add(q, four, "q.adv");
+  const V qw = b.cmplt(qn, b.cst(kF1 + kLen - 5), "q.inrange");
+  b.close(q, b.select(qw, qn, b.cst(kF1), "q.next"), 1);
+
+  // Backward reference: linear advance by 4 with wrap.
+  V r = b.carry(kB, "r");
+  const V rn = b.add(r, four, "r.adv");
+  const V rw = b.cmplt(rn, b.cst(kB + kLen - 5), "r.inrange");
+  b.close(r, b.select(rw, rn, b.cst(kB), "r.next"), 1);
+
+  V op = b.carry(kOut, "out");
+  b.close(op, b.add(op, four, "out.next"), 1);
+
+  V cnt = b.carry(0, "cnt");
+  const V cntNext = b.add(cnt, one, "cnt.next");
+  b.cmplt(cntNext, b.cst(1 << 20), "cnt.exit");  // loop-exit predicate
+  b.close(cnt, cntNext, 1);
+
+  // Loads: columns j+1..j+4 of each reference row; column j is the carried
+  // last load of the previous iteration (sliding window).
+  std::array<V, 5> f0, f1, bw;
+  const std::array<V, 4> p1to4 = {p1, p2, p3, p4};
+  for (int k = 1; k <= 4; ++k) {
+    f0[static_cast<std::size_t>(k)] =
+        b.load(p1to4[static_cast<std::size_t>(k - 1)], 0, strCat("f0.", k));
+    f1[static_cast<std::size_t>(k)] = b.load(q, k, strCat("f1.", k));
+    bw[static_cast<std::size_t>(k)] = b.load(r, k, strCat("b.", k));
+  }
+  f0[0] = b.at(f0[4], 1);
+  f1[0] = b.at(f1[4], 1);
+  bw[0] = b.at(bw[4], 1);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    // Forward h+v half-pel: (f0[i] + f0[i+1] + f1[i] + f1[i+1] + 2) >> 2.
+    V t = b.add(f0[idx], f0[idx + 1], strCat("fa", i, ".h0"));
+    V t2 = b.add(f1[idx], f1[idx + 1], strCat("fa", i, ".h1"));
+    V t3 = b.add(t, t2, strCat("fa", i, ".sum"));
+    V t4 = b.add(t3, two, strCat("fa", i, ".rnd"));
+    const V favg = b.shr(t4, two, strCat("fa", i));
+    // Backward horizontal half-pel: (b[i] + b[i+1] + 1) >> 1.
+    V u = b.add(bw[idx], bw[idx + 1], strCat("ba", i, ".h"));
+    V u2 = b.add(u, one, strCat("ba", i, ".rnd"));
+    const V bavg = b.shr(u2, one, strCat("ba", i));
+    // Bidirectional combine: (favg + bavg + 1) >> 1, clipped.
+    V v = b.add(favg, bavg, strCat("av", i, ".sum"));
+    V v2 = b.add(v, one, strCat("av", i, ".rnd"));
+    V av = b.shr(v2, one, strCat("av", i));
+    const V res = b.clip(av, 0, 255, strCat("res", i));
+    b.store(op, res, i, strCat("st", i));
+  }
+
+  Kernel kernel;
+  kernel.name = "mpeg2inter";
+  kernel.description =
+      "MPEG-2 bidirectional prediction interpolation (fwd h+v half-pel, bwd "
+      "h half-pel), 4 pixels per iteration";
+  kernel.ddg = b.finish();
+  kernel.paper = Table1Row{79, 6, 2, true, 8};
+  kernel.memorySize = kMemSize;
+  kernel.safeIterations = (kLen - 4) / 4;
+  return kernel;
+}
+
+// ---------------------------------------------------------------------------
+// h264deblocking — H.264 luma row deblocking (normal filter, bS < 4) across
+// a horizontal edge, 3 columns per iteration.
+//
+// The p-side rows (p2, p1, p0) and q0 live in a line buffer at fixed
+// offsets; q1 and q2 are addressed in the frame buffer with a runtime
+// stride, which costs two address adds per column. Filtering follows the
+// standard: filterSampleFlag from alpha/beta thresholds, tc from tc0 plus
+// the ap/aq activity bits, delta clipping, p0/q0 update, conditional p1/q1
+// update — all predicated with selects (Kernel-Only Modulo Scheduling fully
+// predicates the body).
+//
+// Instruction tally (214):
+//   column ptr (circular) add cmplt select                     =   3
+//   counter add ; exit predicate cmplt                         =   2
+//   column addresses c1, c2 (c0 is the pointer itself)          =   2
+//   per column (x3):
+//     q-side address adds (stride is a runtime value)   2      =   6
+//     loads p2 p1 p0 q0 q1 q2                           6      =  18
+//     filter body (see below)                          57      = 171
+//     stores p1' p0' q0' q1'                            4      =  12
+// Filter body (57): |p0-q0|,|p1-p0|,|q1-q0| (sub abs x3 = 6);
+//   flag cmplt x3 + and x2 (5); ap = sub abs cmplt (3); aq (3);
+//   delta = ((q0-p0)<<2 + (p1-q1) + 4)>>3 (sub shl sub add add shr = 6);
+//   tc = tc0+ap+aq (2); clip3 = neg min max (3); p0' add clip select (3);
+//   q0' sub clip select (3); p1 update (13); q1 update (10).
+// Memory ops: 18 loads + 12 stores = 30 -> ceil(30/8) = 4;
+// issue bound ceil(214/64) = 4 -> MIIRes 4. Column-pointer recurrence:
+// add+cmplt+select -> MIIRec 3.
+// ---------------------------------------------------------------------------
+Kernel buildH264Deblocking() {
+  constexpr int kW = 64;  // line-buffer width
+  // Rows: p2 @ 0, p1 @ 64, p0 @ 128, q0 @ 192, q1 @ 256, q2 @ 320.
+  constexpr int kMemSize = 6 * kW;
+  constexpr int kAlpha = 40, kBeta = 12, kTc0 = 4;
+
+  DdgBuilder b;
+  const V one = b.cst(1), threeC = b.cst(3);
+  const V strideV = b.cst(kW, "stride");  // runtime image stride (live-in)
+  const V alpha = b.cst(kAlpha, "alpha"), beta = b.cst(kBeta, "beta");
+  const V tc0 = b.cst(kTc0, "tc0");
+  const V fourC = b.cst(4), twoC = b.cst(2);
+
+  // Circular column pointer: 3 columns per iteration (MIIRec = 3 cycle).
+  V colp = b.carry(0, "colp");
+  const V cn = b.add(colp, threeC, "colp.adv");
+  const V cw = b.cmplt(cn, b.cst(kW - 3), "colp.inrange");
+  b.close(colp, b.select(cw, cn, b.cst(0), "colp.next"), 1);
+
+  V cnt = b.carry(0, "cnt");
+  const V cntNext = b.add(cnt, one, "cnt.next");
+  b.cmplt(cntNext, b.cst(1 << 20), "cnt.exit");
+  b.close(cnt, cntNext, 1);
+
+  const V c1 = b.add(colp, one, "col.1");
+  const V c2 = b.add(colp, twoC, "col.2");
+  const std::array<V, 3> cols = {colp, c1, c2};
+
+  for (int col = 0; col < 3; ++col) {
+    const V c = cols[static_cast<std::size_t>(col)];
+    const std::string tag = strCat("c", col, ".");
+    // q-side rows addressed with the runtime stride.
+    const V aq1 = b.add(c, strideV, tag + "aq1");
+    const V aq2 = b.add(aq1, strideV, tag + "aq2");
+
+    const V p2v = b.load(c, 0, tag + "p2");
+    const V p1v = b.load(c, kW, tag + "p1");
+    const V p0v = b.load(c, 2 * kW, tag + "p0");
+    const V q0v = b.load(c, 3 * kW, tag + "q0");
+    const V q1v = b.load(aq1, 3 * kW, tag + "q1");   // row q1 @ 256 = c+64+192
+    const V q2v = b.load(aq2, 3 * kW, tag + "q2");   // row q2 @ 320
+
+    // Edge activity and filterSampleFlag.
+    const V d0 = b.abs(b.sub(p0v, q0v, tag + "d0.sub"), tag + "d0");
+    const V d1 = b.abs(b.sub(p1v, p0v, tag + "d1.sub"), tag + "d1");
+    const V d2 = b.abs(b.sub(q1v, q0v, tag + "d2.sub"), tag + "d2");
+    const V f0 = b.cmplt(d0, alpha, tag + "f0");
+    const V f1 = b.cmplt(d1, beta, tag + "f1");
+    const V f2 = b.cmplt(d2, beta, tag + "f2");
+    const V fs = b.and_(b.and_(f0, f1, tag + "fs.a"), f2, tag + "fs");
+    const V ap = b.cmplt(b.abs(b.sub(p2v, p0v, tag + "ap.sub"), tag + "ap.abs"),
+                         beta, tag + "ap");
+    const V aq = b.cmplt(b.abs(b.sub(q2v, q0v, tag + "aq.sub"), tag + "aq.abs"),
+                         beta, tag + "aq");
+
+    // delta = clip3(-tc, tc, ((q0-p0)<<2 + (p1-q1) + 4) >> 3).
+    const V t1 = b.sub(q0v, p0v, tag + "t1");
+    const V t2 = b.shl(t1, twoC, tag + "t2");
+    const V t3 = b.sub(p1v, q1v, tag + "t3");
+    const V t4 = b.add(t2, t3, tag + "t4");
+    const V t5 = b.add(t4, fourC, tag + "t5");
+    const V t6 = b.shr(t5, threeC, tag + "t6");
+    const V tc = b.add(b.add(tc0, ap, tag + "tc.a"), aq, tag + "tc");
+    const V ntc = b.neg(tc, tag + "ntc");
+    const V delta = b.max(ntc, b.min(tc, t6, tag + "dl.min"), tag + "delta");
+
+    // p0 / q0 updates, predicated by fs.
+    const V p0f = b.clip(b.add(p0v, delta, tag + "p0.add"), 0, 255,
+                         tag + "p0.clip");
+    const V p0out = b.select(fs, p0f, p0v, tag + "p0.out");
+    const V q0f = b.clip(b.sub(q0v, delta, tag + "q0.sub"), 0, 255,
+                         tag + "q0.clip");
+    const V q0out = b.select(fs, q0f, q0v, tag + "q0.out");
+
+    // p1 update (when ap): p1 += clip3(-tc0, tc0,
+    //   (p2 + ((p0+q0+1)>>1) - 2*p1) >> 1).
+    const V avg = b.add(p0v, q0v, tag + "avg");
+    const V avg1 = b.add(avg, one, tag + "avg1");
+    const V havg = b.shr(avg1, one, tag + "havg");
+    const V pw = b.add(p2v, havg, tag + "p1.w");
+    const V p1x2 = b.shl(p1v, one, tag + "p1.x2");
+    const V pw2 = b.sub(pw, p1x2, tag + "p1.w2");
+    const V pw3 = b.shr(pw2, one, tag + "p1.w3");
+    const V ntc0 = b.neg(tc0, tag + "ntc0");
+    const V dp1 = b.max(ntc0, b.min(tc0, pw3, tag + "p1.min"), tag + "p1.d");
+    const V p1n = b.add(p1v, dp1, tag + "p1.new");
+    const V apfs = b.and_(fs, ap, tag + "p1.pred");
+    const V p1out = b.select(apfs, p1n, p1v, tag + "p1.out");
+
+    // q1 update (when aq), reusing havg.
+    const V qw = b.add(q2v, havg, tag + "q1.w");
+    const V q1x2 = b.shl(q1v, one, tag + "q1.x2");
+    const V qw2 = b.sub(qw, q1x2, tag + "q1.w2");
+    const V qw3 = b.shr(qw2, one, tag + "q1.w3");
+    const V dq1 = b.max(b.neg(tc0, tag + "q1.ntc0"),
+                        b.min(tc0, qw3, tag + "q1.min"), tag + "q1.d");
+    const V q1n = b.add(q1v, dq1, tag + "q1.new");
+    const V aqfs = b.and_(fs, aq, tag + "q1.pred");
+    const V q1out = b.select(aqfs, q1n, q1v, tag + "q1.out");
+
+    // In-place writeback.
+    b.store(c, p1out, kW, tag + "st.p1");
+    b.store(c, p0out, 2 * kW, tag + "st.p0");
+    b.store(c, q0out, 3 * kW, tag + "st.q0");
+    b.store(aq1, q1out, 3 * kW, tag + "st.q1");
+  }
+
+  Kernel kernel;
+  kernel.name = "h264deblocking";
+  kernel.description =
+      "H.264 luma row deblocking, normal (bS<4) filter, 3 columns per "
+      "iteration, fully predicated";
+  kernel.ddg = b.finish();
+  kernel.paper = Table1Row{214, 3, 4, true, 6};
+  kernel.memorySize = kMemSize;
+  kernel.safeIterations = 1 << 20;  // circular addressing never escapes
+  return kernel;
+}
+
+std::vector<Kernel> table1Kernels() {
+  std::vector<Kernel> kernels;
+  kernels.push_back(buildFir2Dim());
+  kernels.push_back(buildIdctHor());
+  kernels.push_back(buildMpeg2Inter());
+  kernels.push_back(buildH264Deblocking());
+  return kernels;
+}
+
+// ---------------------------------------------------------------------------
+// Random DDG generator for property tests.
+// ---------------------------------------------------------------------------
+Ddg randomDdg(Rng& rng, const RandomDdgParams& params) {
+  HCA_REQUIRE(params.numInstructions >= 4, "randomDdg: too few instructions");
+  HCA_REQUIRE(params.memorySize >= 64 &&
+                  (params.memorySize & (params.memorySize - 1)) == 0,
+              "randomDdg: memory size must be a power of two >= 64");
+  DdgBuilder b;
+  const V one = b.cst(1);
+  // The paper's kernels have "largely independent data, low memory
+  // aliasing" and the DDG carries no memory-dependence edges, so the
+  // generator keeps loads and stores alias-free by construction: loads
+  // read the lower half of the image, and every store node owns a private
+  // 16-word slice of the upper half.
+  const int loadRegion = params.memorySize / 2;
+  const V loadMask = b.cst(loadRegion - 1);
+  const V storeMask = b.cst(15);
+  const int storeSlices = std::max(1, (params.memorySize - loadRegion) / 16);
+  int storeCount = 0;
+
+  std::vector<V> pool;  // values usable as operands
+  int budget = params.numInstructions;
+
+  // A couple of carried induction chains seed the pool and give the graph
+  // the loop-carried structure real kernels have.
+  const int numIvs = 2;
+  for (int i = 0; i < numIvs && budget > 0; ++i) {
+    V iv = b.carry(static_cast<std::int64_t>(rng.below(8)), strCat("iv", i));
+    const V next = b.add(iv, one, strCat("iv", i, ".next"));
+    b.close(iv, next, 1);
+    pool.push_back(next);
+    --budget;
+  }
+
+  const auto pick = [&]() -> V {
+    return pool[rng.below(pool.size())];
+  };
+  const auto pickCarried = [&](V v) -> V {
+    if (rng.uniform() < params.carryFraction) {
+      const auto d =
+          static_cast<std::int32_t>(rng.range(1, params.maxDistance));
+      return b.at(v, d, static_cast<std::int64_t>(rng.below(16)));
+    }
+    return v;
+  };
+
+  // Keep one store for the very end so the DDG always has a sink.
+  while (budget > 1) {
+    const double roll = rng.uniform();
+    if (roll < params.memOpFraction && budget >= 3) {
+      if (rng.chance(0.7)) {
+        const V addr = b.and_(pick(), loadMask, "addr");
+        pool.push_back(b.load(addr));
+        budget -= 2;
+      } else if (budget >= 3 && storeCount + 1 < storeSlices) {
+        // Keep one slice in reserve for the final sink store.
+        const V addr = b.and_(pick(), storeMask, "st.addr");
+        b.store(addr, pickCarried(pick()), loadRegion + storeCount++ * 16);
+        budget -= 2;
+      }
+      continue;
+    }
+    // Arithmetic node with random op and operands.
+    static constexpr Op kArith[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kMac,
+                                    Op::kMin, Op::kMax, Op::kAnd, Op::kOr,
+                                    Op::kXor, Op::kCmpLt, Op::kSelect,
+                                    Op::kAbs, Op::kNeg};
+    const Op op = kArith[rng.below(std::size(kArith))];
+    std::vector<V> operands;
+    operands.reserve(static_cast<std::size_t>(opArity(op)));
+    for (int i = 0; i < opArity(op); ++i) {
+      operands.push_back(pickCarried(pick()));
+    }
+    pool.push_back(b.emit(op, std::move(operands)));
+    --budget;
+  }
+  // Final sink store (its own slice, like every other store).
+  const V addr = b.and_(pick(), storeMask, "sink.addr");
+  b.store(addr, pick(), loadRegion + storeCount * 16, "sink");
+
+  return b.finish();
+}
+
+}  // namespace hca::ddg

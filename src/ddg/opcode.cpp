@@ -1,0 +1,81 @@
+#include "ddg/opcode.hpp"
+
+#include "support/check.hpp"
+
+namespace hca::ddg {
+
+std::string_view opName(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kMac: return "mac";
+    case Op::kNeg: return "neg";
+    case Op::kAbs: return "abs";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kCmpLt: return "cmplt";
+    case Op::kSelect: return "select";
+    case Op::kClip: return "clip";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kRecv: return "recv";
+  }
+  HCA_UNREACHABLE("unknown Op");
+}
+
+int opArity(Op op) {
+  switch (op) {
+    case Op::kConst: return 0;
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kClip:
+    case Op::kLoad:
+    case Op::kRecv: return 1;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kCmpLt:
+    case Op::kStore: return 2;
+    case Op::kMac:
+    case Op::kSelect: return 3;
+  }
+  HCA_UNREACHABLE("unknown Op");
+}
+
+ResourceClass opResource(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kRecv: return ResourceClass::kNone;
+    case Op::kLoad:
+    case Op::kStore: return ResourceClass::kAg;
+    default: return ResourceClass::kAlu;
+  }
+}
+
+int LatencyModel::of(Op op) const {
+  switch (op) {
+    case Op::kConst: return 0;
+    case Op::kMul: return mul;
+    case Op::kMac: return mac;
+    case Op::kLoad: return load;
+    case Op::kStore: return store;
+    case Op::kRecv: return recv;
+    default: return alu;
+  }
+}
+
+}  // namespace hca::ddg

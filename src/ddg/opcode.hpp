@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// Operation set and machine latency model of the DDG.
+///
+/// The operation set is the word-level repertoire a DSPFabric computation
+/// node exposes (Section 2.2 of the paper): ALU arithmetic/logic, a
+/// load/store pair whose address request is issued by the per-CN Address
+/// Generator towards the programmable DMA, and the `recv` primitive that the
+/// destination cluster executes to pull an inter-cluster copy out of its
+/// input buffer. `kConst` nodes are immediates materialized in the
+/// instruction encoding — they are *not* instructions and consume no
+/// resources.
+namespace hca::ddg {
+
+enum class Op : std::uint8_t {
+  kConst,    // immediate literal (imm0 = value); not an instruction
+  kAdd,      // a + b
+  kSub,      // a - b
+  kMul,      // a * b
+  kMac,      // acc + a * b (3 operands: acc, a, b)
+  kNeg,      // -a
+  kAbs,      // |a|
+  kMin,      // min(a, b)
+  kMax,      // max(a, b)
+  kShl,      // a << b (b taken mod 64)
+  kShr,      // a >> b, arithmetic
+  kAnd,      // a & b
+  kOr,       // a | b
+  kXor,      // a ^ b
+  kCmpLt,    // a < b ? 1 : 0
+  kSelect,   // c ? a : b (3 operands: c, a, b)
+  kClip,     // clamp(a, imm0, imm1)
+  kLoad,     // mem[a + imm0]; AG issues the DMA request
+  kStore,    // mem[a + imm0] = b; AG issues the DMA request
+  kRecv,     // identity; materialized inter-cluster copy (post-HCA only)
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::kRecv) + 1;
+
+/// Which functional unit of a computation node an operation occupies.
+/// Every instruction additionally occupies the CN's single issue slot.
+enum class ResourceClass : std::uint8_t {
+  kAlu,   // arithmetic / logic unit
+  kAg,    // address generator (DMA request)
+  kNone,  // no functional unit (recv: issue slot only; const: free)
+};
+
+inline constexpr int kNumResourceClasses = 2;  // kAlu, kAg are countable
+
+[[nodiscard]] std::string_view opName(Op op);
+
+/// Number of value operands the op consumes.
+[[nodiscard]] int opArity(Op op);
+
+[[nodiscard]] ResourceClass opResource(Op op);
+
+/// True for every op that occupies an issue slot (everything but kConst).
+[[nodiscard]] inline bool isInstruction(Op op) { return op != Op::kConst; }
+
+/// True for ops whose AG sends a request to the DMA engine.
+[[nodiscard]] inline bool isMemoryOp(Op op) {
+  return op == Op::kLoad || op == Op::kStore;
+}
+
+/// Per-op result latencies in cycles, i.e. the number of cycles after issue
+/// at which a dependent instruction may read the result. The defaults model
+/// the DSPFabric CN pipeline used throughout the evaluation and are the
+/// latency model under which the four paper kernels reproduce Table 1's
+/// MIIRec column (see DESIGN.md §4).
+struct LatencyModel {
+  int alu = 1;        // add/sub/logic/shift/min/max/abs/cmp/select/clip/neg
+  int mul = 2;        // multiply
+  int mac = 3;        // multiply-accumulate
+  int load = 3;       // DMA round trip as seen by the consumer (FIFO-masked)
+  int store = 1;      // request hand-off
+  int recv = 1;       // input-buffer read
+  int interCluster = 1;  // extra cycles for a copy crossing one wire
+
+  [[nodiscard]] int of(Op op) const;
+};
+
+}  // namespace hca::ddg

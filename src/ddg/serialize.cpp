@@ -1,0 +1,124 @@
+#include "ddg/serialize.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::ddg {
+
+namespace {
+
+std::int64_t parseInt(const std::string& value, int line) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(
+        strCat("line ", line, ": expected an integer, got '", value, "'"));
+  }
+}
+
+Op opFromName(const std::string& name, int line) {
+  for (int i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    if (opName(op) == name) return op;
+  }
+  throw InvalidArgumentError(
+      strCat("line ", line, ": unknown op '", name, "'"));
+}
+
+}  // namespace
+
+std::string toText(const Ddg& ddg) {
+  std::ostringstream os;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const DdgNode& node = ddg.node(DdgNodeId(v));
+    os << "node " << opName(node.op);
+    if (node.imm0 != 0) os << " imm0=" << node.imm0;
+    if (node.imm1 != 0) os << " imm1=" << node.imm1;
+    if (!node.operands.empty()) {
+      os << " ops=";
+      for (std::size_t i = 0; i < node.operands.size(); ++i) {
+        const Operand& operand = node.operands[i];
+        if (i > 0) os << ',';
+        os << operand.src.value() << ':' << operand.distance << ':'
+           << operand.init;
+      }
+    }
+    if (!node.name.empty()) os << " name=" << node.name;
+    os << '\n';
+  }
+  return os.str();
+}
+
+Ddg fromText(const std::string& text) {
+  Ddg ddg;
+  int lineNumber = 0;
+  std::istringstream input(text);
+  std::string line;
+  while (std::getline(input, line)) {
+    ++lineNumber;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+    HCA_REQUIRE(keyword == "node",
+                "line " << lineNumber << ": expected 'node', got '"
+                        << keyword << "'");
+    std::string opToken;
+    HCA_REQUIRE(static_cast<bool>(tokens >> opToken),
+                "line " << lineNumber << ": missing op");
+    DdgNode node;
+    node.op = opFromName(opToken, lineNumber);
+
+    std::string field;
+    while (tokens >> field) {
+      const auto eq = field.find('=');
+      HCA_REQUIRE(eq != std::string::npos,
+                  "line " << lineNumber << ": malformed field '" << field
+                          << "' (expected key=value)");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "imm0") {
+        node.imm0 = parseInt(value, lineNumber);
+      } else if (key == "imm1") {
+        node.imm1 = parseInt(value, lineNumber);
+      } else if (key == "name") {
+        node.name = value;
+      } else if (key == "ops") {
+        for (const std::string& triple : strSplit(value, ',')) {
+          const auto parts = strSplit(triple, ':');
+          HCA_REQUIRE(!parts.empty() && parts.size() <= 3 &&
+                          !parts[0].empty(),
+                      "line " << lineNumber << ": malformed operand '"
+                              << triple << "'");
+          Operand operand;
+          operand.src = DdgNodeId(
+              static_cast<std::int32_t>(parseInt(parts[0], lineNumber)));
+          if (parts.size() >= 2) {
+            operand.distance =
+                static_cast<std::int32_t>(parseInt(parts[1], lineNumber));
+          }
+          if (parts.size() >= 3) operand.init = parseInt(parts[2], lineNumber);
+          node.operands.push_back(operand);
+        }
+      } else {
+        throw InvalidArgumentError(
+            strCat("line ", lineNumber, ": unknown field '", key, "'"));
+      }
+    }
+    ddg.addNode(std::move(node));
+  }
+  ddg.validate();
+  return ddg;
+}
+
+}  // namespace hca::ddg

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "ddg/ddg.hpp"
+
+/// Plain-text DDG serialization.
+///
+/// One node per line, implicitly numbered from 0 in file order:
+///
+///     # fir-like accumulator
+///     node const imm0=1
+///     node add ops=1:1:0,0:0:0 name=i.next      # self-carried induction
+///     node load imm0=64 ops=1:0:0 name=x
+///     node mac ops=3:1:0,2:0:0,0:0:0 name=acc
+///     node store imm0=128 ops=1:0:0,3:0:0
+///
+/// `ops` lists operands as src:distance:init triples (distance and init
+/// may be omitted: `src`, `src:distance`). Blank lines and `#` comments are
+/// ignored. The format round-trips: fromText(toText(ddg)) reproduces every
+/// node, operand, immediate and name.
+namespace hca::ddg {
+
+[[nodiscard]] std::string toText(const Ddg& ddg);
+
+/// Parses the format above; throws InvalidArgumentError with a line number
+/// on malformed input. The resulting DDG is validate()d.
+[[nodiscard]] Ddg fromText(const std::string& text);
+
+}  // namespace hca::ddg

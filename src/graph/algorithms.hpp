@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+/// Graph algorithms shared by the DDG analyses and the assignment passes.
+namespace hca::graph {
+
+/// Kahn topological order considering only edges for which `keepEdge`
+/// returns true (the DDG uses this to drop loop-carried back edges).
+/// Returns nullopt if the filtered graph has a cycle.
+std::optional<std::vector<std::int32_t>> topologicalOrder(
+    const Digraph& g,
+    const std::function<bool(std::int32_t edgeId)>& keepEdge);
+
+/// Topological order over all edges.
+std::optional<std::vector<std::int32_t>> topologicalOrder(const Digraph& g);
+
+/// Tarjan strongly-connected components. Component indices are assigned in
+/// Tarjan completion order (reverse topological order of the condensation);
+/// callers should treat them purely as group labels.
+struct SccResult {
+  std::int32_t count = 0;
+  std::vector<std::int32_t> component;  // node -> component index
+
+  /// Nodes grouped per component.
+  [[nodiscard]] std::vector<std::vector<std::int32_t>> groups() const;
+};
+
+SccResult stronglyConnectedComponents(const Digraph& g);
+
+/// True if the graph (filtered) contains a directed cycle.
+bool hasCycle(const Digraph& g,
+              const std::function<bool(std::int32_t edgeId)>& keepEdge);
+
+/// Longest path lengths from sources in a DAG (filtered edges), with
+/// per-edge weights. Throws InvalidArgumentError if the filtered graph is
+/// cyclic. Returns the distance of each node from any source (sources = 0).
+std::vector<std::int64_t> longestPathFromSources(
+    const Digraph& g,
+    const std::function<bool(std::int32_t edgeId)>& keepEdge,
+    const std::function<std::int64_t(std::int32_t edgeId)>& weight);
+
+/// Longest path lengths *to* sinks (the DDG "height" priority).
+std::vector<std::int64_t> longestPathToSinks(
+    const Digraph& g,
+    const std::function<bool(std::int32_t edgeId)>& keepEdge,
+    const std::function<std::int64_t(std::int32_t edgeId)>& weight);
+
+/// Detects whether the graph with per-edge weights contains a cycle of
+/// strictly positive total weight (Bellman–Ford with early exit). Used by the
+/// parametric MII search: with weight(e) = latency(e) - II * distance(e), a
+/// positive cycle means II is below the recurrence bound.
+bool hasPositiveCycle(const Digraph& g,
+                      const std::function<std::int64_t(std::int32_t)>& weight);
+
+/// Smallest integer II >= 1 such that no cycle has sum(latency) >
+/// II * sum(distance); i.e. MIIRec = max over cycles of
+/// ceil(sum latency / sum distance). Edges with distance 0 and latency > 0 on
+/// a cycle make the instance infeasible (throws InvalidArgumentError);
+/// acyclic graphs (ignoring distance>0 edges there are no cycles) return 1.
+std::int64_t minFeasibleInitiationInterval(
+    const Digraph& g,
+    const std::function<std::int64_t(std::int32_t)>& latency,
+    const std::function<std::int64_t(std::int32_t)>& distance);
+
+/// Unweighted BFS shortest path from `src` to `dst` using only edges allowed
+/// by `keepEdge`. Returns the node sequence src..dst, or empty if
+/// unreachable.
+std::vector<std::int32_t> shortestPath(
+    const Digraph& g, std::int32_t src, std::int32_t dst,
+    const std::function<bool(std::int32_t edgeId)>& keepEdge);
+
+/// Set of nodes reachable from `src` (inclusive) via allowed edges.
+std::vector<bool> reachableFrom(
+    const Digraph& g, std::int32_t src,
+    const std::function<bool(std::int32_t edgeId)>& keepEdge);
+
+}  // namespace hca::graph

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+/// A compact mutable directed multigraph.
+///
+/// Nodes and edges are dense integer indices; both in- and out-adjacency are
+/// maintained so the assignment passes can walk dependences in either
+/// direction. Payloads live in the layers above (DDG, PatternGraph, ...),
+/// keyed by the indices handed out here — this keeps the algorithms in
+/// `graph/algorithms.hpp` reusable across all of them.
+namespace hca::graph {
+
+struct Edge {
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::int32_t numNodes) { resize(numNodes); }
+
+  void resize(std::int32_t numNodes) {
+    HCA_REQUIRE(numNodes >= static_cast<std::int32_t>(out_.size()),
+                "Digraph::resize cannot shrink");
+    out_.resize(static_cast<std::size_t>(numNodes));
+    in_.resize(static_cast<std::size_t>(numNodes));
+  }
+
+  std::int32_t addNode() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<std::int32_t>(out_.size()) - 1;
+  }
+
+  std::int32_t addEdge(std::int32_t src, std::int32_t dst) {
+    HCA_REQUIRE(src >= 0 && src < numNodes(), "edge src out of range: " << src);
+    HCA_REQUIRE(dst >= 0 && dst < numNodes(), "edge dst out of range: " << dst);
+    const auto id = static_cast<std::int32_t>(edges_.size());
+    edges_.push_back(Edge{src, dst});
+    out_[static_cast<std::size_t>(src)].push_back(id);
+    in_[static_cast<std::size_t>(dst)].push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] std::int32_t numNodes() const {
+    return static_cast<std::int32_t>(out_.size());
+  }
+  [[nodiscard]] std::int32_t numEdges() const {
+    return static_cast<std::int32_t>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(std::int32_t id) const {
+    return edges_[static_cast<std::size_t>(id)];
+  }
+  /// Edge ids leaving `node`.
+  [[nodiscard]] const std::vector<std::int32_t>& outEdges(
+      std::int32_t node) const {
+    return out_[static_cast<std::size_t>(node)];
+  }
+  /// Edge ids entering `node`.
+  [[nodiscard]] const std::vector<std::int32_t>& inEdges(
+      std::int32_t node) const {
+    return in_[static_cast<std::size_t>(node)];
+  }
+
+  [[nodiscard]] std::int32_t outDegree(std::int32_t node) const {
+    return static_cast<std::int32_t>(outEdges(node).size());
+  }
+  [[nodiscard]] std::int32_t inDegree(std::int32_t node) const {
+    return static_cast<std::int32_t>(inEdges(node).size());
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::int32_t>> out_;
+  std::vector<std::vector<std::int32_t>> in_;
+};
+
+}  // namespace hca::graph

@@ -1,0 +1,152 @@
+#include "hca/coherency.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+namespace {
+
+/// True when `cn`'s hierarchy path starts with `prefix`.
+bool underPath(const machine::DspFabricModel& model, CnId cn,
+               const std::vector<int>& prefix) {
+  const auto path = model.pathOfCn(cn);
+  if (prefix.size() > path.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), path.begin());
+}
+
+}  // namespace
+
+std::vector<CoherencyViolation> checkCoherency(
+    const ddg::Ddg& ddg, const machine::DspFabricModel& model,
+    const HcaResult& result) {
+  std::vector<CoherencyViolation> violations;
+
+  // Consumer CNs per value.
+  std::map<ValueId, std::set<CnId>> consumers;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& node = ddg.node(DdgNodeId(v));
+    if (!ddg::isInstruction(node.op)) continue;
+    const CnId cn = result.assignment[static_cast<std::size_t>(v)];
+    for (const auto& operand : node.operands) {
+      if (!ddg::isInstruction(ddg.node(operand.src).op)) continue;
+      consumers[ValueId(operand.src.value())].insert(cn);
+    }
+  }
+
+  for (const auto& record : result.records) {
+    const auto& pg = record->pg;
+    const auto clusters = pg.clusterNodes();
+
+    // Values to examine: anything flowing or required in this problem, plus
+    // every value produced inside with consumers elsewhere (to catch copies
+    // that were never created at all).
+    std::set<ValueId> candidates;
+    for (std::int32_t a = 0; a < pg.numArcs(); ++a) {
+      for (const ValueId v : record->flow.copiesOn(PgArcId(a))) {
+        candidates.insert(v);
+      }
+    }
+    for (std::int32_t n = 0; n < pg.numNodes(); ++n) {
+      for (const ValueId v : pg.node(ClusterId(n)).boundaryValues) {
+        candidates.insert(v);
+      }
+    }
+    for (const DdgNodeId n : record->workingSet) {
+      candidates.insert(ValueId(n.value()));
+    }
+
+    for (const ValueId v : candidates) {
+      // Sources: input nodes listing v, or the child holding the producer.
+      std::set<std::int32_t> sources;
+      for (const ClusterId in : pg.inputNodes()) {
+        const auto& vals = pg.node(in).boundaryValues;
+        if (std::find(vals.begin(), vals.end(), v) != vals.end()) {
+          sources.insert(in.value());
+        }
+      }
+      const DdgNodeId producer(v.value());
+      const bool producerHere =
+          producer.value() < ddg.numNodes() &&
+          ddg::isInstruction(ddg.node(producer).op) &&
+          result.assignment[producer.index()].valid() &&
+          underPath(model, result.assignment[producer.index()], record->path);
+      int producerChild = -1;
+      if (producerHere) {
+        const auto cnPath =
+            model.pathOfCn(result.assignment[producer.index()]);
+        producerChild = cnPath[record->path.size()];
+        sources.insert(
+            clusters[static_cast<std::size_t>(producerChild)].value());
+      }
+
+      // Sinks: children whose subtree consumes v without producing it,
+      // plus output wires listing v.
+      std::set<std::int32_t> sinks;
+      const auto consIt = consumers.find(v);
+      if (consIt != consumers.end()) {
+        for (std::size_t j = 0; j < clusters.size(); ++j) {
+          if (producerHere && static_cast<int>(j) == producerChild) continue;
+          auto childPath = record->path;
+          childPath.push_back(static_cast<int>(j));
+          for (const CnId consumerCn : consIt->second) {
+            if (underPath(model, consumerCn, childPath)) {
+              sinks.insert(clusters[j].value());
+              break;
+            }
+          }
+        }
+      }
+      for (const ClusterId out : pg.outputNodes()) {
+        const auto& vals = pg.node(out).boundaryValues;
+        if (std::find(vals.begin(), vals.end(), v) != vals.end()) {
+          sinks.insert(out.value());
+        }
+      }
+      if (sinks.empty()) continue;
+
+      if (sources.empty()) {
+        violations.push_back(CoherencyViolation{
+            record->path, v,
+            strCat("value ", to_string(v), " is consumed in sub-problem [",
+                   strJoin(record->path, "."),
+                   "] but has no source there")});
+        continue;
+      }
+
+      // BFS over arcs that actually carry v.
+      std::set<std::int32_t> reached = sources;
+      std::deque<std::int32_t> queue(sources.begin(), sources.end());
+      while (!queue.empty()) {
+        const std::int32_t u = queue.front();
+        queue.pop_front();
+        for (const PgArcId arc : pg.outArcs(ClusterId(u))) {
+          const auto& copies = record->flow.copiesOn(arc);
+          if (std::find(copies.begin(), copies.end(), v) == copies.end()) {
+            continue;
+          }
+          const std::int32_t w = pg.arc(arc).dst.value();
+          if (reached.insert(w).second) queue.push_back(w);
+        }
+      }
+      for (const std::int32_t sink : sinks) {
+        if (reached.count(sink) != 0) continue;
+        violations.push_back(CoherencyViolation{
+            record->path, v,
+            strCat("value ", to_string(v), " cannot reach node ",
+                   pg.node(ClusterId(sink)).name.empty()
+                       ? std::to_string(sink)
+                       : pg.node(ClusterId(sink)).name,
+                   " in sub-problem [", strJoin(record->path, "."), "]")});
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace hca::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "hca/driver.hpp"
+#include "machine/dspfabric.hpp"
+
+/// The coherency checker (paper Section 4.1, last paragraphs): verifies
+/// that the clusterized DDG is compatible with the allocated topology — for
+/// every pair of dependent nodes placed on different clusters, a
+/// communication path carrying the value must exist on the final
+/// architecture.
+///
+/// The check is performed independently of the assignment engine, from the
+/// per-problem audit records alone: inside every sub-problem, every child
+/// whose subtree consumes a value (and every outgoing boundary wire listing
+/// it) must be reachable from the value's source (the producer's child or
+/// the incoming boundary wire carrying it) through arcs on which the value
+/// actually flows.
+namespace hca::core {
+
+struct CoherencyViolation {
+  std::vector<int> path;  // sub-problem where the flow is broken
+  ValueId value;
+  std::string message;
+};
+
+[[nodiscard]] std::vector<CoherencyViolation> checkCoherency(
+    const ddg::Ddg& ddg, const machine::DspFabricModel& model,
+    const HcaResult& result);
+
+}  // namespace hca::core

@@ -1,0 +1,367 @@
+#include "hca/driver.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "mapper/mapper.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+HcaDriver::HcaDriver(machine::DspFabricModel model, HcaOptions options)
+    : model_(std::move(model)), options_(options) {}
+
+HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
+  ddg.validate();
+
+  // Base target II for the cost function (Section 4.2): clusters below
+  // iniMII are never the bottleneck, so the search may pack them for
+  // locality.
+  int iniMii = options_.see.weights.targetIi;
+  if (iniMii <= 1) {
+    const auto stats = ddg.stats();
+    const int issue = (stats.numInstructions + model_.totalCns() - 1) /
+                      model_.totalCns();
+    const int mem = (stats.numMemOps + model_.config().dmaSlots - 1) /
+                    model_.config().dmaSlots;
+    iniMii = static_cast<int>(std::max<std::int64_t>(
+        {ddg.miiRec(model_.config().latency), issue, mem, 1}));
+  }
+
+  std::vector<DdgNodeId> rootWs;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    if (ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) rootWs.emplace_back(v);
+  }
+
+  // Outer loop: smallest target II first (the modulo-scheduling II search
+  // applied to clusterization), a few heuristic profiles per target.
+  HcaResult best;
+  int outerAttempts = 0;
+  for (int target = iniMii; target <= iniMii + std::max(0, options_.targetIiSlack);
+       ++target) {
+    for (int profile = 0; profile < std::max(1, options_.searchProfiles);
+         ++profile) {
+      see::SeeOptions seeOptions = options_.see;
+      seeOptions.weights.targetIi = target;
+      switch (profile) {
+        case 0: break;  // configured options
+        case 1:
+          seeOptions.chainGrouping = !seeOptions.chainGrouping;
+          break;
+        case 2:
+          seeOptions.beamWidth = seeOptions.beamWidth * 2;
+          seeOptions.candidateKeep = seeOptions.candidateKeep + 2;
+          break;
+        case 3:
+          // Locality-heavy: copies and wiring budget dominate.
+          seeOptions.weights.copyCount *= 3;
+          seeOptions.weights.wiringSlack *= 2;
+          seeOptions.weights.criticalPath *= 2;
+          break;
+        default:
+          // Spread-heavy with deep routing.
+          seeOptions.chainGrouping = !seeOptions.chainGrouping;
+          seeOptions.weights.loadBalance *= 4;
+          seeOptions.maxRouteHops += 2;
+          seeOptions.beamWidth = seeOptions.beamWidth * 2;
+          break;
+      }
+      HcaResult result;
+      result.assignment.assign(static_cast<std::size_t>(ddg.numNodes()),
+                               CnId::invalid());
+      result.legal = solve(ddg, /*path=*/{}, rootWs, /*relayValues=*/{},
+                           Boundary{}, seeOptions, result);
+      ++outerAttempts;
+      result.stats.outerAttempts = outerAttempts;
+      result.stats.achievedTargetIi = target;
+      if (result.legal) {
+        // Every instruction must have landed on a CN.
+        for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+          if (!ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) continue;
+          HCA_CHECK(result.assignment[static_cast<std::size_t>(v)].valid(),
+                    "instruction " << v << " left unassigned by HCA");
+        }
+        result.reconfig.validate();
+        // Recompute from the surviving records: the running value may
+        // include pressure from backtracked (rolled-back) attempts.
+        result.stats.maxWirePressure = 0;
+        for (const auto& record : result.records) {
+          result.stats.maxWirePressure =
+              std::max(result.stats.maxWirePressure,
+                       record->mapResult.maxValuesPerWire);
+        }
+        return result;
+      }
+      best = std::move(result);
+    }
+  }
+
+  // Degraded-bandwidth fallback: solve on a copy of the machine whose MUX
+  // capacities are clamped to 2. The produced wiring uses a subset of the
+  // real wires, so the result is valid (if slow) on the real fabric.
+  if (options_.degradedFallback &&
+      (model_.config().n > 2 || model_.config().m > 2 ||
+       model_.config().k > 2)) {
+    machine::DspFabricConfig degradedConfig = model_.config();
+    degradedConfig.n = std::min(degradedConfig.n, 2);
+    degradedConfig.m = std::min(degradedConfig.m, 2);
+    degradedConfig.k = std::min(degradedConfig.k, 2);
+    HcaOptions degradedOptions = options_;
+    degradedOptions.degradedFallback = false;
+    degradedOptions.targetIiSlack = std::max(options_.targetIiSlack, 6);
+    const HcaDriver degraded(
+        machine::DspFabricModel(degradedConfig), degradedOptions);
+    HcaResult result = degraded.run(ddg);
+    result.stats.outerAttempts += outerAttempts;
+    if (result.legal) return result;
+  }
+  return best;
+}
+
+bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
+                      std::vector<DdgNodeId> workingSet,
+                      std::vector<ValueId> relayValues,
+                      const Boundary& boundary,
+                      const see::SeeOptions& seeOptions,
+                      HcaResult& result) const {
+  const int level = static_cast<int>(path.size());
+  const bool leaf = level == model_.numLevels() - 1;
+  const machine::LevelSpec spec = model_.levelSpec(level);
+
+  auto record = std::make_unique<ProblemRecord>();
+  record->path = path;
+  record->level = level;
+  record->leaf = leaf;
+  record->workingSet = workingSet;
+  record->relayValues = relayValues;
+
+  // --- Pattern graph with boundary nodes (Section 4.1, Fig. 10b). ---------
+  record->pg = model_.patternGraph(level);
+  see::SeeProblem problem;
+  problem.ddg = &ddg;
+  problem.workingSet = std::move(workingSet);
+  problem.relayValues = std::move(relayValues);
+  problem.constraints = model_.constraints(level);
+  // Keep the next level solvable: a leaf's CNs can only absorb a handful
+  // of incoming wires (Section 4.1: "the constraints must ensure that the
+  // module Mapper will be able to map PG onto the Machine Model").
+  const bool childrenAreLeaves = level + 1 == model_.numLevels() - 1;
+  if (childrenAreLeaves && options_.leafParentMaxInNeighbors > 0 &&
+      problem.constraints.maxInNeighbors > 0) {
+    problem.constraints.maxInNeighbors =
+        std::min(problem.constraints.maxInNeighbors,
+                 options_.leafParentMaxInNeighbors);
+  }
+  problem.latency = model_.config().latency;
+  problem.inWiresPerCluster = spec.inWires;
+  problem.outWiresPerCluster = spec.outWires;
+
+  for (const auto& wire : boundary.inputs) {
+    const ClusterId in = record->pg.addInputNode(
+        wire.values, strCat("in", wire.wire));
+    for (const ValueId v : wire.values) {
+      problem.valueSources.emplace(v, in);
+    }
+  }
+  for (const auto& wire : boundary.outputs) {
+    const ClusterId out =
+        record->pg.addOutputNode(strCat("out", wire.wire), wire.values);
+    problem.outputRequirements.push_back({out, wire.values});
+  }
+  record->pg.connectBoundaryNodes();
+  problem.pg = &record->pg;
+
+  // --- Single-level cluster assignment (Section 4.2). ----------------------
+  const see::SpaceExplorationEngine engine(seeOptions);
+  const auto seeResult = engine.run(problem);
+  record->seeStats = seeResult.stats;
+  ++result.stats.problemsSolved;
+  result.stats.statesExplored += seeResult.stats.statesExplored;
+  result.stats.candidatesEvaluated += seeResult.stats.candidatesEvaluated;
+  result.stats.routeInvocations += seeResult.stats.routeInvocations;
+
+  if (!seeResult.legal) {
+    result.failureReason = strCat("sub-problem [", strJoin(path, "."),
+                                  "] (level ", level,
+                                  "): ", seeResult.failureReason);
+    result.failureRecord = std::move(record);
+    return false;
+  }
+
+  // --- Try the frontier's assignments in order; backtrack on deep failure.
+  const auto clusters = record->pg.clusterNodes();
+  const int numAlternatives = std::min<int>(
+      std::max(1, options_.maxAlternatives),
+      static_cast<int>(seeResult.alternatives.size()));
+  std::string lastFailure;
+  for (int alt = 0; alt < numAlternatives; ++alt) {
+    if (alt > 0) {
+      if (result.stats.backtrackAttempts >= options_.backtrackBudget) break;
+      ++result.stats.backtrackAttempts;
+    }
+    const auto& solution = seeResult.alternatives[static_cast<std::size_t>(alt)];
+
+    // Snapshot for rollback.
+    const std::size_t savedRecords = result.records.size();
+    const std::size_t savedSettings = result.reconfig.settings.size();
+    const std::size_t savedRelays = result.relays.size();
+
+    auto attempt = std::make_unique<ProblemRecord>(*record);
+    attempt->flow = solution.flow();
+    attempt->clusterSummaries.clear();
+    for (const ClusterId c : clusters) {
+      ClusterSummary summary;
+      summary.cluster = c;
+      summary.instructions = solution.usage(c).instructions;
+      summary.aluOps = solution.usage(c).alu;
+      summary.agOps = solution.usage(c).ag;
+      summary.distinctValuesIn = solution.distinctValuesIn(c);
+      summary.distinctValuesOut = solution.distinctValuesOut(c);
+      attempt->clusterSummaries.push_back(summary);
+    }
+    const auto childOf = [&](ClusterId c) {
+      const auto it = std::find(clusters.begin(), clusters.end(), c);
+      HCA_CHECK(it != clusters.end(), "assignment to a non-cluster node");
+      return static_cast<int>(it - clusters.begin());
+    };
+    attempt->wsChild.clear();
+    attempt->wsChild.reserve(attempt->workingSet.size());
+    for (const DdgNodeId n : attempt->workingSet) {
+      attempt->wsChild.push_back(childOf(solution.clusterOf(n)));
+    }
+    attempt->relayChild.clear();
+    attempt->relayChild.reserve(attempt->relayValues.size());
+    for (std::size_t i = 0; i < attempt->relayValues.size(); ++i) {
+      attempt->relayChild.push_back(
+          childOf(solution.relayCluster(static_cast<int>(i))));
+    }
+
+    // --- Map copies onto wires, derive the children's ILIs (Fig. 9/11). ----
+    mapper::MapperInput mapInput;
+    mapInput.pg = &attempt->pg;
+    mapInput.flow = &attempt->flow;
+    mapInput.inWiresPerChild = spec.inWires;
+    mapInput.outWiresPerChild = spec.outWires;
+    mapInput.maxWiresIntoChild = leaf ? 0 : spec.maxWiresIntoChild;
+    mapInput.problemPath = path;
+    const mapper::Mapper mapperPass;
+    attempt->mapResult = mapperPass.map(mapInput);
+    if (!attempt->mapResult.legal) {
+      lastFailure = strCat("sub-problem [", strJoin(path, "."), "] (level ",
+                           level, ") mapper: ",
+                           attempt->mapResult.failureReason);
+      continue;
+    }
+    result.stats.maxWirePressure = std::max(
+        result.stats.maxWirePressure, attempt->mapResult.maxValuesPerWire);
+    for (const auto& setting : attempt->mapResult.reconfig.settings) {
+      result.reconfig.settings.push_back(setting);
+    }
+
+    if (leaf) {
+      // Children are computation nodes: record final placements.
+      for (std::size_t i = 0; i < attempt->workingSet.size(); ++i) {
+        auto cnPath = path;
+        cnPath.push_back(attempt->wsChild[i]);
+        result.assignment[attempt->workingSet[i].index()] =
+            model_.cnIdOf(cnPath);
+      }
+      for (std::size_t i = 0; i < attempt->relayValues.size(); ++i) {
+        auto cnPath = path;
+        cnPath.push_back(attempt->relayChild[i]);
+        result.relays.push_back(
+            RelayPlacement{attempt->relayValues[i], model_.cnIdOf(cnPath)});
+      }
+      result.records.push_back(std::move(attempt));
+      return true;
+    }
+
+    // --- Recurse into the children. ----------------------------------------
+    const int numChildren = spec.children;
+    std::vector<std::vector<DdgNodeId>> childWs(
+        static_cast<std::size_t>(numChildren));
+    for (std::size_t i = 0; i < attempt->workingSet.size(); ++i) {
+      childWs[static_cast<std::size_t>(attempt->wsChild[i])].push_back(
+          attempt->workingSet[i]);
+    }
+    // A child relays every value that leaves it without being produced by
+    // its working set (parked parent relays and route-allocated
+    // pass-throughs created at this level).
+    std::vector<std::vector<ValueId>> childRelays(
+        static_cast<std::size_t>(numChildren));
+    for (int i = 0; i < numChildren; ++i) {
+      std::set<ValueId> produced;
+      for (const DdgNodeId n : childWs[static_cast<std::size_t>(i)]) {
+        produced.insert(ValueId(n.value()));
+      }
+      std::set<ValueId> seen;
+      for (const auto& wire :
+           attempt->mapResult.ilis[static_cast<std::size_t>(i)].outputs) {
+        for (const ValueId v : wire.values) {
+          if (produced.count(v) == 0 && seen.insert(v).second) {
+            childRelays[static_cast<std::size_t>(i)].push_back(v);
+          }
+        }
+      }
+    }
+
+    if (Logger::instance().enabled(LogLevel::kDebug)) {
+      for (int i = 0; i < numChildren; ++i) {
+        for (const auto& wire :
+             attempt->mapResult.ilis[static_cast<std::size_t>(i)].outputs) {
+          if (wire.values.size() < 4) continue;
+          std::string vals;
+          for (const ValueId v : wire.values) {
+            vals += std::to_string(v.value()) + " ";
+          }
+          HCA_DEBUG("problem [" << strJoin(path, ".") << "] child " << i
+                                << " fat out wire " << wire.wire << ": "
+                                << vals);
+        }
+      }
+    }
+    const ProblemRecord* recordPtr = attempt.get();
+    result.records.push_back(std::move(attempt));
+
+    bool childrenOk = true;
+    for (int i = 0; i < numChildren; ++i) {
+      Boundary childBoundary;
+      childBoundary.inputs =
+          recordPtr->mapResult.ilis[static_cast<std::size_t>(i)].inputs;
+      childBoundary.outputs =
+          recordPtr->mapResult.ilis[static_cast<std::size_t>(i)].outputs;
+      auto childPath = path;
+      childPath.push_back(i);
+      if (!solve(ddg, childPath, childWs[static_cast<std::size_t>(i)],
+                 childRelays[static_cast<std::size_t>(i)], childBoundary,
+                 seeOptions, result)) {
+        childrenOk = false;
+        break;
+      }
+    }
+    if (childrenOk) return true;
+
+    // Roll back this attempt's contributions and try the next alternative.
+    lastFailure = result.failureReason;
+    result.records.resize(savedRecords);
+    result.reconfig.settings.resize(savedSettings);
+    result.relays.resize(savedRelays);
+    for (const DdgNodeId n : problem.workingSet) {
+      result.assignment[n.index()] = CnId::invalid();
+    }
+  }
+
+  result.failureReason = lastFailure.empty()
+                             ? strCat("sub-problem [", strJoin(path, "."),
+                                      "] exhausted alternatives")
+                             : lastFailure;
+  // Keep the problem description (without flow) for diagnostics.
+  if (result.failureRecord == nullptr) {
+    result.failureRecord = std::move(record);
+  }
+  return false;
+}
+
+}  // namespace hca::core

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "hca/records.hpp"
+#include "machine/dspfabric.hpp"
+#include "machine/reconfig.hpp"
+#include "see/engine.hpp"
+
+/// Hierarchical Cluster Assignment (paper Section 4).
+///
+/// The driver decomposes the ICA problem along the interconnect hierarchy:
+/// at each level it runs the Space Exploration Engine on a 4-ish-node
+/// Pattern Graph (completed with the boundary input/output nodes derived
+/// from the parent's Inter-Level Interfaces), hands the resulting copy flow
+/// to the Mapper — which distributes copies over the physical wires and
+/// produces the children's ILIs — and recurses until the computation-node
+/// level is reached. Pass-through values (created by route allocation at an
+/// outer level) travel down as relay values and are parked on a concrete CN.
+namespace hca::core {
+
+struct HcaOptions {
+  HcaOptions() {
+    // The hierarchical problems are small (4-node pattern graphs); a
+    // wider-than-default beam is cheap and pays off in legality.
+    see.beamWidth = 16;
+    see.candidateKeep = 10;
+  }
+
+  see::SeeOptions see;
+  /// Constraint tightening for problems whose children are leaf crossbars:
+  /// the in-neighbor budget of each sub-cluster is capped so the wires
+  /// funneled into it stay consumable by its CNs (each CN has only
+  /// `cnInWires` static selects, and intra-leaf chains consume selects
+  /// too). <= 0 disables the tightening and uses the raw MUX capacity.
+  int leafParentMaxInNeighbors = 4;
+  /// Hierarchical backtracking: when a child sub-problem turns out to be
+  /// infeasible, up to this many runner-up assignments from the parent's
+  /// final search frontier are tried before the parent itself fails.
+  int maxAlternatives = 12;
+  /// Global cap on backtracking attempts across the whole problem tree.
+  int backtrackBudget = 256;
+  /// Outer search loop: like modulo scheduling's II search, the driver
+  /// first maps at the loop's iniMII and, when no legal clusterization is
+  /// found, re-runs with one more cycle of target slack (which lets the
+  /// cost function pack clusters harder and relaxes the wiring), up to
+  /// iniMII + targetIiSlack. 0 = single attempt at iniMII.
+  int targetIiSlack = 6;
+  /// Heuristic profiles tried per target II (chain grouping on/off, beam
+  /// variants). 1 = only the configured SeeOptions.
+  int searchProfiles = 5;
+  /// Last-resort fallback: when no legal clusterization is found, re-run
+  /// against a bandwidth-degraded copy of the machine (N=M=K=2). Tighter
+  /// budgets force the search into heavily packed, sparsely wired mappings
+  /// — and any mapping that fits the degraded wires trivially fits the
+  /// real ones. Trades MII for guaranteed-sound legality.
+  bool degradedFallback = true;
+};
+
+struct RelayPlacement {
+  ValueId value;
+  CnId cn;
+};
+
+struct HcaStats {
+  int problemsSolved = 0;
+  int backtrackAttempts = 0;
+  int outerAttempts = 0;  ///< (target II, profile) combinations tried
+  int achievedTargetIi = 0;  ///< target II of the successful attempt
+  std::int64_t statesExplored = 0;
+  std::int64_t candidatesEvaluated = 0;
+  std::int64_t routeInvocations = 0;
+  int maxWirePressure = 0;  // max values time-sharing one wire, any level
+};
+
+struct HcaResult {
+  bool legal = false;
+  std::string failureReason;
+
+  /// Final placement: DDG node -> computation node (invalid for consts).
+  std::vector<CnId> assignment;
+  std::vector<RelayPlacement> relays;
+
+  /// Complete reconfiguration stream (all levels).
+  machine::ReconfigurationProgram reconfig;
+
+  std::vector<std::unique_ptr<ProblemRecord>> records;
+  /// On failure: the description of the sub-problem that could not be
+  /// solved (its records entry may have been rolled back by backtracking).
+  std::unique_ptr<ProblemRecord> failureRecord;
+  HcaStats stats;
+};
+
+class HcaDriver {
+ public:
+  HcaDriver(machine::DspFabricModel model, HcaOptions options = {});
+
+  [[nodiscard]] HcaResult run(const ddg::Ddg& ddg) const;
+
+  [[nodiscard]] const machine::DspFabricModel& model() const { return model_; }
+
+ private:
+  struct Boundary {
+    std::vector<mapper::WireValues> inputs;
+    std::vector<mapper::WireValues> outputs;
+  };
+
+  /// Solves the sub-problem at `path`; returns false (and fills
+  /// result.failureReason) on the first illegality.
+  bool solve(const ddg::Ddg& ddg, const std::vector<int>& path,
+             std::vector<DdgNodeId> workingSet,
+             std::vector<ValueId> relayValues, const Boundary& boundary,
+             const see::SeeOptions& seeOptions, HcaResult& result) const;
+
+  machine::DspFabricModel model_;
+  HcaOptions options_;
+};
+
+}  // namespace hca::core

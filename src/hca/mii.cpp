@@ -1,0 +1,59 @@
+#include "hca/mii.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+namespace {
+int ceilDiv(int a, int b) { return b <= 0 ? 0 : (a + b - 1) / b; }
+}  // namespace
+
+std::string MiiReport::toString() const {
+  return strCat("MII{rec=", miiRec, ", res=", miiRes, ", ini=", iniMii,
+                ", maxCluster=", maxClusterMii, ", wire=", maxWirePressure,
+                ", final=", finalMii, "}");
+}
+
+int unifiedMiiRes(const ddg::DdgStats& stats,
+                  const machine::DspFabricModel& model) {
+  const int issue = ceilDiv(stats.numInstructions, model.totalCns());
+  const int mem = ceilDiv(stats.numMemOps, model.config().dmaSlots);
+  return std::max({issue, mem, 1});
+}
+
+MiiReport computeMii(const ddg::Ddg& ddg,
+                     const machine::DspFabricModel& model,
+                     const HcaResult& result) {
+  MiiReport report;
+  report.miiRec =
+      static_cast<int>(ddg.miiRec(model.config().latency));
+  report.miiRes = unifiedMiiRes(ddg.stats(), model);
+  report.iniMii = std::max(report.miiRec, report.miiRes);
+
+  for (const auto& record : result.records) {
+    const machine::LevelSpec spec = model.levelSpec(record->level);
+    for (const ClusterSummary& s : record->clusterSummaries) {
+      const auto& rt = record->pg.node(s.cluster).resources;
+      // Issue pressure: instructions plus one receive per incoming value.
+      const int issue =
+          ceilDiv(s.instructions + s.distinctValuesIn, rt.issueSlots());
+      const int alu = ceilDiv(s.aluOps, std::max(rt.alu(), 1));
+      const int ag = rt.ag() > 0 ? ceilDiv(s.agOps, rt.ag()) : 0;
+      const int inPressure = ceilDiv(s.distinctValuesIn, spec.inWires);
+      const int outPressure = ceilDiv(s.distinctValuesOut, spec.outWires);
+      report.maxClusterMii =
+          std::max({report.maxClusterMii, issue, alu, ag, inPressure,
+                    outPressure});
+    }
+    report.maxWirePressure =
+        std::max(report.maxWirePressure, record->mapResult.maxValuesPerWire);
+  }
+  report.finalMii = std::max(
+      {report.iniMii, report.maxClusterMii, report.maxWirePressure, 1});
+  return report;
+}
+
+}  // namespace hca::core

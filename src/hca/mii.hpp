@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "ddg/ddg.hpp"
+#include "hca/driver.hpp"
+#include "machine/dspfabric.hpp"
+
+/// MII accounting of Section 4.2: the final MII of a clusterized loop is
+/// max(iniMII, maxClsMII), where iniMII is the level-0 bound (recurrences
+/// plus whole-machine resources) and maxClsMII the largest per-cluster MII,
+/// computed over every cluster of every level with its copy-pressure terms.
+namespace hca::core {
+
+struct MiiReport {
+  int miiRec = 0;   ///< recurrence bound of the DDG
+  int miiRes = 0;   ///< whole-machine resource bound (issue width + DMA)
+  int iniMii = 0;   ///< max(miiRec, miiRes)
+  int maxClusterMii = 0;  ///< max per-cluster MII over all levels
+  int maxWirePressure = 0;  ///< largest number of values on one wire
+  int finalMii = 0;  ///< max of everything above
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Whole-machine resource bound: ceil(instructions / #CNs) vs
+/// ceil(memory ops / DMA slots).
+int unifiedMiiRes(const ddg::DdgStats& stats,
+                  const machine::DspFabricModel& model);
+
+/// Full report for a finished (legal) HCA run.
+MiiReport computeMii(const ddg::Ddg& ddg,
+                     const machine::DspFabricModel& model,
+                     const HcaResult& result);
+
+}  // namespace hca::core

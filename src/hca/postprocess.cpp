@@ -1,0 +1,81 @@
+#include "hca/postprocess.hpp"
+
+#include <map>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+int FinalMapping::instructionsOn(CnId cn) const {
+  int count = 0;
+  for (std::int32_t v = 0; v < finalDdg.numNodes(); ++v) {
+    if (cnOf[static_cast<std::size_t>(v)] == cn &&
+        ddg::isInstruction(finalDdg.node(DdgNodeId(v)).op)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+FinalMapping buildFinalMapping(const ddg::Ddg& ddg,
+                               const machine::DspFabricModel& model,
+                               const HcaResult& result) {
+  HCA_REQUIRE(result.legal, "buildFinalMapping on an illegal HCA result");
+  (void)model;
+
+  FinalMapping mapping;
+  mapping.numOriginalNodes = ddg.numNodes();
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    mapping.finalDdg.addNode(ddg.node(DdgNodeId(v)));
+    mapping.cnOf.push_back(result.assignment[static_cast<std::size_t>(v)]);
+  }
+
+  // One recv per (value, receiving CN).
+  std::map<std::pair<ValueId, CnId>, DdgNodeId> recvFor;
+  const auto makeRecv = [&](ValueId value, CnId cn, bool isRelay) {
+    const auto key = std::make_pair(value, cn);
+    const auto it = recvFor.find(key);
+    if (it != recvFor.end()) return it->second;
+    ddg::DdgNode recv;
+    recv.op = ddg::Op::kRecv;
+    recv.operands.push_back(
+        ddg::Operand{DdgNodeId(value.value()), 0, 0});
+    recv.name = strCat("rcv.v", value.value(), ".cn", cn.value());
+    const DdgNodeId id = mapping.finalDdg.addNode(std::move(recv));
+    mapping.cnOf.push_back(cn);
+    mapping.recvs.push_back(
+        FinalMapping::RecvInfo{id, value, cn, isRelay});
+    recvFor.emplace(key, id);
+    return id;
+  };
+
+  // Rewrite cross-CN operands to read the CN-local recv.
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const CnId myCn = result.assignment[static_cast<std::size_t>(v)];
+    auto& node = mapping.finalDdg.node(DdgNodeId(v));
+    for (auto& operand : node.operands) {
+      const auto& producer = ddg.node(operand.src);
+      if (!ddg::isInstruction(producer.op)) continue;  // immediates are free
+      const CnId srcCn = result.assignment[operand.src.index()];
+      if (srcCn == myCn) continue;
+      operand.src =
+          makeRecv(ValueId(operand.src.value()), myCn, /*isRelay=*/false);
+    }
+  }
+
+  // Relay placements: receive-and-forward recvs with no local consumer.
+  for (const RelayPlacement& relay : result.relays) {
+    const DdgNodeId id = makeRecv(relay.value, relay.cn, /*isRelay=*/true);
+    // If the recv pre-existed (the relay CN also consumes the value), mark
+    // it as a relay too.
+    for (auto& info : mapping.recvs) {
+      if (info.recvNode == id) info.isRelay = true;
+    }
+  }
+
+  mapping.finalDdg.validate();
+  return mapping;
+}
+
+}  // namespace hca::core

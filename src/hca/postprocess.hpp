@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "hca/driver.hpp"
+#include "machine/dspfabric.hpp"
+
+/// Post-processing (paper Section 4.1, last paragraph): exploits the leaf
+/// placements to build the final DDG — every node is pinned to a
+/// computation node, and `recv` primitives are inserted as new DDG nodes
+/// that perform the migration of operands between CNs. A consumer reading a
+/// value produced on another CN is rewritten to read its CN-local recv;
+/// relay placements materialize as receive-and-forward recvs.
+namespace hca::core {
+
+struct FinalMapping {
+  ddg::Ddg finalDdg;
+  /// Per final-DDG node: the CN executing it (invalid for consts).
+  std::vector<CnId> cnOf;
+  /// Number of nodes copied from the original DDG (recvs follow).
+  std::int32_t numOriginalNodes = 0;
+
+  struct RecvInfo {
+    DdgNodeId recvNode;  // in finalDdg
+    ValueId value;       // original producer
+    CnId cn;
+    bool isRelay = false;
+  };
+  std::vector<RecvInfo> recvs;
+
+  [[nodiscard]] int instructionsOn(CnId cn) const;
+};
+
+/// Requires a legal HcaResult. The returned DDG validates and is
+/// functionally equivalent to the original (recv is the identity).
+FinalMapping buildFinalMapping(const ddg::Ddg& ddg,
+                               const machine::DspFabricModel& model,
+                               const HcaResult& result);
+
+}  // namespace hca::core

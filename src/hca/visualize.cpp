@@ -1,0 +1,77 @@
+#include "hca/visualize.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "support/dot.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+void problemTreeToDot(const HcaResult& result, std::ostream& os) {
+  DotWriter dot(os, "hca_problem_tree");
+  for (const auto& record : result.records) {
+    const std::string id = strCat("p", strJoin(record->path, "_"));
+    const std::string label = strCat(
+        "[", strJoin(record->path, "."), "]\\nlevel ", record->level,
+        record->leaf ? " (leaf)" : "", "\\nws=", record->workingSet.size(),
+        " relays=", record->relayValues.size(),
+        "\\nwirePressure=", record->mapResult.maxValuesPerWire);
+    dot.node(id, label, record->leaf ? "style=filled, fillcolor=lightgrey"
+                                     : "");
+    if (!record->path.empty()) {
+      auto parentPath = record->path;
+      parentPath.pop_back();
+      dot.edge(strCat("p", strJoin(parentPath, "_")), id);
+    }
+  }
+}
+
+void assignmentToDot(const ddg::Ddg& ddg,
+                     const machine::DspFabricModel& model,
+                     const HcaResult& result, std::ostream& os) {
+  os << "digraph \"hca_assignment\" {\n";
+  os << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  os << "  compound=true;\n";
+
+  // Group nodes per CN, CNs per level-0 set.
+  std::map<int, std::map<int, std::vector<std::int32_t>>> bySetAndCn;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    if (!ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) continue;
+    const CnId cn = result.assignment[static_cast<std::size_t>(v)];
+    const int set = model.pathOfCn(cn)[0];
+    bySetAndCn[set][cn.value()].push_back(v);
+  }
+  for (const auto& [set, cns] : bySetAndCn) {
+    os << "  subgraph cluster_set" << set << " {\n";
+    os << "    label=\"set " << set << "\";\n";
+    for (const auto& [cn, nodes] : cns) {
+      os << "    subgraph cluster_cn" << cn << " {\n";
+      os << "      label=\"CN " << cn << "\"; style=filled; "
+            "fillcolor=\"#eeeeee\";\n";
+      for (const std::int32_t v : nodes) {
+        const auto& node = ddg.node(DdgNodeId(v));
+        os << "      n" << v << " [label="
+           << DotWriter::quote(strCat("#", v, " ", opName(node.op)))
+           << "];\n";
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& node = ddg.node(DdgNodeId(v));
+    if (!ddg::isInstruction(node.op)) continue;
+    for (const auto& operand : node.operands) {
+      if (!ddg::isInstruction(ddg.node(operand.src).op)) continue;
+      const bool cross = result.assignment[operand.src.index()] !=
+                         result.assignment[static_cast<std::size_t>(v)];
+      os << "  n" << operand.src.value() << " -> n" << v;
+      if (cross) os << " [color=red, penwidth=1.5]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace hca::core

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "ddg/ddg.hpp"
+#include "hca/driver.hpp"
+#include "machine/dspfabric.hpp"
+
+/// GraphViz exports of a finished HCA run, for debugging assignments the
+/// way the paper's figures present them.
+namespace hca::core {
+
+/// The problem tree: one cluster box per sub-problem showing its working-
+/// set size, relays and wire pressure; tree edges parent -> child.
+void problemTreeToDot(const HcaResult& result, std::ostream& os);
+
+/// The clusterized DDG: nodes grouped per CN (cluster subgraphs per
+/// level-0 set), dependence edges marked inter-/intra-CN.
+void assignmentToDot(const ddg::Ddg& ddg,
+                     const machine::DspFabricModel& model,
+                     const HcaResult& result, std::ostream& os);
+
+}  // namespace hca::core

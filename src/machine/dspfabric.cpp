@@ -1,0 +1,135 @@
+#include "machine/dspfabric.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::machine {
+
+std::string DspFabricConfig::toString() const {
+  int cns = 1;
+  for (int b : branching) cns *= b;
+  return strCat("DSPFabric[", cns, " CNs, N=", n, ", M=", m, ", K=", k,
+                ", DMA=", dmaSlots, "]");
+}
+
+DspFabricModel::DspFabricModel(DspFabricConfig config)
+    : config_(std::move(config)) {
+  HCA_REQUIRE(!config_.branching.empty(), "DSPFabric needs >= 1 level");
+  for (const int b : config_.branching) {
+    HCA_REQUIRE(b >= 2, "each hierarchy level needs >= 2 children, got " << b);
+    totalCns_ *= b;
+  }
+  HCA_REQUIRE(config_.n >= 1 && config_.m >= 1 && config_.k >= 1,
+              "MUX capacities must be >= 1");
+  HCA_REQUIRE(config_.cnInWires >= 1 && config_.cnOutWires >= 1,
+              "CN wire counts must be >= 1");
+  HCA_REQUIRE(config_.dmaSlots >= 1, "DMA needs >= 1 slot");
+}
+
+LevelSpec DspFabricModel::levelSpec(int level) const {
+  HCA_REQUIRE(level >= 0 && level < numLevels(),
+              "level out of range: " << level);
+  LevelSpec spec;
+  spec.children = config_.branching[static_cast<std::size_t>(level)];
+  const bool leaf = level == numLevels() - 1;
+  if (leaf) {
+    // Children are computation nodes behind the crossbar.
+    spec.inWires = config_.cnInWires;
+    spec.outWires = config_.cnOutWires;
+    spec.maxWiresIntoChild = 0;  // nothing below a CN
+  } else {
+    // MUX capacity: N at level 0, M below; deeper (non-paper) levels reuse M.
+    const int cap = level == 0 ? config_.n : config_.m;
+    spec.inWires = cap;
+    spec.outWires = cap;
+    const bool childIsLeaf = level + 1 == numLevels() - 1;
+    // Wires entering a child sub-problem: bounded by the child's input
+    // wires at this interconnect (= cap), and additionally by the K
+    // crossbar inputs when the child is a leaf.
+    spec.maxWiresIntoChild = childIsLeaf ? std::min(cap, config_.k) : cap;
+  }
+  return spec;
+}
+
+ResourceTable DspFabricModel::clusterResources(int level) const {
+  HCA_REQUIRE(level >= 0 && level < numLevels(),
+              "level out of range: " << level);
+  int cnsBelow = 1;
+  for (int l = level + 1; l < numLevels(); ++l) {
+    cnsBelow *= config_.branching[static_cast<std::size_t>(l)];
+  }
+  return ResourceTable::computationNode() * cnsBelow;
+}
+
+PgConstraints DspFabricModel::constraints(int level) const {
+  const LevelSpec spec = levelSpec(level);
+  PgConstraints c;
+  c.maxInNeighbors = spec.inWires;
+  c.maxOutNeighbors = -1;  // broadcast: the paper leaves outputs unbounded
+  c.outputNodeUnaryFanIn = true;
+  return c;
+}
+
+PatternGraph DspFabricModel::patternGraph(int level) const {
+  const LevelSpec spec = levelSpec(level);
+  const ResourceTable rt = clusterResources(level);
+  PatternGraph pg;
+  for (int i = 0; i < spec.children; ++i) {
+    pg.addCluster(rt, strCat("L", level, ".", i));
+  }
+  pg.connectClustersCompletely();
+  return pg;
+}
+
+CnId DspFabricModel::cnIdOf(const std::vector<int>& path) const {
+  HCA_REQUIRE(static_cast<int>(path.size()) == numLevels(),
+              "CN path must have one index per level");
+  int id = 0;
+  for (int l = 0; l < numLevels(); ++l) {
+    const int b = config_.branching[static_cast<std::size_t>(l)];
+    const int idx = path[static_cast<std::size_t>(l)];
+    HCA_REQUIRE(idx >= 0 && idx < b, "CN path index out of range at level "
+                                         << l << ": " << idx);
+    id = id * b + idx;
+  }
+  return CnId(id);
+}
+
+std::vector<int> DspFabricModel::pathOfCn(CnId cn) const {
+  HCA_REQUIRE(cn.valid() && cn.value() < totalCns_,
+              "CN id out of range: " << to_string(cn));
+  std::vector<int> path(static_cast<std::size_t>(numLevels()));
+  int rest = cn.value();
+  for (int l = numLevels() - 1; l >= 0; --l) {
+    const int b = config_.branching[static_cast<std::size_t>(l)];
+    path[static_cast<std::size_t>(l)] = rest % b;
+    rest /= b;
+  }
+  return path;
+}
+
+int DspFabricModel::commonLevel(CnId a, CnId b) const {
+  if (a == b) return numLevels();
+  const auto pa = pathOfCn(a);
+  const auto pb = pathOfCn(b);
+  for (int l = 0; l < numLevels(); ++l) {
+    if (pa[static_cast<std::size_t>(l)] != pb[static_cast<std::size_t>(l)]) {
+      return l;
+    }
+  }
+  return numLevels();
+}
+
+int DspFabricModel::copyLatency(CnId a, CnId b) const {
+  const int common = commonLevel(a, b);
+  if (common == numLevels()) return 0;
+  // The value climbs from the producer CN up to the first shared
+  // interconnect level and back down: one wire hop per level boundary in
+  // each direction.
+  const int hops = 2 * (numLevels() - common) - 1;
+  return hops * config_.latency.interCluster;
+}
+
+}  // namespace hca::machine

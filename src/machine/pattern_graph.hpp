@@ -1,0 +1,127 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/resources.hpp"
+#include "support/ids.hpp"
+
+/// Pattern Graph (paper Section 3): the abstract, per-level view of the
+/// machine topology the Space Exploration Engine works on.
+///
+/// Nodes are clusters described by a ResourceTable, plus the *special* input
+/// and output nodes added by the hierarchical decomposition (Section 4.1):
+/// an input node per wire entering the sub-problem from the parent level, an
+/// output node per wire leaving towards it. Arcs are *potential*
+/// communication patterns; an arc becomes *real* when the assignment routes
+/// at least one inter-cluster copy over it (copy flows are kept separately
+/// in `CopyFlow` so search states can share one immutable PatternGraph).
+namespace hca::machine {
+
+enum class PgNodeKind { kCluster, kInput, kOutput };
+
+struct PgNode {
+  PgNodeKind kind = PgNodeKind::kCluster;
+  ResourceTable resources;
+  std::string name;
+  /// For input nodes: the values the parent level pumps in on this wire.
+  /// For output nodes: the values that must leave on this wire.
+  std::vector<ValueId> boundaryValues;
+};
+
+struct PgArc {
+  ClusterId src;
+  ClusterId dst;
+};
+
+/// Reconfiguration constraints of Section 4.1.
+struct PgConstraints {
+  /// Maximum number of distinct *in*-neighbors per cluster node (the MUX
+  /// capacity at this level); -1 = unlimited.
+  int maxInNeighbors = -1;
+  /// Maximum number of distinct out-neighbors; -1 = unlimited (a value can
+  /// be broadcast, so the paper leaves outputs unconstrained).
+  int maxOutNeighbors = -1;
+  /// The paper's outNode_MaxIn: at most one real arc may enter each output
+  /// node (unary fan-in of the outgoing MUX wire).
+  bool outputNodeUnaryFanIn = true;
+};
+
+class PatternGraph {
+ public:
+  ClusterId addCluster(ResourceTable resources, std::string name = {});
+  ClusterId addInputNode(std::vector<ValueId> values, std::string name = {});
+  ClusterId addOutputNode(std::string name = {},
+                          std::vector<ValueId> values = {});
+
+  /// Adds a potential communication pattern src -> dst. Duplicate arcs are
+  /// rejected.
+  PgArcId addArc(ClusterId src, ClusterId dst);
+
+  /// Adds arcs so every pair of *cluster* nodes is bidirectionally
+  /// connected (the complete-graph abstraction of a MUX switch, Fig. 7).
+  void connectClustersCompletely();
+  /// Connects every input node to every cluster (ingoing values can be
+  /// broadcast anywhere) and every cluster to every output node.
+  void connectBoundaryNodes();
+
+  [[nodiscard]] std::int32_t numNodes() const {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+  [[nodiscard]] std::int32_t numArcs() const {
+    return static_cast<std::int32_t>(arcs_.size());
+  }
+  [[nodiscard]] const PgNode& node(ClusterId id) const;
+  [[nodiscard]] const PgArc& arc(PgArcId id) const;
+  [[nodiscard]] const std::vector<PgArcId>& outArcs(ClusterId id) const;
+  [[nodiscard]] const std::vector<PgArcId>& inArcs(ClusterId id) const;
+  [[nodiscard]] std::optional<PgArcId> arcBetween(ClusterId src,
+                                                  ClusterId dst) const;
+
+  [[nodiscard]] std::vector<ClusterId> clusterNodes() const;
+  [[nodiscard]] std::vector<ClusterId> inputNodes() const;
+  [[nodiscard]] std::vector<ClusterId> outputNodes() const;
+
+  void toDot(std::ostream& os, const std::string& title = "pg") const;
+
+ private:
+  ClusterId addNode(PgNode node);
+
+  std::vector<PgNode> nodes_;
+  std::vector<PgArc> arcs_;
+  std::vector<std::vector<PgArcId>> out_;
+  std::vector<std::vector<PgArcId>> in_;
+};
+
+/// The copy traffic of an assignment over a PatternGraph: for every arc, the
+/// list of values (identified by their producing DDG node) flowing on it.
+/// An arc with a non-empty list is a *real* communication pattern.
+class CopyFlow {
+ public:
+  CopyFlow() = default;
+  explicit CopyFlow(const PatternGraph& pg)
+      : values_(static_cast<std::size_t>(pg.numArcs())) {}
+
+  /// Registers that `value` flows src->dst on `arc`. Idempotent per
+  /// (arc, value); returns true when the copy is new.
+  bool addCopy(PgArcId arc, ValueId value);
+
+  [[nodiscard]] const std::vector<ValueId>& copiesOn(PgArcId arc) const;
+  [[nodiscard]] bool isReal(PgArcId arc) const {
+    return !copiesOn(arc).empty();
+  }
+  [[nodiscard]] int totalCopies() const;
+
+  /// Distinct real in-neighbors of `node` (excluding itself).
+  [[nodiscard]] std::vector<ClusterId> realInNeighbors(
+      const PatternGraph& pg, ClusterId node) const;
+  [[nodiscard]] std::vector<ClusterId> realOutNeighbors(
+      const PatternGraph& pg, ClusterId node) const;
+
+ private:
+  std::vector<std::vector<ValueId>> values_;
+};
+
+}  // namespace hca::machine

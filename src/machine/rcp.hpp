@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddg/opcode.hpp"
+#include "machine/pattern_graph.hpp"
+
+/// The Reconfigurable Co-Processor (paper Section 2.1, Figure 1): a
+/// non-hierarchical ring of clusters in which each cluster could receive
+/// values from `neighborReach` neighbors on each side, but only `inputPorts`
+/// connections are simultaneously configurable (K < N). The machine is
+/// heterogeneous: only some clusters can issue memory instructions (RCP
+/// shares the memory subsystem with the host processor).
+namespace hca::machine {
+
+struct RcpConfig {
+  int clusters = 8;
+  /// Ring reach: a cluster can be fed by neighbors at distance 1..reach in
+  /// both directions (reach=2 gives the paper's 4 potential sources).
+  int neighborReach = 2;
+  /// Input ports per cluster (K): max simultaneously configured sources.
+  int inputPorts = 2;
+  /// Every i-th cluster owns a memory port (heterogeneity); 1 = all.
+  int memClusterStride = 2;
+  ddg::LatencyModel latency;
+};
+
+/// Pattern graph of the RCP: one cluster node per PE (memory-capable ones
+/// get an AG in their resource table), arcs for every potential ring
+/// connection.
+PatternGraph rcpPatternGraph(const RcpConfig& config);
+
+/// SEE constraints for the RCP: maxInNeighbors = inputPorts.
+PgConstraints rcpConstraints(const RcpConfig& config);
+
+}  // namespace hca::machine

@@ -1,0 +1,116 @@
+#include "machine/reconfig.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::machine {
+
+namespace {
+constexpr int kLaneBits = 6;
+constexpr std::uint64_t kLaneMask = (1u << kLaneBits) - 1;
+constexpr int kMaxPathDepth = 5;
+
+void requireLane(int value, const char* field) {
+  HCA_REQUIRE(value >= 0 && value <= static_cast<int>(kLaneMask),
+              "MuxSetting field '" << field << "' = " << value
+                                   << " does not fit a 6-bit lane");
+}
+}  // namespace
+
+std::uint64_t encodeMuxSetting(const MuxSetting& s) {
+  HCA_REQUIRE(static_cast<int>(s.problemPath.size()) <= kMaxPathDepth,
+              "problem path too deep to encode");
+  requireLane(s.dstChild, "dstChild");
+  requireLane(s.dstWire, "dstWire");
+  requireLane(s.srcChild, "srcChild");
+  requireLane(s.srcWire, "srcWire");
+  std::uint64_t word = 0;
+  int shift = 0;
+  const auto put = [&](std::uint64_t v) {
+    word |= (v & kLaneMask) << shift;
+    shift += kLaneBits;
+  };
+  put(static_cast<std::uint64_t>(s.dstChild));
+  put(static_cast<std::uint64_t>(s.dstWire));
+  put(s.srcIsBoundary ? 1 : 0);
+  put(static_cast<std::uint64_t>(s.srcChild));
+  put(static_cast<std::uint64_t>(s.srcWire));
+  put(static_cast<std::uint64_t>(s.problemPath.size()));
+  for (const int p : s.problemPath) {
+    requireLane(p, "problemPath");
+    put(static_cast<std::uint64_t>(p));
+  }
+  return word;
+}
+
+MuxSetting decodeMuxSetting(std::uint64_t word) {
+  MuxSetting s;
+  int shift = 0;
+  const auto get = [&]() {
+    const auto v = static_cast<int>((word >> shift) & kLaneMask);
+    shift += kLaneBits;
+    return v;
+  };
+  s.dstChild = get();
+  s.dstWire = get();
+  s.srcIsBoundary = get() != 0;
+  s.srcChild = get();
+  s.srcWire = get();
+  const int depth = get();
+  HCA_REQUIRE(depth <= kMaxPathDepth, "corrupt reconfiguration word");
+  s.problemPath.resize(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    s.problemPath[static_cast<std::size_t>(i)] = get();
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> ReconfigurationProgram::encode() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(settings.size());
+  for (const auto& s : settings) words.push_back(encodeMuxSetting(s));
+  return words;
+}
+
+ReconfigurationProgram ReconfigurationProgram::decode(
+    const std::vector<std::uint64_t>& words) {
+  ReconfigurationProgram program;
+  program.settings.reserve(words.size());
+  for (const std::uint64_t w : words) {
+    program.settings.push_back(decodeMuxSetting(w));
+  }
+  return program;
+}
+
+std::string ReconfigurationProgram::toString() const {
+  std::string out;
+  for (const auto& s : settings) {
+    out += strCat("mux[", strJoin(s.problemPath, "."), "] child ", s.dstChild,
+                  " wire ", s.dstWire, " <- ",
+                  s.srcIsBoundary ? strCat("boundary wire ", s.srcWire)
+                                  : strCat("child ", s.srcChild, " wire ",
+                                           s.srcWire),
+                  "\n");
+  }
+  return out;
+}
+
+void ReconfigurationProgram::validate() const {
+  std::map<std::tuple<std::vector<int>, int, int>, const MuxSetting*> seen;
+  for (const auto& s : settings) {
+    const auto key = std::make_tuple(s.problemPath, s.dstChild, s.dstWire);
+    const auto [it, inserted] = seen.emplace(key, &s);
+    if (!inserted) {
+      HCA_REQUIRE(*it->second == s,
+                  "input wire programmed twice with different sources: "
+                      << "problem [" << strJoin(s.problemPath, ".")
+                      << "] child " << s.dstChild << " wire " << s.dstWire);
+    }
+  }
+}
+
+}  // namespace hca::machine

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+/// Reconfiguration instruction stream (paper Section 2): before the kernel
+/// runs, the co-processor executes a reconfiguration phase that programs
+/// every MUX select to instantiate the chosen topology.
+///
+/// A `MuxSetting` programs one input wire of one interconnect node: "input
+/// wire `dstWire` of child `dstChild` in the problem at `problemPath`
+/// listens to source `src`". Sources are either a sibling child's output
+/// wire or one of the problem's boundary wires coming from the parent
+/// level. Settings encode to/from 64-bit configuration words so the stream
+/// can be emitted, stored and parsed back (round-trip tested).
+namespace hca::machine {
+
+struct MuxSetting {
+  /// Problem path: container of this interconnect level (empty = root).
+  std::vector<int> problemPath;
+  int dstChild = 0;   ///< receiving child index within the problem
+  int dstWire = 0;    ///< which of the child's input wires
+  bool srcIsBoundary = false;  ///< true: source is a parent boundary wire
+  int srcChild = 0;   ///< sending child (ignored when srcIsBoundary)
+  int srcWire = 0;    ///< sending child's output wire / boundary wire index
+
+  friend bool operator==(const MuxSetting&, const MuxSetting&) = default;
+};
+
+/// Binary encoding: fields are packed into 6-bit lanes (values must fit in
+/// 0..63, plenty for the paper's 4-way / capacity<=8 fabrics), the problem
+/// path into the upper lanes with a depth tag.
+std::uint64_t encodeMuxSetting(const MuxSetting& setting);
+MuxSetting decodeMuxSetting(std::uint64_t word);
+
+struct ReconfigurationProgram {
+  std::vector<MuxSetting> settings;
+
+  [[nodiscard]] std::vector<std::uint64_t> encode() const;
+  static ReconfigurationProgram decode(const std::vector<std::uint64_t>& words);
+
+  /// Human-readable listing (one setting per line).
+  [[nodiscard]] std::string toString() const;
+
+  /// Verifies no input wire is programmed twice (a MUX select is a single
+  /// register). Throws InvalidArgumentError on conflict.
+  void validate() const;
+};
+
+}  // namespace hca::machine

@@ -1,0 +1,11 @@
+#include "machine/resources.hpp"
+
+#include "support/str.hpp"
+
+namespace hca::machine {
+
+std::string ResourceTable::toString() const {
+  return strCat(alu(), " ALU / ", ag(), " AG");
+}
+
+}  // namespace hca::machine

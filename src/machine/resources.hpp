@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ddg/opcode.hpp"
+#include "support/check.hpp"
+
+/// Resource tables (paper Section 3): each Pattern Graph node carries the
+/// union of the functional units of the computation nodes it embraces.
+namespace hca::machine {
+
+class ResourceTable {
+ public:
+  ResourceTable() = default;
+  ResourceTable(int alu, int ag) : counts_{alu, ag} {
+    HCA_REQUIRE(alu >= 0 && ag >= 0, "negative resource count");
+  }
+
+  /// Resource table of one DSPFabric computation node: one ALU, one AG.
+  static ResourceTable computationNode() { return ResourceTable(1, 1); }
+
+  [[nodiscard]] int count(ddg::ResourceClass rc) const {
+    return rc == ddg::ResourceClass::kNone
+               ? 0
+               : counts_[static_cast<std::size_t>(rc)];
+  }
+  [[nodiscard]] int alu() const { return counts_[0]; }
+  [[nodiscard]] int ag() const { return counts_[1]; }
+  /// Issue slots: one per CN; a CN is identified by its ALU here (every CN
+  /// has exactly one).
+  [[nodiscard]] int issueSlots() const { return counts_[0]; }
+
+  ResourceTable& operator+=(const ResourceTable& other) {
+    counts_[0] += other.counts_[0];
+    counts_[1] += other.counts_[1];
+    return *this;
+  }
+  friend ResourceTable operator+(ResourceTable a, const ResourceTable& b) {
+    return a += b;
+  }
+  friend ResourceTable operator*(ResourceTable a, int factor) {
+    HCA_REQUIRE(factor >= 0, "negative resource scale");
+    a.counts_[0] *= factor;
+    a.counts_[1] *= factor;
+    return a;
+  }
+
+  friend bool operator==(const ResourceTable&, const ResourceTable&) = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::array<int, ddg::kNumResourceClasses> counts_ = {0, 0};
+};
+
+/// Running usage against a table, used by assignability checks. Usage counts
+/// *per-II occupancy* is handled by the cost layer; here we only track op
+/// counts per class.
+struct ResourceUsage {
+  int alu = 0;
+  int ag = 0;
+  int instructions = 0;  // issue-slot consumers (includes recv)
+
+  void addOp(ddg::Op op) {
+    if (!ddg::isInstruction(op)) return;
+    ++instructions;
+    switch (ddg::opResource(op)) {
+      case ddg::ResourceClass::kAlu: ++alu; break;
+      case ddg::ResourceClass::kAg: ++ag; break;
+      case ddg::ResourceClass::kNone: break;
+    }
+  }
+
+  friend bool operator==(const ResourceUsage&, const ResourceUsage&) = default;
+};
+
+}  // namespace hca::machine

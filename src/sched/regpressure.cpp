@@ -1,0 +1,70 @@
+#include "sched/regpressure.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::sched {
+
+std::string RegisterPressureReport::toString() const {
+  return strCat("RegPressure{II=", ii, ", maxPerCn=", maxRegistersPerCn,
+                ", total=", totalRegisters, "}");
+}
+
+RegisterPressureReport analyzeRegisterPressure(
+    const core::FinalMapping& mapping, const machine::DspFabricModel& model,
+    const Schedule& schedule) {
+  const auto& ddg = mapping.finalDdg;
+  HCA_REQUIRE(schedule.ii > 0, "schedule has non-positive II");
+  {
+    const auto violations = validateSchedule(mapping, model, schedule);
+    HCA_REQUIRE(violations.empty(),
+                "invalid schedule: " << violations.front());
+  }
+
+  RegisterPressureReport report;
+  report.ii = schedule.ii;
+  report.registersPerCn.assign(
+      static_cast<std::size_t>(model.totalCns()), 0);
+
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& node = ddg.node(DdgNodeId(v));
+    if (!ddg::isInstruction(node.op)) continue;
+    if (node.op == ddg::Op::kStore) continue;  // stores define no value
+
+    ValueLifetime lifetime;
+    lifetime.node = DdgNodeId(v);
+    lifetime.cn = mapping.cnOf[static_cast<std::size_t>(v)];
+    lifetime.defCycle = schedule.cycleOf[static_cast<std::size_t>(v)];
+    // The value exists at least until it is produced.
+    lifetime.lastUseCycle =
+        lifetime.defCycle + model.config().latency.of(node.op);
+
+    for (std::int32_t u = 0; u < ddg.numNodes(); ++u) {
+      const auto& user = ddg.node(DdgNodeId(u));
+      if (!ddg::isInstruction(user.op)) continue;
+      for (const auto& operand : user.operands) {
+        if (operand.src != DdgNodeId(v)) continue;
+        // A use at distance d in iteration i reads iteration i-d's value:
+        // in the defining iteration's coordinates, the read happens
+        // d * II cycles later.
+        const int use = schedule.cycleOf[static_cast<std::size_t>(u)] +
+                        schedule.ii * operand.distance;
+        lifetime.lastUseCycle = std::max(lifetime.lastUseCycle, use);
+      }
+    }
+    const int live = lifetime.lastUseCycle - lifetime.defCycle;
+    lifetime.registersNeeded = std::max(1, (live + schedule.ii - 1) /
+                                               schedule.ii);
+    report.registersPerCn[lifetime.cn.index()] += lifetime.registersNeeded;
+    report.totalRegisters += lifetime.registersNeeded;
+    report.lifetimes.push_back(lifetime);
+  }
+  for (const int regs : report.registersPerCn) {
+    report.maxRegistersPerCn = std::max(report.maxRegistersPerCn, regs);
+  }
+  return report;
+}
+
+}  // namespace hca::sched

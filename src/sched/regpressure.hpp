@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hca/postprocess.hpp"
+#include "sched/modulo.hpp"
+
+/// Register pressure analysis of a modulo-scheduled kernel — the
+/// "scheduling aware cost factor" the paper's Section 5 singles out as the
+/// reason the post-scheduling MII could degrade, and lists as future work.
+///
+/// In a modulo-scheduled loop a value defined at cycle d and last read at
+/// cycle u (possibly by a later iteration) is live for u - d cycles; with
+/// one iteration started every II cycles, ceil(live / II) copies of it are
+/// simultaneously in flight, each needing its own rotating register
+/// (Section 2.2: DSPFabric CNs have rotating-register support). This
+/// module reports, per computation node, how many rotating registers the
+/// schedule needs — the quantity a register-pressure-aware cost function
+/// would bound.
+namespace hca::sched {
+
+struct ValueLifetime {
+  DdgNodeId node;       // defining instruction (in the final DDG)
+  CnId cn;              // CN holding the value
+  int defCycle = 0;
+  int lastUseCycle = 0; // in start-cycle coordinates, distance folded in
+  int registersNeeded = 0;  // ceil((lastUse - def) / II), min 1
+};
+
+struct RegisterPressureReport {
+  int ii = 0;
+  /// Rotating registers needed per CN (indexed by CN id).
+  std::vector<int> registersPerCn;
+  int maxRegistersPerCn = 0;
+  int totalRegisters = 0;
+  std::vector<ValueLifetime> lifetimes;  // one per value with >= 1 use
+
+  /// True when every CN fits in a register file of the given size.
+  [[nodiscard]] bool fits(int registersPerCnLimit) const {
+    return maxRegistersPerCn <= registersPerCnLimit;
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Computes lifetimes from the schedule. A use at iteration distance d
+/// reads the value defined d iterations earlier, extending its lifetime by
+/// d * II cycles. Values without uses (stores, parked relays) still occupy
+/// one register from definition to the end of the producing instruction's
+/// latency.
+RegisterPressureReport analyzeRegisterPressure(
+    const core::FinalMapping& mapping, const machine::DspFabricModel& model,
+    const Schedule& schedule);
+
+}  // namespace hca::sched

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "see/partial_solution.hpp"
+#include "see/prepared.hpp"
+
+/// Pluggable cost criteria (paper Section 3: "the assignment n -> c is
+/// evaluated by an objective function based on a collection of cost
+/// criteria"). Each criterion scores a whole partial solution; the
+/// WeightedObjective combines them. Lower is better.
+namespace hca::see {
+
+class CostCriterion {
+ public:
+  virtual ~CostCriterion() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual double score(const PreparedProblem& prepared,
+                                     const PartialSolution& solution)
+      const = 0;
+};
+
+/// The paper's main cost factor (Section 4.2): an estimate of
+/// maxClsMII = max over clusters of the per-cluster MII, accounting for the
+/// issue slots (instructions plus one receive per distinct incoming value)
+/// and the copy pressure the Mapper will have to serialize over the
+/// cluster's input/output wires.
+class IiEstimateCriterion : public CostCriterion {
+ public:
+  [[nodiscard]] std::string name() const override { return "ii-estimate"; }
+  [[nodiscard]] double score(const PreparedProblem& prepared,
+                             const PartialSolution& solution) const override;
+
+  /// The per-cluster MII estimate itself, exposed for the final metric.
+  static int clusterMii(const PreparedProblem& prepared,
+                        const PartialSolution& solution, ClusterId cluster);
+  static int maxClusterMii(const PreparedProblem& prepared,
+                           const PartialSolution& solution);
+};
+
+/// Total number of inter-cluster copies (arc/value pairs).
+class CopyCountCriterion : public CostCriterion {
+ public:
+  [[nodiscard]] std::string name() const override { return "copy-count"; }
+  [[nodiscard]] double score(const PreparedProblem& prepared,
+                             const PartialSolution& solution) const override;
+};
+
+/// Spread of issue-slot occupancy across clusters (max - mean, normalized
+/// by issue width): keeps the assignment from piling work on one cluster
+/// before the II term starts to bite.
+class LoadBalanceCriterion : public CostCriterion {
+ public:
+  [[nodiscard]] std::string name() const override { return "load-balance"; }
+  [[nodiscard]] double score(const PreparedProblem& prepared,
+                             const PartialSolution& solution) const override;
+};
+
+/// Penalizes consumed reconfiguration budget: every distinct real
+/// in-neighbor eats one of a cluster's few input-wire selects, and a
+/// saturated cluster blocks all later assignments that need to reach it.
+/// Quadratic in the per-cluster utilization so saturation hurts most.
+class WiringSlackCriterion : public CostCriterion {
+ public:
+  [[nodiscard]] std::string name() const override { return "wiring-slack"; }
+  [[nodiscard]] double score(const PreparedProblem& prepared,
+                             const PartialSolution& solution) const override;
+};
+
+/// Penalizes copies on dependence edges with little slack: separating the
+/// critical path across clusters adds its copy latency to the schedule
+/// even when the II is unaffected.
+class CriticalPathCriterion : public CostCriterion {
+ public:
+  [[nodiscard]] std::string name() const override { return "critical-path"; }
+  [[nodiscard]] double score(const PreparedProblem& prepared,
+                             const PartialSolution& solution) const override;
+};
+
+/// Weighted combination of the standard criteria.
+class WeightedObjective {
+ public:
+  explicit WeightedObjective(const CostWeights& weights);
+
+  /// Adds a custom criterion with the given weight.
+  void add(std::unique_ptr<CostCriterion> criterion, double weight);
+
+  [[nodiscard]] double evaluate(const PreparedProblem& prepared,
+                                const PartialSolution& solution) const;
+
+  /// Per-criterion breakdown (diagnostics).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> breakdown(
+      const PreparedProblem& prepared, const PartialSolution& solution) const;
+
+ private:
+  std::vector<std::pair<std::unique_ptr<CostCriterion>, double>> criteria_;
+};
+
+}  // namespace hca::see

@@ -1,0 +1,211 @@
+#include "see/engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "see/route_allocator.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/str.hpp"
+
+namespace hca::see {
+
+SpaceExplorationEngine::SpaceExplorationEngine(SeeOptions options)
+    : options_(options) {
+  HCA_REQUIRE(options_.beamWidth >= 1, "beam width must be >= 1");
+  HCA_REQUIRE(options_.candidateKeep >= 1, "candidate keep must be >= 1");
+  HCA_REQUIRE(options_.maxRouteHops >= 1, "route hops must be >= 1");
+}
+
+namespace {
+std::string describeItem(const Item& item) {
+  return item.kind == Item::Kind::kNode
+             ? strCat("node ", to_string(item.node))
+             : strCat("relay of value ", to_string(item.value));
+}
+
+std::string describeGroup(const ItemGroup& group) {
+  if (group.members.size() == 1) return describeItem(group.members.front());
+  std::string out = "co-location group {";
+  for (std::size_t i = 0; i < group.members.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += describeItem(group.members[i]);
+  }
+  return out + "}";
+}
+
+/// Assigns every member of `group` to `cluster` on a clone of `state`;
+/// nullopt when some member is not directly assignable there.
+std::optional<PartialSolution> assignGroupDirect(
+    const PreparedProblem& prepared, const PartialSolution& state,
+    const ItemGroup& group, ClusterId cluster) {
+  PartialSolution candidate = state;
+  for (const Item& item : group.members) {
+    if (!candidate.canAssign(prepared, item, cluster)) return std::nullopt;
+    candidate.assign(prepared, item, cluster);
+  }
+  return candidate;
+}
+}  // namespace
+
+SeeResult SpaceExplorationEngine::run(const SeeProblem& problem) const {
+  SeeResult result = runOnce(problem, options_);
+  if (result.legal || !options_.retryLadder) return result;
+  // Diversification ladder (part of the node-filter design): a narrower,
+  // route-heavier search sometimes reaches a legal corner of the space the
+  // scored beam pruned away. Statistics accumulate across attempts.
+  std::vector<SeeOptions> ladder;
+  {
+    SeeOptions greedy = options_;
+    greedy.beamWidth = 1;
+    greedy.candidateKeep = 1;
+    greedy.eagerRouting = false;
+    ladder.push_back(greedy);
+    SeeOptions deeper = greedy;
+    deeper.beamWidth = 2;
+    deeper.candidateKeep = 2;
+    deeper.maxRouteHops = options_.maxRouteHops + 2;
+    ladder.push_back(deeper);
+    SeeOptions balanced = options_;
+    balanced.eagerRouting = !options_.eagerRouting;
+    ladder.push_back(balanced);
+  }
+  for (const SeeOptions& attempt : ladder) {
+    SeeResult retry = runOnce(problem, attempt);
+    retry.stats.statesExplored += result.stats.statesExplored;
+    retry.stats.candidatesEvaluated += result.stats.candidatesEvaluated;
+    retry.stats.statesPruned += result.stats.statesPruned;
+    retry.stats.routeInvocations += result.stats.routeInvocations;
+    retry.stats.routedOperands += result.stats.routedOperands;
+    result = std::move(retry);
+    if (result.legal) return result;
+  }
+  return result;
+}
+
+SeeResult SpaceExplorationEngine::runOnce(const SeeProblem& problem,
+                                          const SeeOptions& options) const {
+  const PreparedProblem prepared(problem, options);
+  const WeightedObjective objective(options.weights);
+
+  SeeResult result;
+  std::vector<PartialSolution> frontier;
+  frontier.push_back(PartialSolution::initial(prepared));
+  frontier.back().setObjective(
+      objective.evaluate(prepared, frontier.back()));
+
+  for (const ItemGroup& group : prepared.items()) {
+    std::vector<PartialSolution> next;
+    std::vector<int> parentOf;  // parallel to next: index into frontier
+    int parentIndex = -1;
+    for (const PartialSolution& state : frontier) {
+      ++parentIndex;
+      ++result.stats.statesExplored;
+      // Enumerate candidates via isAssignable, score survivors. With eager
+      // routing, clusters that are only reachable through relays are
+      // offered too (at their true copy cost).
+      std::vector<PartialSolution> scored;
+      for (const ClusterId c : prepared.clusters()) {
+        if (auto candidate = assignGroupDirect(prepared, state, group, c)) {
+          ++result.stats.candidatesEvaluated;
+          candidate->setObjective(objective.evaluate(prepared, *candidate));
+          scored.push_back(std::move(*candidate));
+        } else if (options.eagerRouting && options.enableRouteAllocator) {
+          int routed = 0;
+          auto sol = RouteAllocator::tryAssignGroup(prepared, state, group, c,
+                                                    &routed);
+          if (!sol.has_value()) continue;
+          ++result.stats.candidatesEvaluated;
+          result.stats.routedOperands += routed;
+          sol->setObjective(objective.evaluate(prepared, *sol));
+          scored.push_back(std::move(*sol));
+        }
+      }
+      if (scored.empty() && options.enableRouteAllocator &&
+          !options.eagerRouting) {
+        // No candidates action: try routing onto each cluster.
+        ++result.stats.routeInvocations;
+        int routed = 0;
+        for (const ClusterId c : prepared.clusters()) {
+          auto sol = RouteAllocator::tryAssignGroup(prepared, state, group,
+                                                    c, &routed);
+          if (!sol.has_value()) continue;
+          ++result.stats.candidatesEvaluated;
+          sol->setObjective(objective.evaluate(prepared, *sol));
+          scored.push_back(std::move(*sol));
+        }
+        result.stats.routedOperands += routed;
+      }
+      // Candidate filter: keep the best few expansions of this state.
+      std::sort(scored.begin(), scored.end(),
+                [](const PartialSolution& a, const PartialSolution& b) {
+                  return a.objective() < b.objective();
+                });
+      const auto keep = std::min<std::size_t>(
+          scored.size(), static_cast<std::size_t>(options.candidateKeep));
+      for (std::size_t i = 0; i < keep; ++i) {
+        next.push_back(std::move(scored[i]));
+        parentOf.push_back(parentIndex);
+      }
+    }
+
+    if (next.empty()) {
+      result.legal = false;
+      result.failedItem = group.members.front();
+      result.failureReason =
+          strCat("no candidates for ", describeGroup(group),
+                 " in any frontier state (communication patterns exhausted)");
+      HCA_DEBUG("SEE failed: " << result.failureReason);
+      result.solution = frontier.front();
+      return result;
+    }
+
+    // Node filter: keep the beam, deduped, but parent-diverse — the best
+    // child of every surviving parent is retained first so a feasible
+    // lineage is never pruned purely on score, then the remaining slots go
+    // to the globally best states.
+    std::vector<std::size_t> order(next.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return next[a].objective() < next[b].objective();
+    });
+    std::vector<char> isParentBest(frontier.size(), 0);
+    std::vector<char> selected(next.size(), 0);
+    std::vector<std::size_t> chosen;
+    std::unordered_set<std::uint64_t> seen;
+    for (const std::size_t i : order) {  // best child per parent
+      const int parent = parentOf[i];
+      if (isParentBest[static_cast<std::size_t>(parent)] != 0) continue;
+      isParentBest[static_cast<std::size_t>(parent)] = 1;
+      if (!seen.insert(next[i].signature()).second) continue;
+      selected[i] = 1;
+      chosen.push_back(i);
+    }
+    for (const std::size_t i : order) {  // fill up with global best
+      if (static_cast<int>(chosen.size()) >= options.beamWidth) break;
+      if (selected[i] != 0) continue;
+      if (!seen.insert(next[i].signature()).second) continue;
+      selected[i] = 1;
+      chosen.push_back(i);
+    }
+    std::sort(chosen.begin(), chosen.end(), [&](std::size_t a, std::size_t b) {
+      return next[a].objective() < next[b].objective();
+    });
+    if (static_cast<int>(chosen.size()) > options.beamWidth) {
+      chosen.resize(static_cast<std::size_t>(options.beamWidth));
+    }
+    std::vector<PartialSolution> pruned;
+    pruned.reserve(chosen.size());
+    for (const std::size_t i : chosen) pruned.push_back(std::move(next[i]));
+    result.stats.statesPruned +=
+        static_cast<std::int64_t>(next.size() - pruned.size());
+    frontier = std::move(pruned);
+  }
+
+  result.legal = true;
+  result.solution = frontier.front();
+  result.alternatives = std::move(frontier);
+  return result;
+}
+
+}  // namespace hca::see

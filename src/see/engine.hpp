@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "see/cost.hpp"
+#include "see/partial_solution.hpp"
+#include "see/problem.hpp"
+
+/// The Space Exploration Engine (paper Section 3, Figures 4 and 5).
+///
+/// A local-scope beam search: items (working-set nodes, relay values) are
+/// taken from a priority list; for every frontier state and every cluster
+/// the `isAssignable` check runs, surviving candidates are scored by the
+/// objective, the *candidate filter* keeps the best few per state, and the
+/// *node filter* prunes the merged frontier back to the beam width. When a
+/// state has no candidate at all, the *no candidates action* invokes the
+/// Route Allocator.
+namespace hca::see {
+
+struct SeeResult {
+  bool legal = false;
+  PartialSolution solution;
+  /// The final frontier (best first, solution == alternatives.front()):
+  /// callers that discover deeper infeasibilities (the hierarchical driver)
+  /// can fall back to the runner-up assignments.
+  std::vector<PartialSolution> alternatives;
+  SeeStats stats;
+  /// On failure: the item no frontier state could place.
+  Item failedItem;
+  std::string failureReason;
+};
+
+class SpaceExplorationEngine {
+ public:
+  explicit SpaceExplorationEngine(SeeOptions options = {});
+
+  [[nodiscard]] SeeResult run(const SeeProblem& problem) const;
+
+  [[nodiscard]] const SeeOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] SeeResult runOnce(const SeeProblem& problem,
+                                  const SeeOptions& options) const;
+
+  SeeOptions options_;
+};
+
+}  // namespace hca::see

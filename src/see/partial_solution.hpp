@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/pattern_graph.hpp"
+#include "see/prepared.hpp"
+
+/// One node of the space-exploration tree (paper Fig. 5): a partial
+/// assignment of the working set, with everything needed to check
+/// assignability and evaluate cost incrementally — per-cluster resource
+/// usage, the copy flow on the PG arcs, the real in-neighbor masks (the
+/// reconfiguration budget), and the distinct values entering/leaving each
+/// cluster (the copy pressure the Mapper will have to distribute over
+/// wires).
+namespace hca::see {
+
+class PartialSolution {
+ public:
+  /// Empty assignment; input nodes pre-count their boundary values as sent
+  /// values so wire pressure is measured from the start.
+  static PartialSolution initial(const PreparedProblem& prepared);
+
+  /// The paper's isAssignable interface: cluster kind, resource
+  /// availability, and availability of communication patterns under the
+  /// current reconfiguration budget.
+  [[nodiscard]] bool canAssign(const PreparedProblem& prepared,
+                               const Item& item, ClusterId cluster) const;
+
+  /// Applies the assignment (must be canAssign). Adds the implied copies:
+  /// operand sources -> cluster, cluster -> already-assigned consumers,
+  /// cluster -> output wire if the produced value leaves the sub-problem.
+  void assign(const PreparedProblem& prepared, const Item& item,
+              ClusterId cluster);
+
+  /// Routes `value` from `from` to `to` through intermediate clusters
+  /// (inclusive path, from -> ... -> to). Every hop must be addable; used
+  /// by the route allocator which validates hops beforehand.
+  void applyRoute(const PreparedProblem& prepared, ValueId value,
+                  const std::vector<ClusterId>& path);
+
+  /// True when the arc src->dst exists and adding a copy of `value` on it
+  /// respects the in-neighbor budget (and unary fan-in for output nodes).
+  [[nodiscard]] bool canAddCopy(const PreparedProblem& prepared,
+                                ClusterId src, ClusterId dst,
+                                ValueId value) const;
+
+  /// True when `value` already flows into `dst` on some arc (e.g. via a
+  /// relay route), so no further copy is needed to make it available there.
+  [[nodiscard]] bool valueDelivered(ClusterId dst, ValueId value) const;
+
+  // --- accessors -------------------------------------------------------
+  [[nodiscard]] ClusterId clusterOf(DdgNodeId node) const {
+    return nodeCluster_[node.index()];
+  }
+  [[nodiscard]] ClusterId relayCluster(int relayIndex) const {
+    return relayCluster_[static_cast<std::size_t>(relayIndex)];
+  }
+  /// Cluster currently holding `value` (producer's cluster, or the input
+  /// node it arrives on); invalid if not available yet.
+  [[nodiscard]] ClusterId valueLocation(const PreparedProblem& prepared,
+                                        ValueId value) const;
+  [[nodiscard]] const machine::CopyFlow& flow() const { return flow_; }
+  [[nodiscard]] const machine::ResourceUsage& usage(ClusterId c) const {
+    return usage_[c.index()];
+  }
+  [[nodiscard]] int distinctValuesIn(ClusterId c) const {
+    return static_cast<int>(inValues_[c.index()].size());
+  }
+  [[nodiscard]] int distinctValuesOut(ClusterId c) const {
+    return static_cast<int>(outValues_[c.index()].size());
+  }
+  [[nodiscard]] int realInNeighborCount(ClusterId c) const {
+    return __builtin_popcountll(inNbrMask_[c.index()]);
+  }
+  [[nodiscard]] int assignedCount() const { return assigned_; }
+
+  [[nodiscard]] double objective() const { return objective_; }
+  void setObjective(double value) { objective_ = value; }
+
+  /// Stable hash of the assignment vector (frontier deduplication).
+  [[nodiscard]] std::uint64_t signature() const;
+
+ private:
+  void addCopyInternal(const PreparedProblem& prepared, ClusterId src,
+                       ClusterId dst, ValueId value);
+
+  std::vector<ClusterId> nodeCluster_;   // per DDG node
+  std::vector<ClusterId> relayCluster_;  // per relay value (problem order)
+  std::vector<machine::ResourceUsage> usage_;       // per PG node
+  machine::CopyFlow flow_;
+  std::vector<std::uint64_t> inNbrMask_;            // per PG node
+  std::vector<std::vector<ValueId>> inValues_;      // distinct, per PG node
+  std::vector<std::vector<ValueId>> outValues_;     // distinct, per PG node
+  int assigned_ = 0;
+  double objective_ = 0.0;
+};
+
+}  // namespace hca::see

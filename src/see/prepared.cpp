@@ -1,0 +1,256 @@
+#include "see/prepared.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace hca::see {
+
+PreparedProblem::PreparedProblem(const SeeProblem& problem,
+                                 const SeeOptions& options)
+    : problem_(&problem), options_(options) {
+  HCA_REQUIRE(problem.ddg != nullptr, "SeeProblem without DDG");
+  HCA_REQUIRE(problem.pg != nullptr, "SeeProblem without PatternGraph");
+  HCA_REQUIRE(problem.pg->numNodes() <= 64,
+              "SEE supports pattern graphs of up to 64 nodes");
+  const ddg::Ddg& ddg = *problem.ddg;
+
+  clusters_ = problem.pg->clusterNodes();
+  HCA_REQUIRE(!clusters_.empty(), "PatternGraph has no cluster nodes");
+
+  inWs_.assign(static_cast<std::size_t>(ddg.numNodes()), 0);
+  for (const DdgNodeId n : problem.workingSet) {
+    HCA_REQUIRE(n.valid() && n.value() < ddg.numNodes(),
+                "working-set node out of range");
+    HCA_REQUIRE(ddg::isInstruction(ddg.node(n).op),
+                "working set contains a non-instruction (const) node");
+    HCA_REQUIRE(inWs_[n.index()] == 0, "duplicate working-set node");
+    inWs_[n.index()] = 1;
+  }
+
+  for (const auto& [out, values] : problem.outputRequirements) {
+    HCA_REQUIRE(
+        problem.pg->node(out).kind == machine::PgNodeKind::kOutput,
+        "output requirement target is not an output node");
+    for (const ValueId v : values) {
+      const auto [it, inserted] = valueToOutput_.emplace(v, out);
+      HCA_REQUIRE(inserted, "value assigned to two output wires");
+    }
+  }
+  for (const auto& [value, source] : problem.valueSources) {
+    HCA_REQUIRE(problem.pg->node(source).kind != machine::PgNodeKind::kOutput,
+                "value source cannot be an output node");
+    (void)value;
+  }
+
+  // Operand values / consumer adjacency restricted to the problem.
+  operandValues_.resize(static_cast<std::size_t>(ddg.numNodes()));
+  wsConsumers_.resize(static_cast<std::size_t>(ddg.numNodes()));
+  for (const DdgNodeId n : problem.workingSet) {
+    auto& ops = operandValues_[n.index()];
+    for (const auto& operand : ddg.node(n).operands) {
+      if (!ddg::isInstruction(ddg.node(operand.src).op)) continue;  // const
+      if (operand.src == n) continue;  // self-recurrence: same cluster
+      const ValueId v(operand.src.value());
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) {
+        ops.push_back(v);
+      }
+      if (inWs_[operand.src.index()] != 0) {
+        auto& cons = wsConsumers_[operand.src.index()];
+        if (std::find(cons.begin(), cons.end(), n) == cons.end()) {
+          cons.push_back(n);
+        }
+      } else {
+        // Out-of-WS producer: a source (input node) must be registered.
+        HCA_REQUIRE(
+            problem.valueSources.count(v) != 0,
+            "operand value " << to_string(v)
+                             << " has no registered source (missing ILI?)");
+      }
+    }
+  }
+  for (const ValueId v : problem.relayValues) {
+    HCA_REQUIRE(problem.valueSources.count(v) != 0,
+                "relay value without a source");
+    HCA_REQUIRE(valueToOutput_.count(v) != 0,
+                "relay value without an output wire");
+  }
+
+  heights_ = ddg.heights(problem.latency);
+
+  // Priority list (union-find over two kinds of cohesion):
+  //  * mandatory unions — items whose values leave on one output wire must
+  //    share a cluster (outNode_MaxIn, Fig. 10), so their placement is one
+  //    combined move, decided first while the wire budget is free;
+  //  * affinity unions — single-consumer dependence chains are kept
+  //    together (the paper's SEE "picks a new DDG node (or a set of
+  //    nodes)"), capped so a chain still fits a cluster at the target II.
+  // Remaining items follow by decreasing height (list-scheduling order).
+  const std::size_t numEntities =
+      static_cast<std::size_t>(ddg.numNodes()) + problem.relayValues.size();
+  std::vector<std::int32_t> parent(numEntities);
+  for (std::size_t i = 0; i < numEntities; ++i) {
+    parent[i] = static_cast<std::int32_t>(i);
+  }
+  std::vector<int> groupSize(numEntities, 1);
+  std::vector<char> mandatory(numEntities, 0);
+  const auto find = [&](std::int32_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  const auto unite = [&](std::int32_t a, std::int32_t b, bool isMandatory) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      if (isMandatory) mandatory[static_cast<std::size_t>(a)] = 1;
+      return;
+    }
+    parent[static_cast<std::size_t>(b)] = a;
+    groupSize[static_cast<std::size_t>(a)] +=
+        groupSize[static_cast<std::size_t>(b)];
+    mandatory[static_cast<std::size_t>(a)] = static_cast<char>(
+        mandatory[static_cast<std::size_t>(a)] != 0 ||
+        mandatory[static_cast<std::size_t>(b)] != 0 || isMandatory);
+  };
+  const auto relayEntity = [&](ValueId v) {
+    const auto it = std::find(problem.relayValues.begin(),
+                              problem.relayValues.end(), v);
+    HCA_CHECK(it != problem.relayValues.end(), "unknown relay value");
+    return static_cast<std::int32_t>(
+        ddg.numNodes() + (it - problem.relayValues.begin()));
+  };
+
+  // Mandatory unions per output wire.
+  for (const auto& [out, values] : problem.outputRequirements) {
+    (void)out;
+    std::int32_t anchor = -1;
+    for (const ValueId v : values) {
+      const DdgNodeId producer(v.value());
+      const std::int32_t entity = inWorkingSet(producer)
+                                      ? producer.value()
+                                      : relayEntity(v);
+      if (anchor == -1) {
+        anchor = entity;
+        if (values.size() > 1) {
+          mandatory[static_cast<std::size_t>(find(entity))] = 1;
+        }
+      } else {
+        unite(anchor, entity, /*isMandatory=*/true);
+      }
+    }
+  }
+
+  // Affinity unions: single-WS-consumer chains, capped.
+  if (options.chainGrouping) {
+    int minIssue = 1 << 20;
+    for (const ClusterId c : clusters_) {
+      minIssue =
+          std::min(minIssue, problem.pg->node(c).resources.issueSlots());
+    }
+    int cap = std::max(
+        2, options.weights.targetIi * std::max(minIssue, 1) / 2);
+    if (options.maxOpsPerUnit > 0) {
+      cap = std::min(cap, options.maxOpsPerUnit * std::max(minIssue, 1));
+    }
+    for (const DdgNodeId n : problem.workingSet) {
+      const auto& consumers = wsConsumers_[n.index()];
+      if (consumers.size() != 1) continue;
+      const std::int32_t a = find(n.value());
+      const std::int32_t b = find(consumers[0].value());
+      if (a == b) continue;
+      if (groupSize[static_cast<std::size_t>(a)] +
+              groupSize[static_cast<std::size_t>(b)] >
+          cap) {
+        continue;
+      }
+      unite(a, b, /*isMandatory=*/false);
+    }
+  }
+
+  // Emit groups. Members sorted by height (desc); groups ordered:
+  // mandatory first (largest first), then by tallest member.
+  struct Bucket {
+    std::vector<Item> members;
+    bool isMandatory = false;
+    std::int64_t maxHeight = 0;
+    std::int32_t minId = 1 << 30;
+    bool hasRelay = false;
+  };
+  std::map<std::int32_t, Bucket> buckets;
+  for (const DdgNodeId n : problem.workingSet) {
+    Bucket& bucket = buckets[find(n.value())];
+    Item item;
+    item.kind = Item::Kind::kNode;
+    item.node = n;
+    bucket.members.push_back(item);
+    bucket.maxHeight = std::max(bucket.maxHeight, heights_[n.index()]);
+    bucket.minId = std::min(bucket.minId, n.value());
+  }
+  for (std::size_t i = 0; i < problem.relayValues.size(); ++i) {
+    Bucket& bucket = buckets[find(
+        static_cast<std::int32_t>(ddg.numNodes() + i))];
+    Item item;
+    item.kind = Item::Kind::kRelay;
+    item.value = problem.relayValues[i];
+    bucket.members.push_back(item);
+    bucket.hasRelay = true;
+    bucket.minId = std::min(
+        bucket.minId, static_cast<std::int32_t>(ddg.numNodes() + i));
+  }
+  std::vector<Bucket> ordered;
+  for (auto& [root, bucket] : buckets) {
+    bucket.isMandatory = mandatory[static_cast<std::size_t>(root)] != 0;
+    std::sort(bucket.members.begin(), bucket.members.end(),
+              [&](const Item& a, const Item& b) {
+                const auto ha = a.kind == Item::Kind::kNode
+                                    ? heights_[a.node.index()]
+                                    : 0;
+                const auto hb = b.kind == Item::Kind::kNode
+                                    ? heights_[b.node.index()]
+                                    : 0;
+                if (ha != hb) return ha > hb;
+                const auto ia = a.kind == Item::Kind::kNode
+                                    ? a.node.value()
+                                    : a.value.value() + (1 << 20);
+                const auto ib = b.kind == Item::Kind::kNode
+                                    ? b.node.value()
+                                    : b.value.value() + (1 << 20);
+                return ia < ib;
+              });
+    ordered.push_back(std::move(bucket));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Bucket& a, const Bucket& b) {
+              if (a.isMandatory != b.isMandatory) return a.isMandatory;
+              if (a.isMandatory) {
+                if (a.members.size() != b.members.size()) {
+                  return a.members.size() > b.members.size();
+                }
+              }
+              if (a.hasRelay != b.hasRelay) return a.hasRelay;
+              if (a.maxHeight != b.maxHeight) return a.maxHeight > b.maxHeight;
+              return a.minId < b.minId;
+            });
+  for (auto& bucket : ordered) {
+    items_.push_back(ItemGroup{std::move(bucket.members)});
+  }
+}
+
+ClusterId PreparedProblem::outputNodeOf(ValueId value) const {
+  const auto it = valueToOutput_.find(value);
+  return it == valueToOutput_.end() ? ClusterId::invalid() : it->second;
+}
+
+ClusterId PreparedProblem::valueSource(ValueId value) const {
+  const auto it = problem_->valueSources.find(value);
+  return it == problem_->valueSources.end() ? ClusterId::invalid()
+                                            : it->second;
+}
+
+}  // namespace hca::see

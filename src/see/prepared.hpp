@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "see/problem.hpp"
+
+/// Immutable, preprocessed view of a SeeProblem shared by every search
+/// state: working-set membership, operand/consumer adjacency restricted to
+/// the WS, the priority list, and per-node scheduling heights.
+namespace hca::see {
+
+/// One entry of the priority list: either a WS node or a relay value.
+struct Item {
+  enum class Kind { kNode, kRelay };
+  Kind kind = Kind::kNode;
+  DdgNodeId node;   // kNode
+  ValueId value;    // kRelay
+};
+
+/// A co-location group: items that must land on the same cluster because
+/// their values leave on a single output wire (outNode_MaxIn, Fig. 10).
+/// Groups are assigned first — they are the most constrained decisions.
+/// Singleton groups are ordinary priority-list entries.
+struct ItemGroup {
+  std::vector<Item> members;
+};
+
+class PreparedProblem {
+ public:
+  PreparedProblem(const SeeProblem& problem, const SeeOptions& options);
+
+  [[nodiscard]] const SeeProblem& problem() const { return *problem_; }
+  [[nodiscard]] const SeeOptions& options() const { return options_; }
+
+  [[nodiscard]] const std::vector<ItemGroup>& items() const { return items_; }
+  [[nodiscard]] const std::vector<ClusterId>& clusters() const {
+    return clusters_;
+  }
+  [[nodiscard]] bool inWorkingSet(DdgNodeId node) const {
+    return node.valid() && node.index() < inWs_.size() &&
+           inWs_[node.index()] != 0;
+  }
+  /// Distinct non-const operand values of a WS node (self-references from
+  /// carried recurrences excluded).
+  [[nodiscard]] const std::vector<ValueId>& operandValues(
+      DdgNodeId node) const {
+    return operandValues_[node.index()];
+  }
+  /// Consumers of a node's value inside the WS (distinct).
+  [[nodiscard]] const std::vector<DdgNodeId>& wsConsumers(
+      DdgNodeId node) const {
+    return wsConsumers_[node.index()];
+  }
+  /// Output node a value must reach, or invalid if none.
+  [[nodiscard]] ClusterId outputNodeOf(ValueId value) const;
+  /// Input node (or assigned producer lookup key) for out-of-WS sources;
+  /// invalid if the value has no registered source.
+  [[nodiscard]] ClusterId valueSource(ValueId value) const;
+
+  [[nodiscard]] std::int64_t height(DdgNodeId node) const {
+    return heights_[node.index()];
+  }
+
+ private:
+  const SeeProblem* problem_;
+  SeeOptions options_;
+  std::vector<ItemGroup> items_;
+  std::vector<ClusterId> clusters_;
+  std::vector<char> inWs_;
+  std::vector<std::vector<ValueId>> operandValues_;
+  std::vector<std::vector<DdgNodeId>> wsConsumers_;
+  std::unordered_map<ValueId, ClusterId> valueToOutput_;
+  std::vector<std::int64_t> heights_;
+};
+
+}  // namespace hca::see

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "machine/pattern_graph.hpp"
+#include "support/ids.hpp"
+
+/// Inputs and outputs of one single-level Instruction Cluster Assignment
+/// instance solved by the Space Exploration Engine (paper Section 3).
+///
+/// HCA (Section 4) decomposes the hierarchical problem into a sequence of
+/// these: each instance sees only a Working Set of DDG nodes, a Pattern
+/// Graph whose boundary (input/output) nodes encode the Inter-Level
+/// Interface decided at the parent level, and the reconfiguration
+/// constraints of the current interconnect level.
+namespace hca::see {
+
+struct SeeProblem {
+  const ddg::Ddg* ddg = nullptr;
+  /// The Working Set: DDG nodes to assign at this level.
+  std::vector<DdgNodeId> workingSet;
+  /// Pass-through values: pumped in by the parent and leaving again without
+  /// a producer or consumer in the WS (created by route allocation at the
+  /// parent level). Each must be parked on a cluster, costing one receive
+  /// slot there.
+  std::vector<ValueId> relayValues;
+
+  const machine::PatternGraph* pg = nullptr;
+  machine::PgConstraints constraints;
+  ddg::LatencyModel latency;
+
+  /// Interconnect figures used by the copy-pressure cost terms.
+  int inWiresPerCluster = 1;
+  int outWiresPerCluster = 1;
+
+  /// Where each out-of-WS operand value is available (its input node).
+  std::unordered_map<ValueId, ClusterId> valueSources;
+  /// Values that must reach a given output node (one entry per outgoing
+  /// wire; all values of one wire must be fed by a single cluster —
+  /// the paper's outNode_MaxIn constraint, Fig. 10).
+  std::vector<std::pair<ClusterId, std::vector<ValueId>>> outputRequirements;
+};
+
+/// Objective weights (Section 4.2: the main cost factor is the estimated
+/// MII; the others break ties towards fewer copies and better balance).
+struct CostWeights {
+  double iiEstimate = 100.0;
+  double copyCount = 4.0;
+  double loadBalance = 0.5;
+  double criticalPath = 4.0;
+  double wiringSlack = 8.0;
+  /// The loop's iniMII (Section 4.2): the final MII is
+  /// max(iniMII, maxClsMII), so pushing a cluster below this gains nothing
+  /// — the II criterion only penalizes clusters *above* the target, which
+  /// lets the search trade slack for locality (fewer wires, fewer copies).
+  int targetIi = 1;
+};
+
+struct SeeOptions {
+  /// Beam width of the node filter (frontier size).
+  int beamWidth = 4;
+  /// Candidate filter: candidates kept per (state, item).
+  int candidateKeep = 4;
+  /// Hard cap on ops per functional unit of a cluster (schedulability
+  /// pruning); <= 0 disables the cap.
+  int maxOpsPerUnit = 0;
+  /// Enables the route allocator as the `no candidates action`.
+  bool enableRouteAllocator = true;
+  /// Eager routing: also offer route-allocated assignments for clusters a
+  /// node cannot reach directly, scored alongside the direct candidates.
+  /// Off by default: routed candidates spread load (which the II and
+  /// balance terms like) while silently consuming wire budget, which
+  /// empirically poisons the beam; the paper's design — routing as the
+  /// `no candidates action` only — is the default.
+  bool eagerRouting = false;
+  /// On failure, retry with progressively more conservative search
+  /// profiles (narrower beam, deeper routing) before reporting illegal.
+  bool retryLadder = true;
+  /// Maximum relay hops the route allocator may insert per operand.
+  int maxRouteHops = 3;
+  /// Chain grouping: merge single-consumer dependence chains into one
+  /// priority-list entry so they are placed together (the paper's SEE
+  /// "picks a new DDG node (or a set of nodes) at each step"). Groups are
+  /// capped at roughly targetIi * issue-width / 2 ops.
+  bool chainGrouping = true;
+  CostWeights weights;
+};
+
+struct SeeStats {
+  std::int64_t statesExplored = 0;     // frontier states expanded
+  std::int64_t candidatesEvaluated = 0;
+  std::int64_t statesPruned = 0;       // dropped by the node filter
+  std::int64_t routeInvocations = 0;   // no-candidates actions taken
+  std::int64_t routedOperands = 0;     // operands placed via relays
+};
+
+}  // namespace hca::see

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "see/partial_solution.hpp"
+#include "see/prepared.hpp"
+
+/// The paper's configurable `no candidates action` (Section 3, Fig. 6):
+/// when no cluster can take the current item directly — every candidate is
+/// blocked by exhausted communication patterns — the Route Allocator tries
+/// to assign the item anyway by routing the unreachable copies through
+/// intermediate clusters. A relay cluster receives the value (one receive
+/// slot of pressure) and re-sends it, consuming arc budget on both hops.
+namespace hca::see {
+
+class RouteAllocator {
+ public:
+  /// Attempts to place `item` on `cluster`, inserting relays for every
+  /// operand source that cannot reach `cluster` directly (and, for values
+  /// bound to an occupied output wire, routing the value to the wire's
+  /// single feeder). Returns the extended solution, or nullopt when no
+  /// routing exists within `options().maxRouteHops` relays per operand.
+  [[nodiscard]] static std::optional<PartialSolution> tryAssign(
+      const PreparedProblem& prepared, const PartialSolution& base,
+      const Item& item, ClusterId cluster, int* routedOperands);
+
+  /// Group variant: places every member of the co-location group on
+  /// `cluster`, routing as needed; all-or-nothing.
+  [[nodiscard]] static std::optional<PartialSolution> tryAssignGroup(
+      const PreparedProblem& prepared, const PartialSolution& base,
+      const ItemGroup& group, ClusterId cluster, int* routedOperands);
+
+  /// BFS over cluster nodes: shortest relay path src -> dst for `value`,
+  /// where every hop respects the in-neighbor budgets in `solution`.
+  /// Returns the inclusive node path, empty when unreachable.
+  static std::vector<ClusterId> findPath(const PreparedProblem& prepared,
+                                         const PartialSolution& solution,
+                                         ClusterId src, ClusterId dst,
+                                         ValueId value, int maxHops);
+};
+
+}  // namespace hca::see

@@ -1,0 +1,65 @@
+#include "sim/dma.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::sim {
+
+std::string DmaProfile::toString() const {
+  return strCat("DmaProfile{II=", ii, ", peakAccepts=", peakAccepts,
+                ", peakOutstanding=", peakOutstanding, "/", fifoCapacity,
+                "}");
+}
+
+DmaProfile profileDma(const core::FinalMapping& mapping,
+                      const machine::DspFabricModel& model,
+                      const sched::Schedule& schedule, int serviceLatency) {
+  HCA_REQUIRE(schedule.ii > 0, "schedule has non-positive II");
+  {
+    const auto violations =
+        sched::validateSchedule(mapping, model, schedule);
+    HCA_REQUIRE(violations.empty(),
+                "invalid schedule: " << violations.front());
+  }
+  if (serviceLatency <= 0) {
+    serviceLatency = model.config().latency.load;
+  }
+
+  DmaProfile profile;
+  profile.ii = schedule.ii;
+  profile.serviceLatency = serviceLatency;
+  profile.fifoCapacity = model.config().dmaSlots * serviceLatency;
+  profile.acceptsPerSlot.assign(static_cast<std::size_t>(schedule.ii), 0);
+
+  const auto& ddg = mapping.finalDdg;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    if (!ddg::isMemoryOp(ddg.node(DdgNodeId(v)).op)) continue;
+    const int slot = schedule.cycleOf[static_cast<std::size_t>(v)] %
+                     schedule.ii;
+    ++profile.acceptsPerSlot[static_cast<std::size_t>(slot)];
+  }
+  // Steady state: a request issued at slot s is outstanding during
+  // [s, s + serviceLatency), wrapping mod II; with one iteration launched
+  // per II, the occupancy at slot t sums the accepts of the last
+  // serviceLatency slots.
+  profile.outstandingPerSlot.assign(static_cast<std::size_t>(schedule.ii),
+                                    0);
+  for (int t = 0; t < schedule.ii; ++t) {
+    int outstanding = 0;
+    for (int back = 0; back < serviceLatency; ++back) {
+      const int s = ((t - back) % schedule.ii + schedule.ii) % schedule.ii;
+      outstanding += profile.acceptsPerSlot[static_cast<std::size_t>(s)];
+    }
+    profile.outstandingPerSlot[static_cast<std::size_t>(t)] = outstanding;
+  }
+  profile.peakAccepts = *std::max_element(profile.acceptsPerSlot.begin(),
+                                          profile.acceptsPerSlot.end());
+  profile.peakOutstanding =
+      *std::max_element(profile.outstandingPerSlot.begin(),
+                        profile.outstandingPerSlot.end());
+  return profile;
+}
+
+}  // namespace hca::sim

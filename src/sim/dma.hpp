@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hca/postprocess.hpp"
+#include "machine/dspfabric.hpp"
+#include "sched/modulo.hpp"
+
+/// DMA engine occupancy model (paper Section 2.2).
+///
+/// Each cluster sends address requests straight to the programmable DMA;
+/// only `dmaSlots` requests can be *accepted* per cycle, and a request is
+/// outstanding for the memory service latency. The DMA provides "input and
+/// output FIFOs — of depth equal to the serving time — for handling high
+/// memory pressure": with at most `dmaSlots` accepts per cycle for
+/// `serviceLatency` cycles, at most dmaSlots * serviceLatency requests are
+/// ever in flight, which is exactly the FIFO capacity. This module replays
+/// a modulo schedule against that model and reports the steady-state
+/// occupancy profile — the check "the compiler must ensure that the amount
+/// of simultaneous requests does not exceed that limit".
+namespace hca::sim {
+
+struct DmaProfile {
+  int ii = 0;
+  int serviceLatency = 0;
+  int fifoCapacity = 0;  // dmaSlots * serviceLatency
+  /// Requests accepted at each steady-state cycle (mod II).
+  std::vector<int> acceptsPerSlot;
+  /// Outstanding requests at each steady-state cycle (mod II).
+  std::vector<int> outstandingPerSlot;
+  int peakAccepts = 0;
+  int peakOutstanding = 0;
+
+  /// True when the schedule never overruns the accept rate or the FIFOs.
+  [[nodiscard]] bool withinCapacity(int dmaSlots) const {
+    return peakAccepts <= dmaSlots && peakOutstanding <= fifoCapacity;
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Replays the schedule's memory operations through the DMA model. The
+/// service latency defaults to the load latency of the machine's latency
+/// model (the FIFO depth the paper describes).
+DmaProfile profileDma(const core::FinalMapping& mapping,
+                      const machine::DspFabricModel& model,
+                      const sched::Schedule& schedule,
+                      int serviceLatency = 0);
+
+}  // namespace hca::sim

@@ -1,0 +1,127 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::sim {
+
+SimResult simulate(const core::FinalMapping& mapping,
+                   const machine::DspFabricModel& model,
+                   const sched::Schedule& schedule, const SimConfig& config) {
+  const auto& ddg = mapping.finalDdg;
+  HCA_REQUIRE(config.iterations >= 0, "negative iteration count");
+  {
+    const auto violations =
+        sched::validateSchedule(mapping, model, schedule);
+    HCA_REQUIRE(violations.empty(),
+                "invalid schedule: " << violations.front());
+  }
+
+  // Global issue order: one event per (op, iteration). Loads at a cycle
+  // observe memory before stores of the same cycle commit (the DMA serves
+  // reads of a slot before its writes).
+  struct Event {
+    int cycle;
+    bool isStore;
+    std::int32_t cn;
+    std::int32_t node;
+    int iteration;
+  };
+  std::vector<Event> events;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& node = ddg.node(DdgNodeId(v));
+    if (!ddg::isInstruction(node.op)) continue;
+    for (int i = 0; i < config.iterations; ++i) {
+      events.push_back(Event{
+          schedule.cycleOf[static_cast<std::size_t>(v)] + i * schedule.ii,
+          node.op == ddg::Op::kStore,
+          mapping.cnOf[static_cast<std::size_t>(v)].value(), v, i});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    if (a.isStore != b.isStore) return !a.isStore;
+    if (a.cn != b.cn) return a.cn < b.cn;
+    return a.node < b.node;
+  });
+
+  // Per-node value history across iterations.
+  std::vector<std::vector<std::int64_t>> values(
+      static_cast<std::size_t>(ddg.numNodes()),
+      std::vector<std::int64_t>(static_cast<std::size_t>(config.iterations),
+                                0));
+
+  SimResult result;
+  result.memory = config.memory;
+  result.cycles = config.iterations > 0
+                      ? (config.iterations - 1) * schedule.ii +
+                            schedule.length
+                      : 0;
+
+  std::vector<std::int64_t> inputs;
+  for (const Event& event : events) {
+    const auto& node = ddg.node(DdgNodeId(event.node));
+    inputs.clear();
+    for (const auto& operand : node.operands) {
+      const int src = event.iteration - operand.distance;
+      if (src < 0) {
+        inputs.push_back(operand.init);
+      } else if (ddg.node(operand.src).op == ddg::Op::kConst) {
+        inputs.push_back(ddg.node(operand.src).imm0);
+      } else {
+        inputs.push_back(values[operand.src.index()]
+                               [static_cast<std::size_t>(src)]);
+      }
+    }
+    std::int64_t value = 0;
+    if (node.op == ddg::Op::kLoad) {
+      const std::int64_t addr = inputs[0] + node.imm0;
+      HCA_REQUIRE(addr >= 0 &&
+                      addr < static_cast<std::int64_t>(result.memory.size()),
+                  "simulated load out of bounds at cycle "
+                      << event.cycle << ": address " << addr);
+      value = result.memory[static_cast<std::size_t>(addr)];
+    } else if (node.op == ddg::Op::kStore) {
+      const std::int64_t addr = inputs[0] + node.imm0;
+      HCA_REQUIRE(addr >= 0 &&
+                      addr < static_cast<std::int64_t>(result.memory.size()),
+                  "simulated store out of bounds at cycle "
+                      << event.cycle << ": address " << addr);
+      result.memory[static_cast<std::size_t>(addr)] = inputs[1];
+      result.storeTrace.push_back(ddg::InterpTraceEntry{
+          event.iteration, DdgNodeId(event.node), addr, inputs[1]});
+    } else {
+      value = ddg::evalPure(node, inputs);
+    }
+    values[static_cast<std::size_t>(event.node)]
+          [static_cast<std::size_t>(event.iteration)] = value;
+  }
+  return result;
+}
+
+bool matchesReference(const ddg::Ddg& originalDdg,
+                      const core::FinalMapping& mapping,
+                      const machine::DspFabricModel& model,
+                      const sched::Schedule& schedule,
+                      const SimConfig& config, std::string* whyNot) {
+  ddg::InterpConfig interpConfig;
+  interpConfig.iterations = config.iterations;
+  interpConfig.memory = config.memory;
+  const auto reference = ddg::interpret(originalDdg, interpConfig);
+  const auto simulated = simulate(mapping, model, schedule, config);
+  if (reference.memory == simulated.memory) return true;
+  if (whyNot != nullptr) {
+    for (std::size_t i = 0; i < reference.memory.size(); ++i) {
+      if (reference.memory[i] != simulated.memory[i]) {
+        *whyNot = strCat("memory[", i, "]: reference ", reference.memory[i],
+                         " vs simulated ", simulated.memory[i]);
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace hca::sim

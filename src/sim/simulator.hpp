@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddg/interp.hpp"
+#include "hca/postprocess.hpp"
+#include "machine/dspfabric.hpp"
+#include "sched/modulo.hpp"
+
+/// Functional DSPFabric simulator.
+///
+/// Executes a clusterized + modulo-scheduled kernel the way the fabric
+/// would: iteration i issues op n at absolute cycle schedule(n) + i * II,
+/// values travel between CNs with the wire transport latency baked into the
+/// schedule, and memory requests hit the DMA in global issue order. The
+/// simulator is the end-to-end check of the whole tool chain: its memory
+/// image after R iterations must equal the reference DDG interpreter's.
+namespace hca::sim {
+
+struct SimConfig {
+  int iterations = 8;
+  std::vector<std::int64_t> memory;
+};
+
+struct SimResult {
+  std::vector<std::int64_t> memory;
+  /// Total cycles to drain the pipeline:
+  /// (iterations - 1) * II + schedule length.
+  int cycles = 0;
+  /// Stores in global time order (diagnostics).
+  std::vector<ddg::InterpTraceEntry> storeTrace;
+};
+
+/// Runs the schedule. Throws InvalidArgumentError on out-of-bounds memory
+/// accesses or an invalid schedule.
+SimResult simulate(const core::FinalMapping& mapping,
+                   const machine::DspFabricModel& model,
+                   const sched::Schedule& schedule, const SimConfig& config);
+
+/// Convenience: true when the simulator and the reference interpreter
+/// produce identical memory images for the given run.
+bool matchesReference(const ddg::Ddg& originalDdg,
+                      const core::FinalMapping& mapping,
+                      const machine::DspFabricModel& model,
+                      const sched::Schedule& schedule,
+                      const SimConfig& config, std::string* whyNot = nullptr);
+
+}  // namespace hca::sim

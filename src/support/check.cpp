@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+namespace hca::detail {
+
+[[noreturn]] void throwCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  if (std::string(kind) == "precondition") {
+    throw InvalidArgumentError(os.str());
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace hca::detail

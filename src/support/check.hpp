@@ -1,0 +1,64 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Error-handling policy of the library.
+///
+/// The tool chain is a *library* first, so violated preconditions and broken
+/// invariants raise exceptions instead of aborting the host process. All
+/// errors derive from `hca::Error` so callers can catch one type.
+namespace hca {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user input (malformed DDG, inconsistent machine description, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant broken: a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message);
+}  // namespace detail
+
+}  // namespace hca
+
+/// Validates user-facing preconditions; throws InvalidArgumentError.
+#define HCA_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::ostringstream hca_os_;                                         \
+      hca_os_ << msg; /* NOLINT */                                          \
+      ::hca::detail::throwCheckFailure("precondition", #cond, __FILE__,     \
+                                       __LINE__, hca_os_.str());            \
+    }                                                                       \
+  } while (false)
+
+/// Validates internal invariants; throws InternalError.
+#define HCA_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::ostringstream hca_os_;                                         \
+      hca_os_ << msg; /* NOLINT */                                          \
+      ::hca::detail::throwCheckFailure("invariant", #cond, __FILE__,        \
+                                       __LINE__, hca_os_.str());            \
+    }                                                                       \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define HCA_UNREACHABLE(msg)                                                \
+  ::hca::detail::throwCheckFailure("unreachable", "false", __FILE__,        \
+                                   __LINE__, (msg))

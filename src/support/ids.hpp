@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// Strongly-typed integer identifiers.
+///
+/// Every layer of the tool chain manipulates several kinds of indices (DDG
+/// nodes, pattern-graph clusters, machine wires, ...). Mixing them up is the
+/// classic off-by-one-layer bug of a compiler back-end, so each gets its own
+/// incompatible wrapper type. The wrapper is a trivially-copyable value type
+/// with the same cost as a raw `int32_t`.
+namespace hca {
+
+template <class Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t value) : value_(value) {}
+
+  /// Sentinel used for "not assigned yet" states.
+  static constexpr Id invalid() { return Id(-1); }
+
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+  [[nodiscard]] constexpr std::int32_t value() const { return value_; }
+  /// Convenience for indexing into std::vector.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+ private:
+  std::int32_t value_ = -1;
+};
+
+template <class Tag>
+[[nodiscard]] inline std::string to_string(Id<Tag> id) {
+  return id.valid() ? std::to_string(id.value()) : std::string("<invalid>");
+}
+
+// Tags for the id types shared across modules.
+struct DdgNodeTag {};
+struct DdgEdgeTag {};
+struct ClusterTag {};   // node of a PatternGraph
+struct PgArcTag {};     // arc of a PatternGraph
+struct WireTag {};      // physical wire of the machine model
+struct CnTag {};        // linear index of a computation node
+struct ValueTag {};     // a value carried by copies == producing DDG node
+
+using DdgNodeId = Id<DdgNodeTag>;
+using DdgEdgeId = Id<DdgEdgeTag>;
+using ClusterId = Id<ClusterTag>;
+using PgArcId = Id<PgArcTag>;
+using WireId = Id<WireTag>;
+using CnId = Id<CnTag>;
+using ValueId = Id<ValueTag>;
+
+}  // namespace hca
+
+namespace std {
+template <class Tag>
+struct hash<hca::Id<Tag>> {
+  size_t operator()(hca::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,19 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace hca {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[hca:" << kNames[static_cast<int>(level)] << "] " << message
+            << '\n';
+}
+
+}  // namespace hca

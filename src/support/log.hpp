@@ -1,0 +1,55 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+/// Minimal leveled logger.
+///
+/// The assignment passes are long-running searches; being able to turn on a
+/// trace without recompiling is worth more than a fancy logging framework.
+/// Output goes to stderr, serialized by a global mutex so multi-threaded
+/// benchmark sweeps interleave cleanly.
+namespace hca {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel lv) : level(lv) {}
+  ~LogLine() { Logger::instance().write(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace hca
+
+#define HCA_LOG(level_enum, expr)                                       \
+  do {                                                                  \
+    if (::hca::Logger::instance().enabled(level_enum)) {                \
+      ::hca::detail::LogLine hca_line_(level_enum);                     \
+      hca_line_.os << expr; /* NOLINT */                                \
+    }                                                                   \
+  } while (false)
+
+#define HCA_TRACE(expr) HCA_LOG(::hca::LogLevel::kTrace, expr)
+#define HCA_DEBUG(expr) HCA_LOG(::hca::LogLevel::kDebug, expr)
+#define HCA_INFO(expr) HCA_LOG(::hca::LogLevel::kInfo, expr)
+#define HCA_WARN(expr) HCA_LOG(::hca::LogLevel::kWarn, expr)

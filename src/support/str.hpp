@@ -1,0 +1,59 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// String formatting helpers (the host toolchain, libstdc++ 12, does not
+/// ship <format> yet).
+namespace hca {
+
+namespace detail {
+inline void strCatInto(std::ostringstream&) {}
+template <class T, class... Rest>
+void strCatInto(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  strCatInto(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenates every argument via operator<<.
+template <class... Args>
+[[nodiscard]] std::string strCat(const Args&... args) {
+  std::ostringstream os;
+  detail::strCatInto(os, args...);
+  return os.str();
+}
+
+/// Joins container elements with a separator, using operator<< per element.
+template <class Container>
+[[nodiscard]] std::string strJoin(const Container& items,
+                                  const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Splits on a single character, keeping empty fields.
+[[nodiscard]] inline std::vector<std::string> strSplit(const std::string& s,
+                                                       char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+}  // namespace hca

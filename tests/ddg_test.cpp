@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ddg/builder.hpp"
+#include "ddg/ddg.hpp"
+#include "ddg/interp.hpp"
+#include "ddg/opcode.hpp"
+#include "support/check.hpp"
+
+namespace hca::ddg {
+namespace {
+
+// --- opcode ----------------------------------------------------------------
+
+TEST(OpcodeTest, ArityMatchesSemantics) {
+  EXPECT_EQ(opArity(Op::kConst), 0);
+  EXPECT_EQ(opArity(Op::kAbs), 1);
+  EXPECT_EQ(opArity(Op::kAdd), 2);
+  EXPECT_EQ(opArity(Op::kMac), 3);
+  EXPECT_EQ(opArity(Op::kSelect), 3);
+  EXPECT_EQ(opArity(Op::kStore), 2);
+  EXPECT_EQ(opArity(Op::kLoad), 1);
+}
+
+TEST(OpcodeTest, ResourceClasses) {
+  EXPECT_EQ(opResource(Op::kAdd), ResourceClass::kAlu);
+  EXPECT_EQ(opResource(Op::kLoad), ResourceClass::kAg);
+  EXPECT_EQ(opResource(Op::kStore), ResourceClass::kAg);
+  EXPECT_EQ(opResource(Op::kConst), ResourceClass::kNone);
+  EXPECT_EQ(opResource(Op::kRecv), ResourceClass::kNone);
+}
+
+TEST(OpcodeTest, InstructionPredicate) {
+  EXPECT_FALSE(isInstruction(Op::kConst));
+  EXPECT_TRUE(isInstruction(Op::kAdd));
+  EXPECT_TRUE(isInstruction(Op::kRecv));
+}
+
+TEST(OpcodeTest, LatencyModelDefaults) {
+  const LatencyModel lat;
+  EXPECT_EQ(lat.of(Op::kAdd), 1);
+  EXPECT_EQ(lat.of(Op::kMul), 2);
+  EXPECT_EQ(lat.of(Op::kMac), 3);
+  EXPECT_EQ(lat.of(Op::kLoad), 3);
+  EXPECT_EQ(lat.of(Op::kConst), 0);
+  EXPECT_EQ(lat.of(Op::kRecv), 1);
+}
+
+TEST(OpcodeTest, NamesAreUnique) {
+  for (int a = 0; a < kNumOps; ++a) {
+    for (int b = a + 1; b < kNumOps; ++b) {
+      EXPECT_NE(opName(static_cast<Op>(a)), opName(static_cast<Op>(b)));
+    }
+  }
+}
+
+// --- builder ---------------------------------------------------------------
+
+TEST(BuilderTest, SimpleExpression) {
+  DdgBuilder b;
+  const auto x = b.cst(3);
+  const auto y = b.cst(4);
+  const auto sum = b.add(x, y);
+  const auto addr = b.cst(0);
+  b.store(addr, sum);
+  const Ddg ddg = b.finish();
+  EXPECT_EQ(ddg.numNodes(), 5);
+  const auto stats = ddg.stats();
+  EXPECT_EQ(stats.numInstructions, 2);  // add + store
+  EXPECT_EQ(stats.numConsts, 3);
+  EXPECT_EQ(stats.numMemOps, 1);
+}
+
+TEST(BuilderTest, UnclosedCarryThrows) {
+  DdgBuilder b;
+  auto slot = b.carry(0, "iv");
+  b.add(slot, b.cst(1));
+  EXPECT_THROW(b.finish(), InvalidArgumentError);
+}
+
+TEST(BuilderTest, DoubleCloseThrows) {
+  DdgBuilder b;
+  auto slot = b.carry(0);
+  const auto next = b.add(slot, b.cst(1));
+  b.close(slot, next, 1);
+  EXPECT_THROW(b.close(slot, next, 1), InvalidArgumentError);
+}
+
+TEST(BuilderTest, CarriedOperandResolved) {
+  DdgBuilder b;
+  auto iv = b.carry(7, "iv");
+  const auto next = b.add(iv, b.cst(1), "next");
+  b.close(iv, next, 1);
+  const Ddg ddg = b.finish();
+  // The add's first operand must point at itself with distance 1, init 7.
+  const auto& add = ddg.node(ddg.usesOf(DdgNodeId(1))[0].consumer);
+  (void)add;
+  bool found = false;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& n = ddg.node(DdgNodeId(v));
+    if (n.op != Op::kAdd) continue;
+    ASSERT_EQ(n.operands.size(), 2u);
+    EXPECT_EQ(n.operands[0].src, DdgNodeId(v));
+    EXPECT_EQ(n.operands[0].distance, 1);
+    EXPECT_EQ(n.operands[0].init, 7);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BuilderTest, AtZeroDistanceIsIdentity) {
+  DdgBuilder b;
+  const auto x = b.cst(5);
+  const auto y = b.at(x, 0);
+  const auto s = b.add(x, y);
+  b.store(b.cst(0), s);
+  const Ddg ddg = b.finish();
+  // Both operands of the add reference the const directly.
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& n = ddg.node(DdgNodeId(v));
+    if (n.op == Op::kAdd) {
+      EXPECT_EQ(n.operands[0].src, n.operands[1].src);
+      EXPECT_EQ(n.operands[1].distance, 0);
+    }
+  }
+}
+
+TEST(BuilderTest, AtCarriedDistance) {
+  DdgBuilder b;
+  auto iv = b.carry(0);
+  const auto next = b.add(iv, b.cst(1));
+  b.close(iv, next, 1);
+  const auto lagged = b.at(next, 2, 99);
+  b.store(b.cst(0), lagged);
+  const Ddg ddg = b.finish();
+  bool found = false;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& n = ddg.node(DdgNodeId(v));
+    if (n.op == Op::kStore) {
+      EXPECT_EQ(n.operands[1].distance, 2);
+      EXPECT_EQ(n.operands[1].init, 99);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- validation ------------------------------------------------------------
+
+TEST(ValidateTest, RejectsIntraIterationCycle) {
+  Ddg ddg;
+  DdgNode a;
+  a.op = Op::kNeg;
+  a.operands.push_back(Operand{DdgNodeId(1), 0, 0});
+  ddg.addNode(a);
+  DdgNode b;
+  b.op = Op::kNeg;
+  b.operands.push_back(Operand{DdgNodeId(0), 0, 0});
+  ddg.addNode(b);
+  EXPECT_THROW(ddg.validate(), InvalidArgumentError);
+}
+
+TEST(ValidateTest, AcceptsCarriedCycle) {
+  Ddg ddg;
+  DdgNode a;
+  a.op = Op::kNeg;
+  a.operands.push_back(Operand{DdgNodeId(0), 1, 0});  // self, distance 1
+  ddg.addNode(a);
+  EXPECT_NO_THROW(ddg.validate());
+}
+
+TEST(ValidateTest, RejectsWrongArity) {
+  Ddg ddg;
+  DdgNode a;
+  a.op = Op::kAdd;  // needs 2 operands
+  ddg.addNode(a);
+  EXPECT_THROW(ddg.validate(), InvalidArgumentError);
+}
+
+TEST(ValidateTest, RejectsStoreResultUse) {
+  Ddg ddg;
+  DdgNode c;
+  c.op = Op::kConst;
+  const auto cid = ddg.addNode(c);
+  DdgNode st;
+  st.op = Op::kStore;
+  st.operands = {Operand{cid, 0, 0}, Operand{cid, 0, 0}};
+  const auto sid = ddg.addNode(st);
+  DdgNode use;
+  use.op = Op::kNeg;
+  use.operands = {Operand{sid, 0, 0}};
+  ddg.addNode(use);
+  EXPECT_THROW(ddg.validate(), InvalidArgumentError);
+}
+
+// --- miiRec / heights ------------------------------------------------------
+
+TEST(MiiRecTest, PointerWrapCycleIsThree) {
+  // add -> cmplt -> select -> (d1) -> add : the fir2dim recurrence shape.
+  DdgBuilder b;
+  auto p = b.carry(0, "p");
+  const auto pn = b.add(p, b.cst(3));
+  const auto w = b.cmplt(pn, b.cst(100));
+  const auto next = b.select(w, pn, b.cst(0));
+  b.close(p, next, 1);
+  b.store(b.cst(0), pn);
+  const Ddg ddg = b.finish();
+  EXPECT_EQ(ddg.miiRec(LatencyModel{}), 3);
+}
+
+TEST(MiiRecTest, PlainInductionIsOne) {
+  DdgBuilder b;
+  auto iv = b.carry(0);
+  const auto next = b.add(iv, b.cst(1));
+  b.close(iv, next, 1);
+  b.store(b.cst(0), next);
+  EXPECT_EQ(b.finish().miiRec(LatencyModel{}), 1);
+}
+
+TEST(MiiRecTest, MacAccumulatorUsesLatency) {
+  DdgBuilder b;
+  auto acc = b.carry(0);
+  const auto next = b.mac(acc, b.cst(2), b.cst(3));
+  b.close(acc, next, 1);
+  b.store(b.cst(0), next);
+  EXPECT_EQ(b.finish().miiRec(LatencyModel{}), 3);  // mac latency
+}
+
+TEST(HeightsTest, ChainHeights) {
+  DdgBuilder b;
+  const auto x = b.cst(1);
+  const auto m = b.mul(x, x);    // latency 2
+  const auto a = b.add(m, x);    // latency 1
+  b.store(b.cst(0), a);
+  const Ddg ddg = b.finish();
+  const auto h = ddg.heights(LatencyModel{});
+  // store is a sink: height 0; add: 1 (its own latency to the store);
+  // mul: lat(mul)+lat(add) = 3.
+  std::int64_t mulH = -1, addH = -1, storeH = -1;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    switch (ddg.node(DdgNodeId(v)).op) {
+      case Op::kMul: mulH = h[static_cast<std::size_t>(v)]; break;
+      case Op::kAdd: addH = h[static_cast<std::size_t>(v)]; break;
+      case Op::kStore: storeH = h[static_cast<std::size_t>(v)]; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(storeH, 0);
+  EXPECT_EQ(addH, 1);
+  EXPECT_EQ(mulH, 3);
+}
+
+// --- interpreter -----------------------------------------------------------
+
+TEST(InterpTest, AccumulatorSum) {
+  // acc += 2 each iteration; store acc to mem[0].
+  DdgBuilder b;
+  auto acc = b.carry(0, "acc");
+  const auto next = b.add(acc, b.cst(2));
+  b.close(acc, next, 1);
+  b.store(b.cst(0), next);
+  const Ddg ddg = b.finish();
+
+  InterpConfig cfg;
+  cfg.iterations = 5;
+  cfg.memory.assign(4, 0);
+  const auto result = interpret(ddg, cfg);
+  EXPECT_EQ(result.memory[0], 10);
+  ASSERT_EQ(result.storeTrace.size(), 5u);
+  EXPECT_EQ(result.storeTrace[0].value, 2);
+  EXPECT_EQ(result.storeTrace[4].value, 10);
+}
+
+TEST(InterpTest, CarriedInitValueUsedEarly) {
+  // Reads a value at distance 2: first two iterations see init = 42.
+  DdgBuilder b;
+  auto iv = b.carry(0);
+  const auto next = b.add(iv, b.cst(1));
+  b.close(iv, next, 1);
+  const auto lag = b.at(next, 2, 42);
+  const auto addr = b.and_(next, b.cst(7));
+  b.store(addr, lag);
+  const Ddg ddg = b.finish();
+  InterpConfig cfg;
+  cfg.iterations = 4;
+  cfg.memory.assign(8, 0);
+  const auto result = interpret(ddg, cfg);
+  ASSERT_EQ(result.storeTrace.size(), 4u);
+  EXPECT_EQ(result.storeTrace[0].value, 42);  // it 0: init
+  EXPECT_EQ(result.storeTrace[1].value, 42);  // it 1: init
+  EXPECT_EQ(result.storeTrace[2].value, 1);   // it 2: next(it0) = 1
+  EXPECT_EQ(result.storeTrace[3].value, 2);
+}
+
+TEST(InterpTest, LoadStoreRoundTrip) {
+  // mem[i+4] = mem[i] * 2 for i in 0..3.
+  DdgBuilder b;
+  auto iv = b.carry(0);
+  const auto next = b.add(iv, b.cst(1));
+  b.close(iv, next, 1);
+  const auto x = b.load(iv, 0);
+  const auto doubled = b.mul(x, b.cst(2));
+  b.store(iv, doubled, 4);
+  const Ddg ddg = b.finish();
+  InterpConfig cfg;
+  cfg.iterations = 4;
+  cfg.memory = {1, 2, 3, 4, 0, 0, 0, 0};
+  const auto result = interpret(ddg, cfg);
+  EXPECT_EQ(result.memory[4], 2);
+  EXPECT_EQ(result.memory[5], 4);
+  EXPECT_EQ(result.memory[6], 6);
+  EXPECT_EQ(result.memory[7], 8);
+}
+
+TEST(InterpTest, OutOfBoundsLoadThrows) {
+  DdgBuilder b;
+  const auto x = b.load(b.cst(100), 0);
+  b.store(b.cst(0), x);
+  const Ddg ddg = b.finish();
+  InterpConfig cfg;
+  cfg.iterations = 1;
+  cfg.memory.assign(4, 0);
+  EXPECT_THROW(interpret(ddg, cfg), InvalidArgumentError);
+}
+
+TEST(InterpTest, AllPureOpsEvaluate) {
+  DdgBuilder b;
+  const auto a = b.cst(-7);
+  const auto c = b.cst(3);
+  const auto results = std::vector<std::pair<DdgBuilder::Value, std::int64_t>>{
+      {b.add(a, c), -4},     {b.sub(a, c), -10},   {b.mul(a, c), -21},
+      {b.mac(c, a, c), -18}, {b.neg(a), 7},        {b.abs(a), 7},
+      {b.min(a, c), -7},     {b.max(a, c), 3},     {b.shl(c, c), 24},
+      {b.shr(b.cst(16), c), 2}, {b.and_(b.cst(6), c), 2},
+      {b.or_(b.cst(4), c), 7},  {b.xor_(b.cst(6), c), 5},
+      {b.cmplt(a, c), 1},    {b.select(c, a, c), -7},
+      {b.clip(a, -2, 2), -2}};
+  // Anchor everything with stores so nothing is dead.
+  int addr = 0;
+  for (const auto& [value, expected] : results) {
+    b.store(b.cst(addr++), value);
+  }
+  const Ddg ddg = b.finish();
+  InterpConfig cfg;
+  cfg.iterations = 1;
+  cfg.memory.assign(32, 0);
+  const auto out = interpret(ddg, cfg);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(out.memory[i], results[i].second) << "op #" << i;
+  }
+}
+
+TEST(InterpTest, ZeroIterationsIsIdentity) {
+  DdgBuilder b;
+  b.store(b.cst(0), b.cst(9));
+  const Ddg ddg = b.finish();
+  InterpConfig cfg;
+  cfg.iterations = 0;
+  cfg.memory = {5};
+  const auto out = interpret(ddg, cfg);
+  EXPECT_EQ(out.memory[0], 5);
+  EXPECT_TRUE(out.storeTrace.empty());
+}
+
+// --- dot / uses ------------------------------------------------------------
+
+TEST(DdgDotTest, ProducesGraph) {
+  DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0, "x");
+  b.store(b.cst(1), x);
+  const Ddg ddg = b.finish();
+  std::ostringstream os;
+  ddg.toDot(os, "test");
+  const auto out = os.str();
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("load"), std::string::npos);
+}
+
+TEST(DdgUsesTest, FindsAllUses) {
+  DdgBuilder b;
+  const auto x = b.cst(1);
+  const auto s = b.add(x, x);
+  b.store(b.cst(0), s);
+  const Ddg ddg = b.finish();
+  const auto uses = ddg.usesOf(b.idOf(x));
+  EXPECT_EQ(uses.size(), 2u);  // both operands of the add
+}
+
+}  // namespace
+}  // namespace hca::ddg

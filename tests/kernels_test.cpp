@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "ddg/interp.hpp"
+#include "ddg/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace hca::ddg {
+namespace {
+
+/// DSPFabric resource model of the paper's evaluation: 64 single-issue CNs
+/// and a DMA serving at most 8 simultaneous requests. MIIRes is the max of
+/// the issue bound and the memory bound (see DESIGN.md §4).
+int miiRes64(const DdgStats& s) {
+  const int issue = (s.numInstructions + 63) / 64;
+  const int mem = (s.numMemOps + 7) / 8;
+  return std::max(issue, mem);
+}
+
+class KernelTable1Test : public ::testing::TestWithParam<int> {
+ protected:
+  Kernel kernel() const {
+    auto kernels = table1Kernels();
+    return std::move(kernels[static_cast<std::size_t>(GetParam())]);
+  }
+};
+
+TEST_P(KernelTable1Test, Validates) {
+  const auto k = kernel();
+  EXPECT_NO_THROW(k.ddg.validate());
+}
+
+TEST_P(KernelTable1Test, InstructionCountMatchesPaper) {
+  const auto k = kernel();
+  EXPECT_EQ(k.ddg.stats().numInstructions, k.paper.nInstr)
+      << "kernel " << k.name;
+}
+
+TEST_P(KernelTable1Test, MiiRecMatchesPaper) {
+  const auto k = kernel();
+  EXPECT_EQ(k.ddg.miiRec(LatencyModel{}), k.paper.miiRec)
+      << "kernel " << k.name;
+}
+
+TEST_P(KernelTable1Test, MiiResMatchesPaper) {
+  const auto k = kernel();
+  EXPECT_EQ(miiRes64(k.ddg.stats()), k.paper.miiRes) << "kernel " << k.name;
+}
+
+TEST_P(KernelTable1Test, MemOpsWithinDmaBudgetModel) {
+  // Sanity on the calibration: the DMA bound never exceeds the paper's
+  // MIIRes, i.e. the kernels do not overdrive the 8-slot DMA.
+  const auto k = kernel();
+  EXPECT_LE((k.ddg.stats().numMemOps + 7) / 8, k.paper.miiRes);
+}
+
+TEST_P(KernelTable1Test, InterpretableForSafeIterations) {
+  const auto k = kernel();
+  const int iters = std::min(k.safeIterations, 12);
+  const auto cfg = kernelInterpConfig(k, iters);
+  EXPECT_NO_THROW(interpret(k.ddg, cfg));
+}
+
+TEST_P(KernelTable1Test, StoresHappenEveryIteration) {
+  const auto k = kernel();
+  const int iters = std::min(k.safeIterations, 8);
+  const auto cfg = kernelInterpConfig(k, iters);
+  const auto result = interpret(k.ddg, cfg);
+  int storesPerIter = 0;
+  for (std::int32_t v = 0; v < k.ddg.numNodes(); ++v) {
+    if (k.ddg.node(DdgNodeId(v)).op == Op::kStore) ++storesPerIter;
+  }
+  EXPECT_EQ(result.storeTrace.size(),
+            static_cast<std::size_t>(storesPerIter * iters));
+}
+
+TEST_P(KernelTable1Test, DeterministicExecution) {
+  const auto k = kernel();
+  const int iters = std::min(k.safeIterations, 6);
+  const auto cfg = kernelInterpConfig(k, iters, /*seed=*/3);
+  const auto r1 = interpret(k.ddg, cfg);
+  const auto r2 = interpret(k.ddg, cfg);
+  EXPECT_EQ(r1.memory, r2.memory);
+}
+
+std::string kernelParamName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"fir2dim", "idcthor", "mpeg2inter",
+                                 "h264deblocking"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTable1Test,
+                         ::testing::Range(0, 4), kernelParamName);
+
+// --- kernel-specific semantics ----------------------------------------------
+
+TEST(Fir2DimTest, OutputsAreClippedFilterResponses) {
+  const auto k = buildFir2Dim();
+  const auto cfg = kernelInterpConfig(k, 10);
+  const auto result = interpret(k.ddg, cfg);
+  for (const auto& store : result.storeTrace) {
+    EXPECT_GE(store.value, 0);
+    EXPECT_LE(store.value, 255);
+  }
+}
+
+TEST(Fir2DimTest, FlatInputYieldsFlatOutput) {
+  // With all pixels equal to p, a normalized 3x3 kernel returns p (once the
+  // sliding window has warmed past the first iteration's init values).
+  auto k = buildFir2Dim();
+  InterpConfig cfg;
+  cfg.iterations = 8;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 100);
+  const auto result = interpret(k.ddg, cfg);
+  // Skip iteration 0 (window inits) — all later outputs must equal 100.
+  for (const auto& store : result.storeTrace) {
+    if (store.iteration == 0) continue;
+    EXPECT_EQ(store.value, 100) << "at iteration " << store.iteration;
+  }
+}
+
+TEST(IdctHorTest, DcOnlyRowIsConstant) {
+  // An input row with only the DC coefficient set produces a constant row:
+  // out[k] = (dc * 2048 + 128*2049/2048...) — exactly: ((dc<<11)+128+0)>>8.
+  auto k = buildIdctHor();
+  InterpConfig cfg;
+  cfg.iterations = 1;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 0);
+  cfg.memory[0] = 16;  // dc of row 0
+  const auto result = interpret(k.ddg, cfg);
+  ASSERT_EQ(result.storeTrace.size(), 8u);
+  const std::int64_t expected = ((16LL << 11) + 128) >> 8;
+  for (const auto& store : result.storeTrace) {
+    EXPECT_EQ(store.value, std::min<std::int64_t>(expected, 255));
+  }
+}
+
+TEST(IdctHorTest, ZeroRowStaysZero) {
+  auto k = buildIdctHor();
+  InterpConfig cfg;
+  cfg.iterations = 2;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 0);
+  const auto result = interpret(k.ddg, cfg);
+  for (const auto& store : result.storeTrace) {
+    EXPECT_EQ(store.value, 0);
+  }
+}
+
+TEST(Mpeg2InterTest, FlatReferencesAverageFlat) {
+  auto k = buildMpeg2Inter();
+  InterpConfig cfg;
+  cfg.iterations = 6;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 80);
+  const auto result = interpret(k.ddg, cfg);
+  for (const auto& store : result.storeTrace) {
+    if (store.iteration == 0) continue;  // sliding-window warm-up
+    EXPECT_EQ(store.value, 80);
+  }
+}
+
+TEST(Mpeg2InterTest, OutputsClipped) {
+  const auto k = buildMpeg2Inter();
+  const auto cfg = kernelInterpConfig(k, 10, 7);
+  const auto result = interpret(k.ddg, cfg);
+  for (const auto& store : result.storeTrace) {
+    EXPECT_GE(store.value, 0);
+    EXPECT_LE(store.value, 255);
+  }
+}
+
+TEST(H264DeblockTest, FlatEdgeUntouched) {
+  // A perfectly flat edge has delta 0 everywhere: stores write back the
+  // original pixel values.
+  auto k = buildH264Deblocking();
+  InterpConfig cfg;
+  cfg.iterations = 8;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 60);
+  const auto result = interpret(k.ddg, cfg);
+  for (const auto& store : result.storeTrace) {
+    EXPECT_EQ(store.value, 60);
+  }
+}
+
+TEST(H264DeblockTest, StrongEdgeNotFiltered) {
+  // |p0 - q0| >= alpha -> filterSampleFlag false -> pixels unchanged
+  // (a real edge must not be smoothed).
+  auto k = buildH264Deblocking();
+  InterpConfig cfg;
+  cfg.iterations = 4;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 0);
+  // p side all 0, q side all 200: |p0-q0| = 200 >= alpha(40).
+  for (int i = 3 * 64; i < 6 * 64; ++i) {
+    cfg.memory[static_cast<std::size_t>(i)] = 200;
+  }
+  const auto result = interpret(k.ddg, cfg);
+  auto after = result.memory;
+  EXPECT_EQ(after, result.memory);
+  for (const auto& store : result.storeTrace) {
+    // Writes preserve the original values on both sides.
+    EXPECT_TRUE(store.value == 0 || store.value == 200);
+  }
+}
+
+TEST(H264DeblockTest, SmallStepIsSmoothed) {
+  // A small step across the edge (within alpha/beta) must be reduced.
+  auto k = buildH264Deblocking();
+  InterpConfig cfg;
+  cfg.iterations = 1;
+  cfg.memory.assign(static_cast<std::size_t>(k.memorySize), 100);
+  for (int i = 3 * 64; i < 6 * 64; ++i) {
+    cfg.memory[static_cast<std::size_t>(i)] = 110;  // step of 10 < alpha
+  }
+  const auto result = interpret(k.ddg, cfg);
+  bool sawFilteredP0 = false;
+  for (const auto& store : result.storeTrace) {
+    if (store.address >= 2 * 64 && store.address < 3 * 64) {  // p0 row
+      EXPECT_GT(store.value, 100);  // pulled towards q
+      sawFilteredP0 = true;
+    }
+  }
+  EXPECT_TRUE(sawFilteredP0);
+}
+
+// --- random DDG generator ----------------------------------------------------
+
+class RandomDdgTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDdgTest, GeneratesValidInterpretableDdg) {
+  Rng rng(GetParam());
+  RandomDdgParams params;
+  params.numInstructions = 50 + static_cast<int>(GetParam() % 40);
+  const Ddg ddg = randomDdg(rng, params);
+  EXPECT_NO_THROW(ddg.validate());
+  EXPECT_GE(ddg.stats().numInstructions, params.numInstructions - 2);
+  InterpConfig cfg;
+  cfg.iterations = 8;
+  cfg.memory.assign(static_cast<std::size_t>(params.memorySize), 1);
+  EXPECT_NO_THROW(interpret(ddg, cfg));
+}
+
+TEST_P(RandomDdgTest, MiiRecIsFinite) {
+  Rng rng(GetParam() * 31 + 1);
+  const Ddg ddg = randomDdg(rng, RandomDdgParams{});
+  const auto mii = ddg.miiRec(LatencyModel{});
+  EXPECT_GE(mii, 1);
+  EXPECT_LE(mii, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDdgTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace hca::ddg

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/pattern_graph.hpp"
+#include "mapper/mapper.hpp"
+#include "support/check.hpp"
+
+namespace hca::mapper {
+namespace {
+
+/// Four fully-connected clusters, like one DSPFabric level.
+machine::PatternGraph fourClusters() {
+  machine::PatternGraph pg;
+  for (int i = 0; i < 4; ++i) {
+    pg.addCluster(machine::ResourceTable(4, 4));
+  }
+  pg.connectClustersCompletely();
+  return pg;
+}
+
+void addFlow(const machine::PatternGraph& pg, machine::CopyFlow& flow,
+             int src, int dst, ValueId v) {
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(src), hca::ClusterId(dst)), v);
+}
+
+MapperInput baseInput(const machine::PatternGraph& pg,
+                      const machine::CopyFlow& flow, int inWires,
+                      int outWires) {
+  MapperInput input;
+  input.pg = &pg;
+  input.flow = &flow;
+  input.inWiresPerChild = inWires;
+  input.outWiresPerChild = outWires;
+  input.problemPath = {0};
+  return input;
+}
+
+/// Values on the wire feeding child `di` that come from boundary wires.
+int countInputWires(const MapResult& result, int child) {
+  return static_cast<int>(
+      result.ilis[static_cast<std::size_t>(child)].inputs.size());
+}
+
+// --- Figure 9: broadcast sharing and copy distribution -----------------------
+
+TEST(MapperTest, PaperFigure9BroadcastUsesOneWire) {
+  // Value x broadcast from cluster 0 to clusters 1 and 2 (Fig. 9a): the
+  // Mapper uses one output wire of cluster 0 for both destinations.
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  const ValueId x(10);
+  addFlow(pg, flow, 0, 1, x);
+  addFlow(pg, flow, 0, 2, x);
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 4));
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  // Cluster 0 uses exactly one output wire carrying {x}.
+  const auto& outs = result.ilis[0].outputs;
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].values, std::vector<ValueId>{x});
+  // Both receivers read it on one input wire each.
+  EXPECT_EQ(countInputWires(result, 1), 1);
+  EXPECT_EQ(countInputWires(result, 2), 1);
+  EXPECT_EQ(result.maxValuesPerWire, 1);
+}
+
+TEST(MapperTest, PaperFigure9DistinctDestinationsGetDistinctWires) {
+  // a, b, c from cluster 0 to three different destinations (Fig. 9b):
+  // with enough wires they are distributed over three wires.
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  addFlow(pg, flow, 0, 1, ValueId(1));
+  addFlow(pg, flow, 0, 2, ValueId(2));
+  addFlow(pg, flow, 0, 3, ValueId(3));
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 4));
+  ASSERT_TRUE(result.legal);
+  EXPECT_EQ(result.ilis[0].outputs.size(), 3u);
+  EXPECT_EQ(result.maxValuesPerWire, 1);  // perfectly balanced
+}
+
+TEST(MapperTest, ScarceOutputWiresForceSharing) {
+  // Same traffic but only one output wire: all three values serialize.
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  addFlow(pg, flow, 0, 1, ValueId(1));
+  addFlow(pg, flow, 0, 2, ValueId(2));
+  addFlow(pg, flow, 0, 3, ValueId(3));
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 1));
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  EXPECT_EQ(result.ilis[0].outputs.size(), 1u);
+  EXPECT_EQ(result.maxValuesPerWire, 3);  // pressure reported honestly
+}
+
+TEST(MapperTest, InputBudgetTriggersMerging) {
+  // Cluster 3 receives one value from each of two wires of cluster 0; with
+  // an input budget of 1 the mapper must merge them onto one wire.
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  // Two values with different dest sets, both read by 3.
+  addFlow(pg, flow, 0, 3, ValueId(1));
+  addFlow(pg, flow, 0, 1, ValueId(2));
+  addFlow(pg, flow, 0, 3, ValueId(2));
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 1, 4));
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  EXPECT_EQ(countInputWires(result, 3), 1);
+  // The merged wire carries both values.
+  EXPECT_EQ(result.ilis[3].inputs[0].values.size(), 2u);
+}
+
+TEST(MapperTest, IlInputsAndSettingsConsistent) {
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  addFlow(pg, flow, 0, 1, ValueId(1));
+  addFlow(pg, flow, 2, 1, ValueId(5));
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 4));
+  ASSERT_TRUE(result.legal);
+  // Child 1 reads two wires; MUX settings agree with the ILI.
+  EXPECT_EQ(countInputWires(result, 1), 2);
+  int settingsInto1 = 0;
+  for (const auto& s : result.reconfig.settings) {
+    if (s.dstChild == 1) ++settingsInto1;
+  }
+  EXPECT_EQ(settingsInto1, 2);
+  EXPECT_NO_THROW(result.reconfig.validate());
+}
+
+// --- boundary nodes (Figures 10 and 11) --------------------------------------
+
+machine::PatternGraph withBoundary(std::vector<ValueId> inValues) {
+  machine::PatternGraph pg;
+  for (int i = 0; i < 4; ++i) {
+    pg.addCluster(machine::ResourceTable(4, 4));
+  }
+  pg.connectClustersCompletely();
+  pg.addInputNode(std::move(inValues), "in0");
+  pg.addOutputNode("out0");
+  pg.connectBoundaryNodes();
+  return pg;
+}
+
+TEST(MapperTest, PaperFigure11BoundaryWiresPreallocated) {
+  // Values x,z enter on a boundary wire consumed by cluster 1; values k,h
+  // leave from cluster 2 on the output wire. The mapper reports both in the
+  // ILIs and emits boundary MUX settings.
+  const ValueId x(100), z(101), k(7), h(8);
+  const auto pg = withBoundary({x, z});
+  const auto in = pg.inputNodes()[0];
+  const auto out = pg.outputNodes()[0];
+  machine::CopyFlow flow(pg);
+  flow.addCopy(*pg.arcBetween(in, hca::ClusterId(1)), x);
+  flow.addCopy(*pg.arcBetween(in, hca::ClusterId(1)), z);
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(2), out), k);
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(2), out), h);
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 4));
+  ASSERT_TRUE(result.legal) << result.failureReason;
+
+  // Child 1's ILI input lists the boundary wire with x and z.
+  ASSERT_EQ(result.ilis[1].inputs.size(), 1u);
+  const auto& inWire = result.ilis[1].inputs[0];
+  EXPECT_EQ(inWire.values, (std::vector<ValueId>{x, z}));
+  // Child 2's ILI output carries k and h on one wire (unary fan-in).
+  ASSERT_EQ(result.ilis[2].outputs.size(), 1u);
+  std::vector<ValueId> expected{k, h};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result.ilis[2].outputs[0].values, expected);
+
+  // Boundary settings: one srcIsBoundary into child 1, one feeding the
+  // output node (dstChild = numChildren + 0 = 4).
+  bool sawBoundaryIn = false, sawBoundaryOut = false;
+  for (const auto& s : result.reconfig.settings) {
+    if (s.srcIsBoundary && s.dstChild == 1) sawBoundaryIn = true;
+    if (!s.srcIsBoundary && s.dstChild == 4 && s.srcChild == 2) {
+      sawBoundaryOut = true;
+    }
+  }
+  EXPECT_TRUE(sawBoundaryIn);
+  EXPECT_TRUE(sawBoundaryOut);
+}
+
+TEST(MapperTest, BoundaryOutputWireNotAbsorbedBySiblingTraffic) {
+  // k goes to the output node AND to sibling 1: the boundary wire carries
+  // it, and sibling 1 reads that same wire (broadcast) — one wire total.
+  const auto pg = withBoundary({});
+  const auto out = pg.outputNodes()[0];
+  machine::CopyFlow flow(pg);
+  const ValueId k(7);
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(2), out), k);
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(2), hca::ClusterId(1)), k);
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 4));
+  ASSERT_TRUE(result.legal);
+  EXPECT_EQ(result.ilis[2].outputs.size(), 1u);
+  EXPECT_EQ(countInputWires(result, 1), 1);
+}
+
+TEST(MapperTest, TwoBoundaryWiresShareOneSourceWire) {
+  // One cluster drives two output nodes but has a single output wire: both
+  // parent wires select the same source wire, which carries the union of
+  // the two value sets (and reports the doubled pressure).
+  machine::PatternGraph pg;
+  for (int i = 0; i < 2; ++i) {
+    pg.addCluster(machine::ResourceTable(4, 4));
+  }
+  pg.connectClustersCompletely();
+  pg.addOutputNode("o0");
+  pg.addOutputNode("o1");
+  pg.connectBoundaryNodes();
+  const auto outs = pg.outputNodes();
+  machine::CopyFlow flow(pg);
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(0), outs[0]), ValueId(1));
+  flow.addCopy(*pg.arcBetween(hca::ClusterId(0), outs[1]), ValueId(2));
+
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 4, 1));
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  ASSERT_EQ(result.ilis[0].outputs.size(), 1u);
+  EXPECT_EQ(result.ilis[0].outputs[0].values.size(), 2u);
+  EXPECT_EQ(result.maxValuesPerWire, 2);
+  // Two boundary settings select the same (child 0, wire 0) source.
+  int boundaryFeeds = 0;
+  for (const auto& s : result.reconfig.settings) {
+    if (s.dstChild >= 2) {
+      ++boundaryFeeds;
+      EXPECT_EQ(s.srcChild, 0);
+      EXPECT_EQ(s.srcWire, 0);
+    }
+  }
+  EXPECT_EQ(boundaryFeeds, 2);
+}
+
+TEST(MapperTest, MaxWiresIntoChildCapApplies) {
+  // Child 3 receives from three senders; inWires = 4 would allow it, but
+  // the K-crossbar cap of 2 cannot be satisfied by merging different
+  // senders -> illegal.
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  addFlow(pg, flow, 0, 3, ValueId(1));
+  addFlow(pg, flow, 1, 3, ValueId(2));
+  addFlow(pg, flow, 2, 3, ValueId(3));
+
+  auto input = baseInput(pg, flow, 4, 4);
+  input.maxWiresIntoChild = 2;
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(input);
+  EXPECT_FALSE(result.legal);
+  EXPECT_NE(result.failureReason.find("input wires"), std::string::npos);
+}
+
+TEST(MapperTest, EmptyFlowIsTriviallyLegal) {
+  const auto pg = fourClusters();
+  const machine::CopyFlow flow(pg);
+  const Mapper mapperPass;
+  const auto result = mapperPass.map(baseInput(pg, flow, 1, 1));
+  ASSERT_TRUE(result.legal);
+  EXPECT_EQ(result.wiresUsed, 0);
+  EXPECT_EQ(result.maxValuesPerWire, 0);
+  for (const auto& ili : result.ilis) {
+    EXPECT_TRUE(ili.inputs.empty());
+    EXPECT_TRUE(ili.outputs.empty());
+  }
+}
+
+TEST(MapperTest, Deterministic) {
+  const auto pg = fourClusters();
+  machine::CopyFlow flow(pg);
+  for (int v = 0; v < 12; ++v) {
+    addFlow(pg, flow, v % 4, (v + 1 + v % 3) % 4, ValueId(v));
+  }
+  const Mapper mapperPass;
+  const auto r1 = mapperPass.map(baseInput(pg, flow, 3, 3));
+  const auto r2 = mapperPass.map(baseInput(pg, flow, 3, 3));
+  ASSERT_EQ(r1.legal, r2.legal);
+  ASSERT_EQ(r1.reconfig.settings.size(), r2.reconfig.settings.size());
+  for (std::size_t i = 0; i < r1.reconfig.settings.size(); ++i) {
+    EXPECT_EQ(r1.reconfig.settings[i], r2.reconfig.settings[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hca::mapper

@@ -1,0 +1,200 @@
+// Randomized whole-pipeline property tests: for a fleet of random
+// loop-body DDGs, every stage of the tool chain must uphold its contract —
+// HCA legality implies coherency, working sets partition, the scheduler's
+// result validates, and the simulated fabric execution equals the
+// reference interpreter.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ddg/kernels.hpp"
+#include "hca/coherency.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+#include "hca/postprocess.hpp"
+#include "sched/modulo.hpp"
+#include "sched/regpressure.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace hca {
+namespace {
+
+machine::DspFabricModel paperFabric() {
+  machine::DspFabricConfig config;
+  config.n = config.m = config.k = 8;
+  return machine::DspFabricModel(config);
+}
+
+ddg::Ddg randomLoop(std::uint64_t seed) {
+  Rng rng(seed);
+  ddg::RandomDdgParams params;
+  params.numInstructions = 30 + static_cast<int>(seed % 45);
+  params.memorySize = 256;
+  params.memOpFraction = 0.12;
+  params.carryFraction = 0.08;
+  return ddg::randomDdg(rng, params);
+}
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinePropertyTest, LegalityImpliesCoherencyAndPartition) {
+  const auto ddg = randomLoop(GetParam());
+  const auto model = paperFabric();
+  core::HcaOptions options;
+  options.targetIiSlack = 4;
+  options.searchProfiles = 3;
+  const core::HcaDriver driver(model, options);
+  const auto result = driver.run(ddg);
+  if (!result.legal) GTEST_SKIP() << result.failureReason;
+
+  // Coherency: every cross-cluster dependence is routed.
+  EXPECT_TRUE(core::checkCoherency(ddg, model, result).empty());
+
+  // Every instruction landed exactly once; working sets partition at every
+  // non-leaf record.
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    EXPECT_EQ(result.assignment[static_cast<std::size_t>(v)].valid(),
+              ddg::isInstruction(ddg.node(DdgNodeId(v)).op));
+  }
+  for (const auto& record : result.records) {
+    std::set<std::int32_t> seen;
+    for (const DdgNodeId n : record->workingSet) {
+      EXPECT_TRUE(seen.insert(n.value()).second);
+    }
+    // Final CN agrees with the per-level child choice.
+    for (std::size_t i = 0; i < record->workingSet.size(); ++i) {
+      const auto path =
+          model.pathOfCn(result.assignment[record->workingSet[i].index()]);
+      EXPECT_EQ(path[record->path.size()], record->wsChild[i]);
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, ScheduleValidatesAndSimulationMatches) {
+  const auto ddg = randomLoop(GetParam() * 977 + 5);
+  const auto model = paperFabric();
+  core::HcaOptions options;
+  options.targetIiSlack = 4;
+  options.searchProfiles = 3;
+  const core::HcaDriver driver(model, options);
+  const auto result = driver.run(ddg);
+  if (!result.legal) GTEST_SKIP() << result.failureReason;
+
+  const auto mapping = core::buildFinalMapping(ddg, model, result);
+  EXPECT_NO_THROW(mapping.finalDdg.validate());
+
+  const auto mii = core::computeMii(ddg, model, result);
+  const auto sched = sched::moduloSchedule(mapping, model, mii.finalMii);
+  ASSERT_TRUE(sched.ok) << sched.failureReason;
+  EXPECT_TRUE(
+      sched::validateSchedule(mapping, model, sched.schedule).empty());
+  EXPECT_GE(sched.schedule.ii, mii.finalMii);
+
+  // End-to-end functional equivalence on the random loop.
+  sim::SimConfig config;
+  config.iterations = 6;
+  config.memory.assign(256, 3);
+  std::string why;
+  EXPECT_TRUE(sim::matchesReference(ddg, mapping, model, sched.schedule,
+                                    config, &why))
+      << why;
+
+  // Register pressure is well-formed on any valid schedule.
+  const auto pressure =
+      sched::analyzeRegisterPressure(mapping, model, sched.schedule);
+  EXPECT_GE(pressure.maxRegistersPerCn, 1);
+}
+
+TEST_P(PipelinePropertyTest, RecvCountMatchesCrossCnValueConsumers) {
+  const auto ddg = randomLoop(GetParam() * 31 + 17);
+  const auto model = paperFabric();
+  const core::HcaDriver driver(model);
+  const auto result = driver.run(ddg);
+  if (!result.legal) GTEST_SKIP();
+  const auto mapping = core::buildFinalMapping(ddg, model, result);
+
+  // Count distinct (value, consumer CN != producer CN) pairs, plus relay
+  // placements on CNs that do not already have a consumer-recv.
+  std::set<std::pair<std::int32_t, std::int32_t>> expected;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto& node = ddg.node(DdgNodeId(v));
+    if (!ddg::isInstruction(node.op)) continue;
+    for (const auto& operand : node.operands) {
+      if (!ddg::isInstruction(ddg.node(operand.src).op)) continue;
+      const CnId src = result.assignment[operand.src.index()];
+      const CnId dst = result.assignment[static_cast<std::size_t>(v)];
+      if (src != dst) expected.insert({operand.src.value(), dst.value()});
+    }
+  }
+  for (const auto& relay : result.relays) {
+    expected.insert({relay.value.value(), relay.cn.value()});
+  }
+  EXPECT_EQ(mapping.recvs.size(), expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- reduced fabric ----------------------------------------------------------
+
+class SmallFabricPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallFabricPropertyTest, TwoLevelPipelineHolds) {
+  Rng rng(GetParam() * 7 + 3);
+  ddg::RandomDdgParams params;
+  params.numInstructions = 16 + static_cast<int>(GetParam() % 12);
+  params.memorySize = 128;
+  params.memOpFraction = 0.1;
+  const auto ddg = ddg::randomDdg(rng, params);
+
+  machine::DspFabricConfig config;
+  config.branching = {4, 4};
+  config.n = config.m = config.k = 4;
+  const machine::DspFabricModel model(config);
+  core::HcaOptions options;
+  options.targetIiSlack = 6;
+  const core::HcaDriver driver(model, options);
+  const auto result = driver.run(ddg);
+  if (!result.legal) GTEST_SKIP() << result.failureReason;
+
+  EXPECT_TRUE(core::checkCoherency(ddg, model, result).empty());
+  const auto mapping = core::buildFinalMapping(ddg, model, result);
+  const auto mii = core::computeMii(ddg, model, result);
+  const auto sched = sched::moduloSchedule(mapping, model, mii.finalMii);
+  ASSERT_TRUE(sched.ok);
+  sim::SimConfig simConfig;
+  simConfig.iterations = 5;
+  simConfig.memory.assign(128, 1);
+  std::string why;
+  EXPECT_TRUE(sim::matchesReference(ddg, mapping, model, sched.schedule,
+                                    simConfig, &why))
+      << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallFabricPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- sanity: skips must be rare ------------------------------------------------
+
+TEST(PipelinePropertyCoverage, MostRandomLoopsAreLegal) {
+  // The property tests above skip illegal clusterizations; guard against
+  // the suite silently skipping everything.
+  const auto model = paperFabric();
+  int legal = 0;
+  const int total = 12;
+  for (std::uint64_t seed = 1; seed <= total; ++seed) {
+    core::HcaOptions options;
+    options.targetIiSlack = 4;
+    options.searchProfiles = 3;
+    const core::HcaDriver driver(model, options);
+    if (driver.run(randomLoop(seed)).legal) ++legal;
+  }
+  EXPECT_GE(legal, total / 2) << "random-loop legality collapsed";
+}
+
+}  // namespace
+}  // namespace hca

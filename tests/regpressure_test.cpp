@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "ddg/builder.hpp"
+#include "ddg/kernels.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+#include "hca/postprocess.hpp"
+#include "sched/regpressure.hpp"
+#include "support/check.hpp"
+
+namespace hca::sched {
+namespace {
+
+machine::DspFabricModel paperFabric() {
+  machine::DspFabricConfig config;
+  config.n = config.m = config.k = 8;
+  return machine::DspFabricModel(config);
+}
+
+struct Scheduled {
+  core::FinalMapping mapping;
+  Schedule schedule;
+};
+
+Scheduled schedule(const machine::DspFabricModel& model, ddg::Ddg ddg) {
+  const core::HcaDriver driver(model);
+  const auto hca = driver.run(ddg);
+  HCA_REQUIRE(hca.legal, hca.failureReason);
+  auto mapping = core::buildFinalMapping(ddg, model, hca);
+  const auto mii = core::computeMii(ddg, model, hca);
+  auto result = moduloSchedule(mapping, model, mii.finalMii);
+  HCA_REQUIRE(result.ok, result.failureReason);
+  return Scheduled{std::move(mapping), std::move(result.schedule)};
+}
+
+TEST(RegPressureTest, SingleValueNeedsOneRegister) {
+  ddg::DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0);
+  b.store(b.cst(1), x);
+  const auto model = paperFabric();
+  auto s = schedule(model, b.finish());
+  const auto report = analyzeRegisterPressure(s.mapping, model, s.schedule);
+  // Only non-store values count (the load, plus any recv).
+  for (const auto& lifetime : report.lifetimes) {
+    EXPECT_GE(lifetime.registersNeeded, 1);
+  }
+  EXPECT_GE(report.totalRegisters, 1);
+  EXPECT_LE(report.maxRegistersPerCn, report.totalRegisters);
+}
+
+TEST(RegPressureTest, LongLivedValueNeedsMultipleRotatingRegisters) {
+  // A value read 3 iterations later stays live >= 3 * II cycles.
+  ddg::DdgBuilder b;
+  auto iv = b.carry(0);
+  const auto next = b.add(iv, b.cst(1));
+  b.close(iv, next, 1);
+  const auto x = b.load(next, 0, "x");
+  const auto lagged = b.at(x, 3, 0);  // x from 3 iterations ago
+  b.store(next, b.add(x, lagged), 64);
+  const auto model = paperFabric();
+  auto s = schedule(model, b.finish());
+  const auto report = analyzeRegisterPressure(s.mapping, model, s.schedule);
+  int loadRegs = 0;
+  for (const auto& lifetime : report.lifetimes) {
+    if (s.mapping.finalDdg.node(lifetime.node).op == ddg::Op::kLoad) {
+      loadRegs = lifetime.registersNeeded;
+    }
+  }
+  EXPECT_GE(loadRegs, 3);
+}
+
+TEST(RegPressureTest, TotalIsSumOfPerCn) {
+  const auto model = paperFabric();
+  const auto kernel = ddg::buildFir2Dim();
+  auto s = schedule(model, kernel.ddg);
+  const auto report = analyzeRegisterPressure(s.mapping, model, s.schedule);
+  int sum = 0;
+  for (const int regs : report.registersPerCn) sum += regs;
+  EXPECT_EQ(sum, report.totalRegisters);
+  EXPECT_GT(report.maxRegistersPerCn, 0);
+  EXPECT_TRUE(report.fits(report.maxRegistersPerCn));
+  EXPECT_FALSE(report.fits(report.maxRegistersPerCn - 1));
+}
+
+TEST(RegPressureTest, LifetimesCoverEveryValueProducer) {
+  const auto model = paperFabric();
+  const auto kernel = ddg::buildIdctHor();
+  auto s = schedule(model, kernel.ddg);
+  const auto report = analyzeRegisterPressure(s.mapping, model, s.schedule);
+  int producers = 0;
+  for (std::int32_t v = 0; v < s.mapping.finalDdg.numNodes(); ++v) {
+    const auto op = s.mapping.finalDdg.node(DdgNodeId(v)).op;
+    if (ddg::isInstruction(op) && op != ddg::Op::kStore) ++producers;
+  }
+  EXPECT_EQ(report.lifetimes.size(), static_cast<std::size_t>(producers));
+}
+
+TEST(RegPressureTest, RejectsInvalidSchedule) {
+  const auto model = paperFabric();
+  const auto kernel = ddg::buildFir2Dim();
+  auto s = schedule(model, kernel.ddg);
+  s.schedule.cycleOf[5] = -1;
+  EXPECT_THROW(analyzeRegisterPressure(s.mapping, model, s.schedule),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace hca::sched

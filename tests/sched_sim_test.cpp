@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include "ddg/builder.hpp"
+#include "ddg/kernels.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+#include "hca/postprocess.hpp"
+#include "sched/modulo.hpp"
+#include "sim/dma.hpp"
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+
+namespace hca {
+namespace {
+
+machine::DspFabricModel paperFabric() {
+  machine::DspFabricConfig config;
+  config.n = config.m = config.k = 8;
+  return machine::DspFabricModel(config);
+}
+
+/// Full tool chain: HCA -> final mapping -> modulo schedule.
+struct Pipeline {
+  ddg::Kernel kernel;
+  machine::DspFabricModel model = paperFabric();
+  core::HcaResult hca;
+  core::FinalMapping mapping;
+  sched::ModuloResult sched;
+  core::MiiReport mii;
+
+  explicit Pipeline(ddg::Kernel k) : kernel(std::move(k)) {
+    const core::HcaDriver driver(model);
+    hca = driver.run(kernel.ddg);
+    HCA_REQUIRE(hca.legal, "HCA failed: " << hca.failureReason);
+    mapping = core::buildFinalMapping(kernel.ddg, model, hca);
+    mii = core::computeMii(kernel.ddg, model, hca);
+    sched = sched::moduloSchedule(mapping, model, mii.finalMii);
+  }
+};
+
+// --- scheduler on the real kernels -------------------------------------------
+
+class PipelineTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Pipeline& pipeline() {
+    static std::map<int, std::unique_ptr<Pipeline>> cache;
+    auto& entry = cache[GetParam()];
+    if (!entry) {
+      auto kernels = ddg::table1Kernels();
+      entry = std::make_unique<Pipeline>(
+          std::move(kernels[static_cast<std::size_t>(GetParam())]));
+    }
+    return *entry;
+  }
+};
+
+TEST_P(PipelineTest, ScheduleExistsAndValidates) {
+  auto& p = pipeline();
+  ASSERT_TRUE(p.sched.ok) << p.sched.failureReason;
+  const auto violations =
+      sched::validateSchedule(p.mapping, p.model, p.sched.schedule);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST_P(PipelineTest, AchievedIiAtLeastMii) {
+  auto& p = pipeline();
+  ASSERT_TRUE(p.sched.ok);
+  EXPECT_GE(p.sched.schedule.ii, p.mii.finalMii);
+  // And within a reasonable factor: the MII estimate is meaningful.
+  EXPECT_LE(p.sched.schedule.ii, 3 * p.mii.finalMii + 4)
+      << "schedule II " << p.sched.schedule.ii << " vs MII "
+      << p.mii.finalMii;
+}
+
+TEST_P(PipelineTest, SimulatorMatchesReferenceInterpreter) {
+  auto& p = pipeline();
+  ASSERT_TRUE(p.sched.ok);
+  const int iterations = std::min(p.kernel.safeIterations, 8);
+  sim::SimConfig config;
+  config.iterations = iterations;
+  config.memory = ddg::kernelInterpConfig(p.kernel, iterations).memory;
+  std::string why;
+  EXPECT_TRUE(sim::matchesReference(p.kernel.ddg, p.mapping, p.model,
+                                    p.sched.schedule, config, &why))
+      << why;
+}
+
+TEST_P(PipelineTest, ThroughputApproachesIi) {
+  auto& p = pipeline();
+  ASSERT_TRUE(p.sched.ok);
+  const int iterations = std::min(p.kernel.safeIterations, 8);
+  sim::SimConfig config;
+  config.iterations = iterations;
+  config.memory = ddg::kernelInterpConfig(p.kernel, iterations).memory;
+  const auto result = sim::simulate(p.mapping, p.model, p.sched.schedule,
+                                    config);
+  EXPECT_EQ(result.cycles,
+            (iterations - 1) * p.sched.schedule.ii +
+                p.sched.schedule.length);
+}
+
+std::string pipelineName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"fir2dim", "idcthor", "mpeg2inter"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, PipelineTest, ::testing::Range(0, 3),
+                         pipelineName);
+
+// --- scheduler unit behaviour ---------------------------------------------------
+
+core::FinalMapping tinyMapping(const machine::DspFabricModel& model,
+                               ddg::Ddg ddg) {
+  const core::HcaDriver driver(model);
+  auto hca = driver.run(ddg);
+  HCA_REQUIRE(hca.legal, hca.failureReason);
+  return core::buildFinalMapping(ddg, model, hca);
+}
+
+TEST(ModuloTest, RecurrenceLimitedLoop) {
+  // acc = mac(acc, x, y) carried: II can never go below the mac latency.
+  ddg::DdgBuilder b;
+  auto acc = b.carry(0);
+  const auto x = b.load(b.cst(0), 0);
+  const auto next = b.mac(acc, x, b.cst(3));
+  b.close(acc, next, 1);
+  b.store(b.cst(1), next);
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  const auto result = sched::moduloSchedule(mapping, model, 1);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.schedule.ii, model.config().latency.mac);
+  EXPECT_TRUE(
+      sched::validateSchedule(mapping, model, result.schedule).empty());
+}
+
+TEST(ModuloTest, StartIiRespected) {
+  ddg::DdgBuilder b;
+  b.store(b.cst(0), b.cst(7));
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  const auto result = sched::moduloSchedule(mapping, model, 5);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.schedule.ii, 5);
+}
+
+TEST(ModuloTest, DmaBoundForcesIi) {
+  // 16 independent loads + stores on distinct CNs: the 8-slot DMA allows
+  // at most 8 requests per cycle, so II >= ceil(32/8) = 4.
+  ddg::DdgBuilder b;
+  for (int i = 0; i < 16; ++i) {
+    const auto x = b.load(b.cst(i), 0);
+    b.store(b.cst(64 + i), x);
+  }
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  const auto result = sched::moduloSchedule(mapping, model, 1);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.schedule.ii, 4);
+  EXPECT_TRUE(
+      sched::validateSchedule(mapping, model, result.schedule).empty());
+}
+
+TEST(ModuloTest, EdgeLatencyAddsTransport) {
+  const auto model = paperFabric();
+  const auto kernel = ddg::buildFir2Dim();
+  const core::HcaDriver driver(model);
+  const auto hca = driver.run(kernel.ddg);
+  ASSERT_TRUE(hca.legal);
+  const auto mapping = core::buildFinalMapping(kernel.ddg, model, hca);
+  bool sawTransport = false;
+  for (std::int32_t v = 0; v < mapping.finalDdg.numNodes(); ++v) {
+    const auto& node = mapping.finalDdg.node(DdgNodeId(v));
+    for (const auto& operand : node.operands) {
+      if (!ddg::isInstruction(mapping.finalDdg.node(operand.src).op)) {
+        continue;
+      }
+      const int lat =
+          sched::edgeLatency(mapping, model, operand.src, DdgNodeId(v));
+      const int base =
+          model.config().latency.of(mapping.finalDdg.node(operand.src).op);
+      EXPECT_GE(lat, base);
+      if (lat > base) sawTransport = true;
+    }
+  }
+  EXPECT_TRUE(sawTransport);  // recvs read across CNs
+}
+
+TEST(ModuloTest, ValidateCatchesTampering) {
+  ddg::DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0);
+  b.store(b.cst(1), b.add(x, b.cst(1)));
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  auto result = sched::moduloSchedule(mapping, model, 1);
+  ASSERT_TRUE(result.ok);
+  // Move the consumer before its producer.
+  for (std::int32_t v = 0; v < mapping.finalDdg.numNodes(); ++v) {
+    if (mapping.finalDdg.node(DdgNodeId(v)).op == ddg::Op::kStore) {
+      result.schedule.cycleOf[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+  EXPECT_FALSE(
+      sched::validateSchedule(mapping, model, result.schedule).empty());
+}
+
+// --- simulator unit behaviour ---------------------------------------------------
+
+TEST(SimulatorTest, AccumulatorPipelines) {
+  ddg::DdgBuilder b;
+  auto acc = b.carry(0, "acc");
+  const auto next = b.add(acc, b.cst(5));
+  b.close(acc, next, 1);
+  b.store(b.cst(0), next);
+  auto ddg = b.finish();
+  const auto model = paperFabric();
+  const core::HcaDriver driver(model);
+  const auto hca = driver.run(ddg);
+  ASSERT_TRUE(hca.legal);
+  const auto mapping = core::buildFinalMapping(ddg, model, hca);
+  const auto sched = sched::moduloSchedule(mapping, model, 1);
+  ASSERT_TRUE(sched.ok);
+  sim::SimConfig config;
+  config.iterations = 6;
+  config.memory.assign(4, 0);
+  const auto result = sim::simulate(mapping, model, sched.schedule, config);
+  EXPECT_EQ(result.memory[0], 30);  // 6 iterations of +5
+  EXPECT_EQ(result.storeTrace.size(), 6u);
+}
+
+TEST(SimulatorTest, RejectsInvalidSchedule) {
+  ddg::DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0);
+  b.store(b.cst(1), x);
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  auto sched = sched::moduloSchedule(mapping, model, 1);
+  ASSERT_TRUE(sched.ok);
+  sched.schedule.cycleOf.back() = 0;  // clobber
+  sched.schedule.cycleOf.front() = 0;
+  sim::SimConfig config;
+  config.iterations = 1;
+  config.memory.assign(4, 0);
+  EXPECT_THROW(sim::simulate(mapping, model, sched.schedule, config),
+               Error);
+}
+
+TEST(SimulatorTest, OutOfBoundsAccessThrows) {
+  ddg::DdgBuilder b;
+  const auto x = b.load(b.cst(100), 0);
+  b.store(b.cst(1), x);
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  const auto sched = sched::moduloSchedule(mapping, model, 1);
+  ASSERT_TRUE(sched.ok);
+  sim::SimConfig config;
+  config.iterations = 1;
+  config.memory.assign(4, 0);
+  EXPECT_THROW(sim::simulate(mapping, model, sched.schedule, config),
+               InvalidArgumentError);
+}
+
+// --- DMA occupancy model ---------------------------------------------------------
+
+TEST(DmaProfileTest, ScheduledKernelsStayWithinFifoCapacity) {
+  // validateSchedule already caps accepts per cycle at dmaSlots; the FIFO
+  // bound (slots * serviceLatency) must then hold by construction.
+  auto kernels = ddg::table1Kernels();
+  for (int i = 0; i < 3; ++i) {
+    Pipeline p(std::move(kernels[static_cast<std::size_t>(i)]));
+    ASSERT_TRUE(p.sched.ok);
+    const auto profile =
+        sim::profileDma(p.mapping, p.model, p.sched.schedule);
+    EXPECT_LE(profile.peakAccepts, p.model.config().dmaSlots)
+        << p.kernel.name;
+    EXPECT_TRUE(profile.withinCapacity(p.model.config().dmaSlots))
+        << p.kernel.name << ": " << profile.toString();
+    EXPECT_EQ(profile.fifoCapacity,
+              p.model.config().dmaSlots * p.model.config().latency.load);
+  }
+}
+
+TEST(DmaProfileTest, OutstandingSumsServiceWindow) {
+  // 8 loads in one cycle (the DMA limit), service latency 3: outstanding
+  // peaks at 8 when II >= 3... and at 8 * ceil(3/II) when iterations
+  // overlap harder.
+  ddg::DdgBuilder b;
+  for (int i = 0; i < 8; ++i) {
+    const auto x = b.load(b.cst(i), 0);
+    b.store(b.cst(64 + i), x);
+  }
+  const auto model = paperFabric();
+  const core::HcaDriver driver(model);
+  const auto ddg = b.finish();
+  const auto hca = driver.run(ddg);
+  ASSERT_TRUE(hca.legal);
+  const auto mapping = core::buildFinalMapping(ddg, model, hca);
+  const auto sched = sched::moduloSchedule(mapping, model, 2);
+  ASSERT_TRUE(sched.ok);
+  const auto profile = sim::profileDma(mapping, model, sched.schedule);
+  // 16 memory ops per iteration, II >= 2: per-slot accepts <= 8, and the
+  // outstanding count equals the sum over the 3-slot service window.
+  for (int t = 0; t < profile.ii; ++t) {
+    int expected = 0;
+    for (int back = 0; back < profile.serviceLatency; ++back) {
+      const int s = ((t - back) % profile.ii + profile.ii) % profile.ii;
+      expected += profile.acceptsPerSlot[static_cast<std::size_t>(s)];
+    }
+    EXPECT_EQ(profile.outstandingPerSlot[static_cast<std::size_t>(t)],
+              expected);
+  }
+  EXPECT_GT(profile.peakOutstanding, profile.peakAccepts);
+}
+
+TEST(DmaProfileTest, CustomServiceLatency) {
+  ddg::DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0);
+  b.store(b.cst(1), x);
+  const auto model = paperFabric();
+  const auto mapping = tinyMapping(model, b.finish());
+  const auto sched = sched::moduloSchedule(mapping, model, 4);
+  ASSERT_TRUE(sched.ok);
+  const auto fast = sim::profileDma(mapping, model, sched.schedule, 1);
+  const auto slow = sim::profileDma(mapping, model, sched.schedule, 16);
+  EXPECT_LE(fast.peakOutstanding, slow.peakOutstanding);
+  EXPECT_EQ(fast.fifoCapacity, model.config().dmaSlots);
+  EXPECT_EQ(slow.fifoCapacity, model.config().dmaSlots * 16);
+}
+
+}  // namespace
+}  // namespace hca

@@ -1,0 +1,613 @@
+#include <gtest/gtest.h>
+
+#include "ddg/builder.hpp"
+#include "ddg/kernels.hpp"
+#include "machine/rcp.hpp"
+#include "see/engine.hpp"
+#include "see/route_allocator.hpp"
+#include "support/check.hpp"
+
+namespace hca::see {
+namespace {
+
+using ddg::DdgBuilder;
+
+/// All instruction nodes of a DDG as a working set.
+std::vector<DdgNodeId> fullWorkingSet(const ddg::Ddg& ddg) {
+  std::vector<DdgNodeId> ws;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    if (ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) ws.emplace_back(v);
+  }
+  return ws;
+}
+
+/// A small diamond DDG: two loads feed an add that is stored.
+ddg::Ddg diamondDdg() {
+  DdgBuilder b;
+  const auto a = b.load(b.cst(0), 0, "a");
+  const auto c = b.load(b.cst(1), 0, "c");
+  const auto s = b.add(a, c, "s");
+  b.store(b.cst(2), s, 0, "out");
+  return b.finish();
+}
+
+/// Fully-connected PG with `n` clusters of one CN each.
+machine::PatternGraph smallPg(int n) {
+  machine::PatternGraph pg;
+  for (int i = 0; i < n; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  pg.connectClustersCompletely();
+  return pg;
+}
+
+SeeProblem baseProblem(const ddg::Ddg& ddg, const machine::PatternGraph& pg) {
+  SeeProblem problem;
+  problem.ddg = &ddg;
+  problem.workingSet = fullWorkingSet(ddg);
+  problem.pg = &pg;
+  problem.constraints.maxInNeighbors = -1;
+  problem.inWiresPerCluster = 2;
+  problem.outWiresPerCluster = 2;
+  return problem;
+}
+
+// --- PreparedProblem ----------------------------------------------------------
+
+TEST(PreparedTest, PriorityOrderIsHeightDescending) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  const auto problem = baseProblem(ddg, pg);
+  SeeOptions noChains;
+  noChains.chainGrouping = false;  // keep every item a singleton
+  const PreparedProblem prepared(problem, noChains);
+  const auto& items = prepared.items();
+  ASSERT_EQ(items.size(), 4u);  // 2 loads, add, store (all singletons)
+  for (std::size_t i = 0; i + 1 < items.size(); ++i) {
+    ASSERT_EQ(items[i].members.size(), 1u);
+    EXPECT_GE(prepared.height(items[i].members[0].node),
+              prepared.height(items[i + 1].members[0].node));
+  }
+  // Loads (height lat(load)+lat(add)+...) come before the store (height 0).
+  EXPECT_EQ(ddg.node(items.back().members[0].node).op, ddg::Op::kStore);
+}
+
+TEST(PreparedTest, MissingValueSourceThrows) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  auto problem = baseProblem(ddg, pg);
+  // Drop the add from the WS: the store's operand has no producer in WS and
+  // no registered source.
+  std::vector<DdgNodeId> ws;
+  for (const DdgNodeId n : problem.workingSet) {
+    if (ddg.node(n).op != ddg::Op::kAdd) ws.push_back(n);
+  }
+  problem.workingSet = ws;
+  EXPECT_THROW(PreparedProblem(problem, SeeOptions{}), InvalidArgumentError);
+}
+
+TEST(PreparedTest, ConstOperandsNeedNoSource) {
+  const auto ddg = diamondDdg();  // addresses are consts
+  const auto pg = smallPg(2);
+  const auto problem = baseProblem(ddg, pg);
+  EXPECT_NO_THROW(PreparedProblem(problem, SeeOptions{}));
+}
+
+TEST(PreparedTest, DuplicateWsNodeRejected) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  auto problem = baseProblem(ddg, pg);
+  problem.workingSet.push_back(problem.workingSet.front());
+  EXPECT_THROW(PreparedProblem(problem, SeeOptions{}), InvalidArgumentError);
+}
+
+// --- engine on unconstrained machines -----------------------------------------
+
+TEST(EngineTest, AssignsEverythingOnGenerousMachine) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(4);
+  const auto problem = baseProblem(ddg, pg);
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  for (const DdgNodeId n : problem.workingSet) {
+    EXPECT_TRUE(result.solution.clusterOf(n).valid());
+  }
+  EXPECT_GT(result.stats.candidatesEvaluated, 0);
+}
+
+TEST(EngineTest, SingleClusterNeedsNoCopies) {
+  const auto ddg = diamondDdg();
+  machine::PatternGraph pg;
+  pg.addCluster(machine::ResourceTable(4, 4));
+  const auto problem = baseProblem(ddg, pg);
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal);
+  EXPECT_EQ(result.solution.flow().totalCopies(), 0);
+}
+
+TEST(EngineTest, CopiesAppearWhenDependencesCrossClusters) {
+  // Two clusters with one issue slot each and a hard cap force splitting.
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(4);
+  auto problem = baseProblem(ddg, pg);
+  SeeOptions options;
+  options.maxOpsPerUnit = 1;  // at most 1 op per unit per cluster
+  options.chainGrouping = false;
+  const SpaceExplorationEngine engine(options);
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  EXPECT_GT(result.solution.flow().totalCopies(), 0);
+}
+
+TEST(EngineTest, HeterogeneousResourcesRespected) {
+  // RCP-style: only even clusters own an AG; loads/stores must land there.
+  const auto ddg = diamondDdg();
+  machine::RcpConfig config;
+  config.clusters = 4;
+  config.neighborReach = 1;
+  config.inputPorts = 2;
+  config.memClusterStride = 2;
+  const auto pg = machine::rcpPatternGraph(config);
+  auto problem = baseProblem(ddg, pg);
+  problem.constraints = machine::rcpConstraints(config);
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  for (const DdgNodeId n : problem.workingSet) {
+    if (ddg::isMemoryOp(ddg.node(n).op)) {
+      EXPECT_EQ(result.solution.clusterOf(n).value() % 2, 0)
+          << "memory op on AG-less cluster";
+    }
+  }
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  const auto kernel = ddg::buildFir2Dim();
+  const auto pg = smallPg(8);
+  auto problem = baseProblem(kernel.ddg, pg);
+  const SpaceExplorationEngine engine;
+  const auto r1 = engine.run(problem);
+  const auto r2 = engine.run(problem);
+  ASSERT_TRUE(r1.legal);
+  EXPECT_EQ(r1.solution.signature(), r2.solution.signature());
+  EXPECT_EQ(r1.solution.objective(), r2.solution.objective());
+}
+
+TEST(EngineTest, EmptyWorkingSetIsLegal) {
+  ddg::Ddg empty;
+  const auto pg = smallPg(2);
+  SeeProblem problem;
+  problem.ddg = &empty;
+  problem.pg = &pg;
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(result.solution.assignedCount(), 0);
+}
+
+// --- constraints ----------------------------------------------------------------
+
+TEST(ConstraintTest, MaxInNeighborsEnforced) {
+  // Star: center consumes from 3 producers on 3 different clusters, but
+  // maxIn = 2 and each producer cluster is capped to its producer. The
+  // engine must still find a legal solution by co-locating or routing.
+  DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0);
+  const auto y = b.load(b.cst(1), 0);
+  const auto z = b.load(b.cst(2), 0);
+  const auto s = b.add(b.add(x, y), z);
+  b.store(b.cst(3), s);
+  const auto ddg = b.finish();
+
+  const auto pg = smallPg(4);
+  auto problem = baseProblem(ddg, pg);
+  problem.constraints.maxInNeighbors = 1;
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  // Verify the constraint on the result.
+  for (const ClusterId c : pg.clusterNodes()) {
+    EXPECT_LE(result.solution.flow().realInNeighbors(pg, c).size(), 1u);
+  }
+}
+
+TEST(ConstraintTest, OutputUnaryFanInForcesCoLocation) {
+  // Paper Fig. 10: two values k, h leave on the same output wire; their
+  // producers must land on the same cluster.
+  DdgBuilder b;
+  const auto a = b.load(b.cst(0), 0, "x");
+  const auto k = b.add(a, b.cst(1), "k");
+  const auto h = b.mul(a, b.cst(2), "h");
+  const auto ddg = b.finish();
+
+  machine::PatternGraph pg;
+  for (int i = 0; i < 4; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  pg.connectClustersCompletely();
+  const auto out = pg.addOutputNode("out0");
+  pg.connectBoundaryNodes();
+
+  SeeProblem problem;
+  problem.ddg = &ddg;
+  problem.workingSet = fullWorkingSet(ddg);
+  problem.pg = &pg;
+  // Find k's and h's node ids by name.
+  ValueId kv, hv;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    if (ddg.node(DdgNodeId(v)).name == "k") kv = ValueId(v);
+    if (ddg.node(DdgNodeId(v)).name == "h") hv = ValueId(v);
+  }
+  problem.outputRequirements.push_back({out, {kv, hv}});
+
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  EXPECT_EQ(result.solution.clusterOf(DdgNodeId(kv.value())),
+            result.solution.clusterOf(DdgNodeId(hv.value())));
+  // Output node has exactly one real in-neighbor.
+  EXPECT_EQ(result.solution.flow().realInNeighbors(pg, out).size(), 1u);
+}
+
+TEST(ConstraintTest, InputNodeValuesConsumedViaBoundary) {
+  // A consumer whose producer is outside the WS reads it from the input
+  // node registered in valueSources.
+  DdgBuilder b;
+  const auto ext = b.load(b.cst(0), 0, "ext");  // will be out-of-WS
+  const auto use = b.add(ext, b.cst(1), "use");
+  b.store(b.cst(2), use);
+  const auto ddg = b.finish();
+
+  machine::PatternGraph pg;
+  for (int i = 0; i < 2; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  pg.connectClustersCompletely();
+  ValueId extV;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    if (ddg.node(DdgNodeId(v)).name == "ext") extV = ValueId(v);
+  }
+  const auto in = pg.addInputNode({extV}, "in0");
+  pg.connectBoundaryNodes();
+
+  SeeProblem problem;
+  problem.ddg = &ddg;
+  for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+    const auto op = ddg.node(DdgNodeId(v)).op;
+    if (ddg::isInstruction(op) && op != ddg::Op::kLoad) {
+      problem.workingSet.emplace_back(v);
+    }
+  }
+  problem.pg = &pg;
+  problem.valueSources[extV] = in;
+
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  // The boundary value flows from the input node to the add's cluster.
+  const ClusterId addCluster = result.solution.clusterOf(
+      DdgNodeId(extV.value() + 2));  // cst(1) then add follow ext
+  bool found = false;
+  for (const PgArcId arc : pg.outArcs(in)) {
+    for (const ValueId v : result.solution.flow().copiesOn(arc)) {
+      if (v == extV) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  (void)addCluster;
+}
+
+// --- route allocator (paper Fig. 6) --------------------------------------------
+
+TEST(RouteAllocatorTest, PaperFigure6RoutesThroughIntermediate) {
+  // Ring of 4 clusters (reach 1), maxIn = 1. Producer on cluster 0, the
+  // consumer can only go far away once direct arcs are exhausted; routing
+  // through intermediates must kick in.
+  DdgBuilder b;
+  const auto i0 = b.load(b.cst(0), 0, "i");
+  // Two consumers that will occupy cluster 0's direct neighborhood budget.
+  const auto u1 = b.add(i0, b.cst(1), "u1");
+  const auto u2 = b.mul(i0, b.cst(2), "u2");
+  b.store(b.cst(1), u1);
+  b.store(b.cst(2), u2);
+  const auto ddg = b.finish();
+
+  machine::RcpConfig config;
+  config.clusters = 4;
+  config.neighborReach = 1;  // ring: only +-1 reachable
+  config.inputPorts = 1;     // K = 1: one in-neighbor per cluster
+  config.memClusterStride = 1;
+  const auto pg = machine::rcpPatternGraph(config);
+
+  SeeProblem problem;
+  problem.ddg = &ddg;
+  problem.workingSet = fullWorkingSet(ddg);
+  problem.pg = &pg;
+  problem.constraints = machine::rcpConstraints(config);
+
+  SeeOptions options;
+  options.maxOpsPerUnit = 2;  // forces spreading over the ring
+  options.beamWidth = 2;
+  const SpaceExplorationEngine engine(options);
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  // Constraint must hold in the final flow.
+  for (const ClusterId c : pg.clusterNodes()) {
+    EXPECT_LE(result.solution.flow().realInNeighbors(pg, c).size(), 1u);
+  }
+}
+
+TEST(RouteAllocatorTest, FindsMultiHopPath) {
+  // Directly exercise tryAssign: line topology 0 -> 1 -> 2, value produced
+  // at 0, consumer forced to 2.
+  DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0, "x");
+  const auto y = b.neg(x, "y");
+  b.store(b.cst(1), y);
+  const auto ddg = b.finish();
+
+  machine::PatternGraph pg;
+  for (int i = 0; i < 3; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  pg.addArc(ClusterId(0), ClusterId(1));
+  pg.addArc(ClusterId(1), ClusterId(2));
+
+  SeeProblem problem;
+  problem.ddg = &ddg;
+  problem.workingSet = fullWorkingSet(ddg);
+  problem.pg = &pg;
+
+  const PreparedProblem prepared(problem, SeeOptions{});
+  auto sol = PartialSolution::initial(prepared);
+  // Assign the load to cluster 0 by hand.
+  Item loadItem;
+  loadItem.kind = Item::Kind::kNode;
+  for (const auto& group : prepared.items()) {
+    for (const auto& item : group.members) {
+      if (item.kind == Item::Kind::kNode &&
+          ddg.node(item.node).op == ddg::Op::kLoad) {
+        loadItem = item;
+      }
+    }
+  }
+  ASSERT_TRUE(sol.canAssign(prepared, loadItem, ClusterId(0)));
+  sol.assign(prepared, loadItem, ClusterId(0));
+
+  // The neg cannot go on cluster 2 directly (no arc 0 -> 2)...
+  Item negItem;
+  for (const auto& group : prepared.items()) {
+    for (const auto& item : group.members) {
+      if (item.kind == Item::Kind::kNode &&
+          ddg.node(item.node).op == ddg::Op::kNeg) {
+        negItem = item;
+      }
+    }
+  }
+  EXPECT_FALSE(sol.canAssign(prepared, negItem, ClusterId(2)));
+  // ...but the route allocator relays through cluster 1.
+  int routed = 0;
+  const auto extended =
+      RouteAllocator::tryAssign(prepared, sol, negItem, ClusterId(2), &routed);
+  ASSERT_TRUE(extended.has_value());
+  EXPECT_EQ(routed, 1);
+  EXPECT_EQ(extended->clusterOf(negItem.node), ClusterId(2));
+  // The value crosses both arcs.
+  const ValueId xv(loadItem.node.value());
+  const auto a01 = *pg.arcBetween(ClusterId(0), ClusterId(1));
+  const auto a12 = *pg.arcBetween(ClusterId(1), ClusterId(2));
+  EXPECT_EQ(extended->flow().copiesOn(a01).size(), 1u);
+  EXPECT_EQ(extended->flow().copiesOn(a01)[0], xv);
+  EXPECT_EQ(extended->flow().copiesOn(a12)[0], xv);
+}
+
+TEST(RouteAllocatorTest, RespectsHopLimit) {
+  // Long line: 5 clusters, value at 0, target 4 -> needs 3 relays.
+  DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0, "x");
+  const auto y = b.neg(x, "y");
+  b.store(b.cst(1), y);
+  const auto ddg = b.finish();
+
+  machine::PatternGraph pg;
+  for (int i = 0; i < 5; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  for (int i = 0; i < 4; ++i) pg.addArc(ClusterId(i), ClusterId(i + 1));
+
+  SeeProblem problem;
+  problem.ddg = &ddg;
+  problem.workingSet = fullWorkingSet(ddg);
+  problem.pg = &pg;
+
+  SeeOptions tight;
+  tight.maxRouteHops = 2;  // not enough for 3 relays
+  const PreparedProblem preparedTight(problem, tight);
+  auto sol = PartialSolution::initial(preparedTight);
+  Item loadItem, negItem;
+  for (const auto& group : preparedTight.items()) {
+    for (const auto& item : group.members) {
+      if (item.kind != Item::Kind::kNode) continue;
+      if (ddg.node(item.node).op == ddg::Op::kLoad) loadItem = item;
+      if (ddg.node(item.node).op == ddg::Op::kNeg) negItem = item;
+    }
+  }
+  sol.assign(preparedTight, loadItem, ClusterId(0));
+  EXPECT_FALSE(RouteAllocator::tryAssign(preparedTight, sol, negItem,
+                                         ClusterId(4), nullptr)
+                   .has_value());
+
+  SeeOptions loose;
+  loose.maxRouteHops = 3;
+  const PreparedProblem preparedLoose(problem, loose);
+  auto sol2 = PartialSolution::initial(preparedLoose);
+  sol2.assign(preparedLoose, loadItem, ClusterId(0));
+  EXPECT_TRUE(RouteAllocator::tryAssign(preparedLoose, sol2, negItem,
+                                        ClusterId(4), nullptr)
+                  .has_value());
+}
+
+// --- relays -------------------------------------------------------------------
+
+TEST(RelayTest, RelayValueParkedAndWired) {
+  ddg::Ddg empty;  // no WS nodes: pure pass-through problem
+  machine::PatternGraph pg;
+  for (int i = 0; i < 2; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  pg.connectClustersCompletely();
+  const auto in = pg.addInputNode({ValueId(0)}, "in");
+  const auto out = pg.addOutputNode("out");
+  pg.connectBoundaryNodes();
+
+  SeeProblem problem;
+  problem.ddg = &empty;
+  problem.pg = &pg;
+  problem.relayValues = {ValueId(0)};
+  problem.valueSources[ValueId(0)] = in;
+  problem.outputRequirements.push_back({out, {ValueId(0)}});
+
+  const SpaceExplorationEngine engine;
+  const auto result = engine.run(problem);
+  ASSERT_TRUE(result.legal) << result.failureReason;
+  const ClusterId parked = result.solution.relayCluster(0);
+  EXPECT_TRUE(parked.valid());
+  // Value flows in -> parked -> out.
+  const auto aIn = *pg.arcBetween(in, parked);
+  const auto aOut = *pg.arcBetween(parked, out);
+  EXPECT_TRUE(result.solution.flow().isReal(aIn));
+  EXPECT_TRUE(result.solution.flow().isReal(aOut));
+  // The relay consumes an issue slot.
+  EXPECT_EQ(result.solution.usage(parked).instructions, 1);
+}
+
+// --- cost criteria --------------------------------------------------------------
+
+TEST(CostTest, IiEstimateGrowsWithLoad) {
+  const auto ddg = diamondDdg();
+  machine::PatternGraph pg;
+  pg.addCluster(machine::ResourceTable::computationNode());
+  pg.addCluster(machine::ResourceTable::computationNode());
+  pg.connectClustersCompletely();
+  auto problem = baseProblem(ddg, pg);
+  const PreparedProblem prepared(problem, SeeOptions{});
+
+  auto sol = PartialSolution::initial(prepared);
+  const IiEstimateCriterion ii;
+  const double before = ii.score(prepared, sol);
+  // Pile everything on cluster 0.
+  for (const auto& group : prepared.items()) {
+    for (const auto& item : group.members) {
+      sol.assign(prepared, item, ClusterId(0));
+    }
+  }
+  EXPECT_GT(ii.score(prepared, sol), before);
+  EXPECT_EQ(IiEstimateCriterion::clusterMii(prepared, sol, ClusterId(0)), 4);
+  EXPECT_EQ(IiEstimateCriterion::clusterMii(prepared, sol, ClusterId(1)), 1);
+}
+
+TEST(CostTest, BalancedBeatsUnbalanced) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  auto problem = baseProblem(ddg, pg);
+  const PreparedProblem prepared(problem, SeeOptions{});
+  const LoadBalanceCriterion balance;
+
+  auto lumped = PartialSolution::initial(prepared);
+  for (const auto& group : prepared.items()) {
+    for (const auto& item : group.members) {
+      lumped.assign(prepared, item, ClusterId(0));
+    }
+  }
+  auto spread = PartialSolution::initial(prepared);
+  int i = 0;
+  for (const auto& group : prepared.items()) {
+    for (const auto& item : group.members) {
+      spread.assign(prepared, item, ClusterId(i++ % 2));
+    }
+  }
+  EXPECT_LT(balance.score(prepared, spread), balance.score(prepared, lumped));
+}
+
+TEST(CostTest, CopyCountCountsFlow) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  auto problem = baseProblem(ddg, pg);
+  const PreparedProblem prepared(problem, SeeOptions{});
+  auto sol = PartialSolution::initial(prepared);
+  int i = 0;
+  for (const auto& group : prepared.items()) {
+    for (const auto& item : group.members) {
+      sol.assign(prepared, item, ClusterId(i++ % 2));
+    }
+  }
+  const CopyCountCriterion copies;
+  EXPECT_EQ(copies.score(prepared, sol),
+            static_cast<double>(sol.flow().totalCopies()));
+  EXPECT_GT(sol.flow().totalCopies(), 0);
+}
+
+TEST(CostTest, WeightedObjectiveCombines) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  auto problem = baseProblem(ddg, pg);
+  const PreparedProblem prepared(problem, SeeOptions{});
+  const auto sol = PartialSolution::initial(prepared);
+
+  CostWeights weights;
+  weights.iiEstimate = 10;
+  weights.copyCount = 0;
+  weights.loadBalance = 0;
+  weights.criticalPath = 0;
+  const WeightedObjective objective(weights);
+  const IiEstimateCriterion ii;
+  EXPECT_DOUBLE_EQ(objective.evaluate(prepared, sol),
+                   10 * ii.score(prepared, sol));
+  const auto breakdown = objective.breakdown(prepared, sol);
+  EXPECT_EQ(breakdown.size(), 5u);
+  EXPECT_EQ(breakdown[0].first, "ii-estimate");
+}
+
+// --- beam / filters --------------------------------------------------------------
+
+TEST(FilterTest, WiderBeamExploresMoreWithComparableQuality) {
+  const auto kernel = ddg::buildIdctHor();
+  const auto pg = smallPg(8);
+  auto problem = baseProblem(kernel.ddg, pg);
+  problem.inWiresPerCluster = 4;
+  problem.outWiresPerCluster = 4;
+
+  SeeOptions narrow;
+  narrow.beamWidth = 1;
+  narrow.candidateKeep = 1;
+  SeeOptions wide;
+  wide.beamWidth = 6;
+  wide.candidateKeep = 4;
+
+  const auto r1 = SpaceExplorationEngine(narrow).run(problem);
+  const auto r2 = SpaceExplorationEngine(wide).run(problem);
+  ASSERT_TRUE(r1.legal);
+  ASSERT_TRUE(r2.legal);
+  // Beam search is not strictly monotone in the beam width, but a wider
+  // beam must stay within a whisker of greedy and explore far more states.
+  EXPECT_LE(r2.solution.objective(), r1.solution.objective() * 1.02);
+  EXPECT_GT(r2.stats.candidatesEvaluated, r1.stats.candidatesEvaluated);
+}
+
+TEST(FilterTest, StatsTrackPruning) {
+  const auto kernel = ddg::buildFir2Dim();
+  const auto pg = smallPg(8);
+  auto problem = baseProblem(kernel.ddg, pg);
+  SeeOptions options;
+  options.beamWidth = 2;
+  options.candidateKeep = 4;
+  const auto result = SpaceExplorationEngine(options).run(problem);
+  ASSERT_TRUE(result.legal);
+  EXPECT_GT(result.stats.statesPruned, 0);
+  EXPECT_GT(result.stats.statesExplored, 0);
+}
+
+}  // namespace
+}  // namespace hca::see

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/dot.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+
+namespace hca {
+namespace {
+
+// --- ids -------------------------------------------------------------------
+
+TEST(IdsTest, DefaultIsInvalid) {
+  DdgNodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, DdgNodeId::invalid());
+}
+
+TEST(IdsTest, ValueRoundTrip) {
+  ClusterId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(IdsTest, Ordering) {
+  EXPECT_LT(WireId(1), WireId(2));
+  EXPECT_GT(WireId(5), WireId(2));
+  EXPECT_LE(WireId(2), WireId(2));
+  EXPECT_GE(WireId(2), WireId(2));
+  EXPECT_NE(WireId(1), WireId(2));
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<DdgNodeId, ClusterId>);
+  static_assert(!std::is_same_v<WireId, CnId>);
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_set<ValueId> set;
+  set.insert(ValueId(1));
+  set.insert(ValueId(2));
+  set.insert(ValueId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IdsTest, ToString) {
+  EXPECT_EQ(to_string(CnId(12)), "12");
+  EXPECT_EQ(to_string(CnId::invalid()), "<invalid>");
+}
+
+// --- check -----------------------------------------------------------------
+
+TEST(CheckTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(HCA_REQUIRE(false, "message " << 42), InvalidArgumentError);
+}
+
+TEST(CheckTest, CheckThrowsInternalError) {
+  EXPECT_THROW(HCA_CHECK(false, "broken"), InternalError);
+}
+
+TEST(CheckTest, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(HCA_REQUIRE(true, "ok"));
+  EXPECT_NO_THROW(HCA_CHECK(1 + 1 == 2, "ok"));
+}
+
+TEST(CheckTest, MessageContainsContext) {
+  try {
+    HCA_REQUIRE(false, "value was " << 7);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 7"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ErrorsShareBase) {
+  EXPECT_THROW(HCA_REQUIRE(false, ""), Error);
+  EXPECT_THROW(HCA_CHECK(false, ""), Error);
+}
+
+// --- rng -------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(5);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next(), first);
+}
+
+// --- stats -----------------------------------------------------------------
+
+TEST(StatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(StatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(StatsTest, SumMatches) {
+  RunningStats s;
+  double expected = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.add(i);
+    expected += i;
+  }
+  EXPECT_DOUBLE_EQ(s.sum(), expected);
+}
+
+// --- str -------------------------------------------------------------------
+
+TEST(StrTest, StrCat) {
+  EXPECT_EQ(strCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(strCat(), "");
+}
+
+TEST(StrTest, StrJoin) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(strJoin(v, ", "), "1, 2, 3");
+  EXPECT_EQ(strJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(StrTest, StrSplit) {
+  const auto parts = strSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+// --- dot -------------------------------------------------------------------
+
+TEST(DotTest, EmitsWellFormedGraph) {
+  std::ostringstream os;
+  {
+    DotWriter dot(os, "g");
+    dot.node("a", "label \"x\"");
+    dot.edge("a", "b", "copy");
+  }
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(out.find("\\\"x\\\""), std::string::npos);  // quote escaping
+  EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hca

@@ -1,0 +1,197 @@
+// hcac — the HCA command-line driver.
+//
+// Reads a loop-body DDG (from a text file in the `ddg/serialize.hpp`
+// format, or one of the built-in Table 1 kernels), clusterizes it onto a
+// DSPFabric instance, and optionally schedules, simulates and emits DOT /
+// reconfiguration output.
+//
+//   hcac --kernel idcthor --schedule --simulate
+//   hcac --file loop.ddg --n 4 --m 4 --k 4 --dot-assignment out.dot
+//   hcac --kernel fir2dim --emit-reconfig
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ddg/kernels.hpp"
+#include "ddg/serialize.hpp"
+#include "hca/coherency.hpp"
+#include "hca/driver.hpp"
+#include "hca/mii.hpp"
+#include "hca/postprocess.hpp"
+#include "hca/visualize.hpp"
+#include "sched/modulo.hpp"
+#include "sched/regpressure.hpp"
+#include "sim/dma.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hca;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: hcac [--kernel NAME | --file PATH] [options]\n"
+      "  --kernel NAME        built-in kernel: fir2dim idcthor mpeg2inter\n"
+      "                       h264deblocking\n"
+      "  --file PATH          DDG in the text format of ddg/serialize.hpp\n"
+      "  --n/--m/--k INT      MUX bandwidths (default 8/8/8)\n"
+      "  --schedule           run the modulo scheduler after HCA\n"
+      "  --simulate ITER      run the fabric simulator (built-in kernels)\n"
+      "  --emit-reconfig      print the MUX reconfiguration program\n"
+      "  --dot-tree PATH      write the problem tree as GraphViz DOT\n"
+      "  --dot-assignment PATH  write the clusterized DDG as DOT\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kernelName;
+  std::string filePath;
+  int n = 8, m = 8, k = 8;
+  bool schedule = false;
+  int simulateIterations = 0;
+  bool emitReconfig = false;
+  std::string dotTree, dotAssignment;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kernel") kernelName = value();
+    else if (arg == "--file") filePath = value();
+    else if (arg == "--n") n = std::stoi(value());
+    else if (arg == "--m") m = std::stoi(value());
+    else if (arg == "--k") k = std::stoi(value());
+    else if (arg == "--schedule") schedule = true;
+    else if (arg == "--simulate") simulateIterations = std::stoi(value());
+    else if (arg == "--emit-reconfig") emitReconfig = true;
+    else if (arg == "--dot-tree") dotTree = value();
+    else if (arg == "--dot-assignment") dotAssignment = value();
+    else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (kernelName.empty() == filePath.empty()) {
+    usage();
+    return 2;
+  }
+
+  // --- load the DDG -------------------------------------------------------
+  ddg::Ddg ddg;
+  const ddg::Kernel* kernel = nullptr;
+  std::vector<ddg::Kernel> kernels;
+  if (!kernelName.empty()) {
+    kernels = ddg::table1Kernels();
+    for (auto& candidate : kernels) {
+      if (candidate.name == kernelName) kernel = &candidate;
+    }
+    if (kernel == nullptr) {
+      std::fprintf(stderr, "unknown kernel '%s'\n", kernelName.c_str());
+      return 2;
+    }
+    ddg = kernel->ddg;
+  } else {
+    std::ifstream in(filePath);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", filePath.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      ddg = ddg::fromText(buffer.str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "parse error: %s\n", e.what());
+      return 2;
+    }
+  }
+  const auto stats = ddg.stats();
+  std::printf("DDG: %d instructions (%d memory ops)\n",
+              stats.numInstructions, stats.numMemOps);
+
+  // --- clusterize ----------------------------------------------------------
+  machine::DspFabricConfig config;
+  config.n = n;
+  config.m = m;
+  config.k = k;
+  const machine::DspFabricModel model(config);
+  std::printf("Machine: %s\n", config.toString().c_str());
+
+  const core::HcaDriver driver(model);
+  const auto result = driver.run(ddg);
+  if (!result.legal) {
+    std::printf("NO legal clusterization: %s\n",
+                result.failureReason.c_str());
+    return 1;
+  }
+  const auto mii = core::computeMii(ddg, model, result);
+  std::printf("legal clusterization — %s\n", mii.toString().c_str());
+  const auto violations = core::checkCoherency(ddg, model, result);
+  std::printf("coherency: %s\n", violations.empty() ? "clean" : "BROKEN");
+
+  if (emitReconfig) {
+    std::printf("\nreconfiguration program (%zu settings):\n%s",
+                result.reconfig.settings.size(),
+                result.reconfig.toString().c_str());
+  }
+  if (!dotTree.empty()) {
+    std::ofstream out(dotTree);
+    core::problemTreeToDot(result, out);
+    std::printf("problem tree written to %s\n", dotTree.c_str());
+  }
+  if (!dotAssignment.empty()) {
+    std::ofstream out(dotAssignment);
+    core::assignmentToDot(ddg, model, result, out);
+    std::printf("assignment written to %s\n", dotAssignment.c_str());
+  }
+
+  // --- schedule / simulate -------------------------------------------------
+  if (!schedule && simulateIterations == 0) return 0;
+  const auto mapping = core::buildFinalMapping(ddg, model, result);
+  const auto sched = sched::moduloSchedule(mapping, model, mii.finalMii);
+  if (!sched.ok) {
+    std::printf("scheduling failed: %s\n", sched.failureReason.c_str());
+    return 1;
+  }
+  std::printf("modulo schedule: II=%d, length %d, %d stages\n",
+              sched.schedule.ii, sched.schedule.length,
+              sched.schedule.stages());
+  const auto pressure =
+      sched::analyzeRegisterPressure(mapping, model, sched.schedule);
+  std::printf("register pressure: %s\n", pressure.toString().c_str());
+  const auto dma = sim::profileDma(mapping, model, sched.schedule);
+  std::printf("dma: %s (%s)\n", dma.toString().c_str(),
+              dma.withinCapacity(model.config().dmaSlots)
+                  ? "within capacity"
+                  : "OVERRUN");
+
+  if (simulateIterations > 0) {
+    if (kernel == nullptr) {
+      std::printf("--simulate needs a built-in kernel (memory layout)\n");
+      return 2;
+    }
+    const int iterations =
+        std::min(simulateIterations, kernel->safeIterations);
+    sim::SimConfig simConfig;
+    simConfig.iterations = iterations;
+    simConfig.memory = ddg::kernelInterpConfig(*kernel, iterations).memory;
+    std::string why;
+    const bool match = sim::matchesReference(ddg, mapping, model,
+                                             sched.schedule, simConfig,
+                                             &why);
+    std::printf("simulation (%d iterations): %s%s\n", iterations,
+                match ? "matches reference" : "MISMATCH — ",
+                match ? "" : why.c_str());
+    return match ? 0 : 1;
+  }
+  return 0;
+}
