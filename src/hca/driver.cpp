@@ -1,17 +1,215 @@
 #include "hca/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <set>
 
 #include "mapper/mapper.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "support/str.hpp"
+#include "support/thread_pool.hpp"
 
 namespace hca::core {
 
 HcaDriver::HcaDriver(machine::DspFabricModel model, HcaOptions options)
     : model_(std::move(model)), options_(options) {}
+
+see::SeeOptions HcaDriver::profileOptions(int target, int profile) const {
+  see::SeeOptions seeOptions = options_.see;
+  seeOptions.weights.targetIi = target;
+  switch (profile) {
+    case 0: break;  // configured options
+    case 1:
+      seeOptions.chainGrouping = !seeOptions.chainGrouping;
+      break;
+    case 2:
+      seeOptions.beamWidth = seeOptions.beamWidth * 2;
+      seeOptions.candidateKeep = seeOptions.candidateKeep + 2;
+      break;
+    case 3:
+      // Locality-heavy: copies and wiring budget dominate.
+      seeOptions.weights.copyCount *= 3;
+      seeOptions.weights.wiringSlack *= 2;
+      seeOptions.weights.criticalPath *= 2;
+      break;
+    default:
+      // Spread-heavy with deep routing.
+      seeOptions.chainGrouping = !seeOptions.chainGrouping;
+      seeOptions.weights.loadBalance *= 4;
+      seeOptions.maxRouteHops += 2;
+      seeOptions.beamWidth = seeOptions.beamWidth * 2;
+      break;
+  }
+  return seeOptions;
+}
+
+HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
+                                const std::vector<DdgNodeId>& rootWs,
+                                int target, int profile,
+                                SubproblemCache* cache,
+                                const CancellationToken* cancel) const {
+  const see::SeeOptions seeOptions = profileOptions(target, profile);
+  HcaResult result;
+  result.assignment.assign(static_cast<std::size_t>(ddg.numNodes()),
+                           CnId::invalid());
+  const SolveContext ctx{seeOptions, cache, cancel};
+  result.legal = solve(ddg, /*path=*/{}, rootWs, /*relayValues=*/{},
+                       Boundary{}, ctx, result);
+  result.stats.outerAttempts = 1;
+  if (result.legal) {
+    result.stats.achievedTargetIi = target;
+    // Every instruction must have landed on a CN.
+    for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+      if (!ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) continue;
+      HCA_CHECK(result.assignment[static_cast<std::size_t>(v)].valid(),
+                "instruction " << v << " left unassigned by HCA");
+    }
+    result.reconfig.validate();
+    // Recompute from the surviving records: the running value may include
+    // pressure from backtracked (rolled-back) attempts.
+    result.stats.maxWirePressure = 0;
+    for (const auto& record : result.records) {
+      result.stats.maxWirePressure =
+          std::max(result.stats.maxWirePressure,
+                   record->mapResult.maxValuesPerWire);
+    }
+  }
+  return result;
+}
+
+HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
+                                    const std::vector<DdgNodeId>& rootWs,
+                                    int iniMii, SubproblemCache* cache) const {
+  HcaStats sweepStats;
+  HcaResult best;
+  for (int target = iniMii;
+       target <= iniMii + std::max(0, options_.targetIiSlack); ++target) {
+    for (int profile = 0; profile < std::max(1, options_.searchProfiles);
+         ++profile) {
+      HcaResult result =
+          runAttempt(ddg, rootWs, target, profile, cache, nullptr);
+      if (result.legal) {
+        result.stats.merge(sweepStats);
+        return result;
+      }
+      sweepStats.merge(result.stats);
+      best = std::move(result);
+    }
+  }
+  // No attempt succeeded: the last attempt's failure with the sweep's
+  // aggregate counters (achievedTargetIi = 0 means "none").
+  const int lastMaxWire = best.stats.maxWirePressure;
+  best.stats = sweepStats;
+  best.stats.maxWirePressure = lastMaxWire;
+  best.stats.achievedTargetIi = 0;
+  return best;
+}
+
+HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
+                                      const std::vector<DdgNodeId>& rootWs,
+                                      int iniMii, SubproblemCache* cache,
+                                      int numThreads) const {
+  const int numProfiles = std::max(1, options_.searchProfiles);
+  const int numTargets = 1 + std::max(0, options_.targetIiSlack);
+  const int numAttempts = numTargets * numProfiles;
+
+  struct AttemptSlot {
+    HcaResult result;
+    bool completed = false;  // runAttempt returned
+    bool skipped = false;    // soft-cancelled before it started
+    std::exception_ptr error;
+  };
+  std::vector<AttemptSlot> slots(static_cast<std::size_t>(numAttempts));
+  std::vector<CancellationToken> tokens(static_cast<std::size_t>(numAttempts));
+  // Lowest attempt index known to be legal: attempts above it can no
+  // longer be the returned result (the sweep is ordered), so they are
+  // soft-cancelled.
+  std::atomic<int> bestLegal{numAttempts};
+
+  ThreadPool pool(numThreads);
+  for (int i = 0; i < numAttempts; ++i) {
+    pool.submit([&, i] {
+      AttemptSlot& slot = slots[static_cast<std::size_t>(i)];
+      CancellationToken& token = tokens[static_cast<std::size_t>(i)];
+      if (token.cancelled() ||
+          bestLegal.load(std::memory_order_acquire) < i) {
+        slot.skipped = true;
+        return;
+      }
+      try {
+        const int target = iniMii + i / numProfiles;
+        const int profile = i % numProfiles;
+        HcaResult result =
+            runAttempt(ddg, rootWs, target, profile, cache, &token);
+        if (result.legal) {
+          int current = bestLegal.load(std::memory_order_acquire);
+          while (i < current &&
+                 !bestLegal.compare_exchange_weak(current, i,
+                                                  std::memory_order_acq_rel)) {
+          }
+          for (int j = i + 1; j < numAttempts; ++j) {
+            tokens[static_cast<std::size_t>(j)].cancel();
+          }
+        }
+        slot.result = std::move(result);
+        slot.completed = true;
+      } catch (...) {
+        slot.error = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+
+  int winner = -1;
+  for (int i = 0; i < numAttempts; ++i) {
+    const AttemptSlot& slot = slots[static_cast<std::size_t>(i)];
+    if (slot.completed && slot.result.legal) {
+      winner = i;
+      break;
+    }
+  }
+  // Serial parity for exceptions: only errors the serial sweep would have
+  // reached (before its first legal attempt) propagate.
+  const int errorHorizon = winner < 0 ? numAttempts : winner;
+  for (int i = 0; i < errorHorizon; ++i) {
+    if (slots[static_cast<std::size_t>(i)].error != nullptr) {
+      std::rethrow_exception(slots[static_cast<std::size_t>(i)].error);
+    }
+  }
+
+  HcaStats aggregate;
+  for (int i = 0; i < numAttempts; ++i) {
+    AttemptSlot& slot = slots[static_cast<std::size_t>(i)];
+    if (i == winner) continue;
+    if (slot.skipped) {
+      ++aggregate.attemptsCancelled;
+      continue;
+    }
+    if (!slot.completed) continue;  // errored past the winner
+    aggregate.merge(slot.result.stats);
+    if (!slot.result.legal && tokens[static_cast<std::size_t>(i)].cancelled()) {
+      ++aggregate.attemptsCancelled;
+    }
+  }
+
+  if (winner >= 0) {
+    HcaResult result = std::move(slots[static_cast<std::size_t>(winner)].result);
+    result.stats.merge(aggregate);
+    return result;
+  }
+  // No attempt succeeded; nothing was cancelled (cancellation only follows
+  // a legal result), so every slot completed. Mirror the serial sweep:
+  // return the last attempt's failure with the aggregate counters.
+  HcaResult best =
+      std::move(slots[static_cast<std::size_t>(numAttempts - 1)].result);
+  const int lastMaxWire = best.stats.maxWirePressure;
+  best.stats = aggregate;
+  best.stats.maxWirePressure = lastMaxWire;
+  best.stats.achievedTargetIi = 0;
+  return best;
+}
 
 HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
   ddg.validate();
@@ -35,68 +233,24 @@ HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
     if (ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) rootWs.emplace_back(v);
   }
 
+  // One cache per run: the DDG (the part of a sub-problem the cache key
+  // does not serialize) is fixed for its lifetime.
+  SubproblemCache cache;
+  SubproblemCache* cachePtr =
+      options_.enableSubproblemCache ? &cache : nullptr;
+
   // Outer loop: smallest target II first (the modulo-scheduling II search
-  // applied to clusterization), a few heuristic profiles per target.
-  HcaResult best;
-  int outerAttempts = 0;
-  for (int target = iniMii; target <= iniMii + std::max(0, options_.targetIiSlack);
-       ++target) {
-    for (int profile = 0; profile < std::max(1, options_.searchProfiles);
-         ++profile) {
-      see::SeeOptions seeOptions = options_.see;
-      seeOptions.weights.targetIi = target;
-      switch (profile) {
-        case 0: break;  // configured options
-        case 1:
-          seeOptions.chainGrouping = !seeOptions.chainGrouping;
-          break;
-        case 2:
-          seeOptions.beamWidth = seeOptions.beamWidth * 2;
-          seeOptions.candidateKeep = seeOptions.candidateKeep + 2;
-          break;
-        case 3:
-          // Locality-heavy: copies and wiring budget dominate.
-          seeOptions.weights.copyCount *= 3;
-          seeOptions.weights.wiringSlack *= 2;
-          seeOptions.weights.criticalPath *= 2;
-          break;
-        default:
-          // Spread-heavy with deep routing.
-          seeOptions.chainGrouping = !seeOptions.chainGrouping;
-          seeOptions.weights.loadBalance *= 4;
-          seeOptions.maxRouteHops += 2;
-          seeOptions.beamWidth = seeOptions.beamWidth * 2;
-          break;
-      }
-      HcaResult result;
-      result.assignment.assign(static_cast<std::size_t>(ddg.numNodes()),
-                               CnId::invalid());
-      result.legal = solve(ddg, /*path=*/{}, rootWs, /*relayValues=*/{},
-                           Boundary{}, seeOptions, result);
-      ++outerAttempts;
-      result.stats.outerAttempts = outerAttempts;
-      result.stats.achievedTargetIi = target;
-      if (result.legal) {
-        // Every instruction must have landed on a CN.
-        for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
-          if (!ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) continue;
-          HCA_CHECK(result.assignment[static_cast<std::size_t>(v)].valid(),
-                    "instruction " << v << " left unassigned by HCA");
-        }
-        result.reconfig.validate();
-        // Recompute from the surviving records: the running value may
-        // include pressure from backtracked (rolled-back) attempts.
-        result.stats.maxWirePressure = 0;
-        for (const auto& record : result.records) {
-          result.stats.maxWirePressure =
-              std::max(result.stats.maxWirePressure,
-                       record->mapResult.maxValuesPerWire);
-        }
-        return result;
-      }
-      best = std::move(result);
-    }
-  }
+  // applied to clusterization), a few heuristic profiles per target —
+  // serially, or as a parallel portfolio with deterministic selection.
+  const int numAttempts = (1 + std::max(0, options_.targetIiSlack)) *
+                          std::max(1, options_.searchProfiles);
+  const int threads =
+      std::min(ThreadPool::resolveThreads(options_.numThreads), numAttempts);
+  HcaResult best =
+      threads <= 1
+          ? runSerialSweep(ddg, rootWs, iniMii, cachePtr)
+          : runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads);
+  if (best.legal) return best;
 
   // Degraded-bandwidth fallback: solve on a copy of the machine whose MUX
   // capacities are clamped to 2. The produced wiring uses a subset of the
@@ -114,8 +268,11 @@ HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
     const HcaDriver degraded(
         machine::DspFabricModel(degradedConfig), degradedOptions);
     HcaResult result = degraded.run(ddg);
-    result.stats.outerAttempts += outerAttempts;
-    if (result.legal) return result;
+    if (result.legal) {
+      result.stats.merge(best.stats);
+      return result;
+    }
+    best.stats.merge(result.stats);
   }
   return best;
 }
@@ -123,9 +280,12 @@ HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
 bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
                       std::vector<DdgNodeId> workingSet,
                       std::vector<ValueId> relayValues,
-                      const Boundary& boundary,
-                      const see::SeeOptions& seeOptions,
+                      const Boundary& boundary, const SolveContext& ctx,
                       HcaResult& result) const {
+  if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+    result.failureReason = "attempt cancelled";
+    return false;
+  }
   const int level = static_cast<int>(path.size());
   const bool leaf = level == model_.numLevels() - 1;
   const machine::LevelSpec spec = model_.levelSpec(level);
@@ -173,9 +333,43 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   record->pg.connectBoundaryNodes();
   problem.pg = &record->pg;
 
-  // --- Single-level cluster assignment (Section 4.2). ----------------------
-  const see::SpaceExplorationEngine engine(seeOptions);
-  const auto seeResult = engine.run(problem);
+  // --- Single-level cluster assignment (Section 4.2), memoized. ------------
+  // The cache key covers everything the (deterministic) SEE result depends
+  // on except the fixed DDG; see subproblem_cache.hpp. A hit replays the
+  // recorded result — including its stats, so aggregate counters stay
+  // byte-identical with the cache off.
+  std::shared_ptr<const see::SeeResult> cacheEntry;
+  std::string cacheKey;
+  if (ctx.cache != nullptr) {
+    cacheKey = subproblemKey(record->pg, problem.constraints, problem.latency,
+                             spec.inWires, spec.outWires, boundary.inputs,
+                             boundary.outputs, problem.workingSet,
+                             problem.relayValues, ctx.seeOptions);
+    cacheEntry = ctx.cache->lookup(cacheKey);
+  }
+  see::SeeResult freshResult;
+  const see::SeeResult* seePtr = nullptr;
+  if (cacheEntry != nullptr) {
+    ++result.stats.cacheHits;
+    seePtr = cacheEntry.get();
+  } else {
+    const see::SpaceExplorationEngine engine(ctx.seeOptions);
+    freshResult = engine.run(problem, ctx.cancel);
+    // Never cache a search aborted by cancellation: its "illegal" verdict
+    // is an artifact of the abort, not a property of the sub-problem. A
+    // legal result is always a complete computation and safe to cache.
+    const bool aborted = !freshResult.legal && ctx.cancel != nullptr &&
+                         ctx.cancel->cancelled();
+    if (ctx.cache != nullptr && !aborted) {
+      ++result.stats.cacheMisses;
+      cacheEntry = ctx.cache->insert(cacheKey, std::move(freshResult));
+      seePtr = cacheEntry.get();
+    } else {
+      seePtr = &freshResult;
+    }
+  }
+  const see::SeeResult& seeResult = *seePtr;
+
   record->seeStats = seeResult.stats;
   ++result.stats.problemsSolved;
   result.stats.statesExplored += seeResult.stats.statesExplored;
@@ -183,6 +377,10 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   result.stats.routeInvocations += seeResult.stats.routeInvocations;
 
   if (!seeResult.legal) {
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+      result.failureReason = "attempt cancelled";
+      return false;
+    }
     result.failureReason = strCat("sub-problem [", strJoin(path, "."),
                                   "] (level ", level,
                                   "): ", seeResult.failureReason);
@@ -197,6 +395,10 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
       static_cast<int>(seeResult.alternatives.size()));
   std::string lastFailure;
   for (int alt = 0; alt < numAlternatives; ++alt) {
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+      result.failureReason = "attempt cancelled";
+      return false;
+    }
     if (alt > 0) {
       if (result.stats.backtrackAttempts >= options_.backtrackBudget) break;
       ++result.stats.backtrackAttempts;
@@ -336,7 +538,7 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
       childPath.push_back(i);
       if (!solve(ddg, childPath, childWs[static_cast<std::size_t>(i)],
                  childRelays[static_cast<std::size_t>(i)], childBoundary,
-                 seeOptions, result)) {
+                 ctx, result)) {
         childrenOk = false;
         break;
       }

@@ -6,9 +6,11 @@
 
 #include "ddg/ddg.hpp"
 #include "hca/records.hpp"
+#include "hca/subproblem_cache.hpp"
 #include "machine/dspfabric.hpp"
 #include "machine/reconfig.hpp"
 #include "see/engine.hpp"
+#include "support/thread_pool.hpp"
 
 /// Hierarchical Cluster Assignment (paper Section 4).
 ///
@@ -58,6 +60,17 @@ struct HcaOptions {
   /// — and any mapping that fits the degraded wires trivially fits the
   /// real ones. Trades MII for guaranteed-sound legality.
   bool degradedFallback = true;
+  /// Portfolio parallelism of the outer sweep: every (target II, profile)
+  /// attempt runs as an independent task on a thread pool of this size.
+  /// 0 = hardware_concurrency, 1 = the exact legacy serial sweep. The
+  /// returned result is deterministic and identical to the serial sweep's
+  /// (the lowest-(target, profile) legal attempt wins; attempts that can no
+  /// longer win are soft-cancelled).
+  int numThreads = 1;
+  /// Memoize SEE sub-problem results across outer attempts and backtracking
+  /// alternatives (see subproblem_cache.hpp). Results are byte-identical
+  /// with the cache on or off; the cache only saves wall-clock.
+  bool enableSubproblemCache = true;
 };
 
 struct RelayPlacement {
@@ -65,16 +78,7 @@ struct RelayPlacement {
   CnId cn;
 };
 
-struct HcaStats {
-  int problemsSolved = 0;
-  int backtrackAttempts = 0;
-  int outerAttempts = 0;  ///< (target II, profile) combinations tried
-  int achievedTargetIi = 0;  ///< target II of the successful attempt
-  std::int64_t statesExplored = 0;
-  std::int64_t candidatesEvaluated = 0;
-  std::int64_t routeInvocations = 0;
-  int maxWirePressure = 0;  // max values time-sharing one wire, any level
-};
+// HcaStats lives in records.hpp (it is part of the run's audit trail).
 
 struct HcaResult {
   bool legal = false;
@@ -108,12 +112,47 @@ class HcaDriver {
     std::vector<mapper::WireValues> outputs;
   };
 
+  /// Per-attempt execution context threaded through the recursion: the
+  /// attempt's SEE options, the run-wide sub-problem cache (may be null)
+  /// and the portfolio's soft-cancellation token (may be null).
+  struct SolveContext {
+    const see::SeeOptions& seeOptions;
+    SubproblemCache* cache = nullptr;
+    const CancellationToken* cancel = nullptr;
+  };
+
+  /// SEE options of one (target II, heuristic profile) outer attempt.
+  [[nodiscard]] see::SeeOptions profileOptions(int target, int profile) const;
+
+  /// Runs one complete outer attempt (a full hierarchical solve). On
+  /// success the result is validated and its stats finalized.
+  [[nodiscard]] HcaResult runAttempt(const ddg::Ddg& ddg,
+                                     const std::vector<DdgNodeId>& rootWs,
+                                     int target, int profile,
+                                     SubproblemCache* cache,
+                                     const CancellationToken* cancel) const;
+
+  /// The legacy serial sweep: attempts in (target asc, profile asc) order,
+  /// first legal result wins.
+  [[nodiscard]] HcaResult runSerialSweep(const ddg::Ddg& ddg,
+                                         const std::vector<DdgNodeId>& rootWs,
+                                         int iniMii,
+                                         SubproblemCache* cache) const;
+
+  /// The parallel portfolio: every attempt is a pool task; a shared
+  /// best-so-far index soft-cancels attempts that can no longer win, and
+  /// the lowest-index legal attempt is returned — deterministically the
+  /// same result as the serial sweep.
+  [[nodiscard]] HcaResult runParallelSweep(
+      const ddg::Ddg& ddg, const std::vector<DdgNodeId>& rootWs, int iniMii,
+      SubproblemCache* cache, int numThreads) const;
+
   /// Solves the sub-problem at `path`; returns false (and fills
   /// result.failureReason) on the first illegality.
   bool solve(const ddg::Ddg& ddg, const std::vector<int>& path,
              std::vector<DdgNodeId> workingSet,
              std::vector<ValueId> relayValues, const Boundary& boundary,
-             const see::SeeOptions& seeOptions, HcaResult& result) const;
+             const SolveContext& ctx, HcaResult& result) const;
 
   machine::DspFabricModel model_;
   HcaOptions options_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,63 @@
 /// from them, and the MII computation reads the per-cluster summaries and
 /// wire pressures.
 namespace hca::core {
+
+/// Search-effort statistics of one full `HcaDriver::run` — the *aggregate*
+/// over every (target II, heuristic profile) attempt of the outer sweep,
+/// including the degraded-bandwidth fallback's own sweep when it runs. The
+/// driver solves each attempt with a private HcaStats and merges it into the
+/// returned result when the attempt completes, so serial and parallel sweeps
+/// produce the same aggregation semantics.
+struct HcaStats {
+  /// SEE sub-problems solved across all attempts. Cache hits count too:
+  /// a hit replays the recorded result of an identical solve.
+  int problemsSolved = 0;
+  /// Runner-up assignments tried after a child sub-problem failed, summed
+  /// over all attempts (each attempt has its own `backtrackBudget`).
+  int backtrackAttempts = 0;
+  /// (target II, profile) attempts *started* across the whole run. An
+  /// attempt soft-cancelled before it started is counted in
+  /// `attemptsCancelled` only. On a legal serial sweep this is the 1-based
+  /// index of the winning attempt, matching the historical meaning; a
+  /// parallel sweep may start attempts the serial sweep never reached.
+  int outerAttempts = 0;
+  /// Target II of the successful attempt; 0 when no legal clusterization
+  /// was found (historically this reported the *last* attempt's target even
+  /// on failure).
+  int achievedTargetIi = 0;
+  /// Portfolio attempts soft-cancelled because a lower-index attempt
+  /// already produced a legal result (includes attempts cancelled before
+  /// they started). Always 0 in a serial sweep.
+  int attemptsCancelled = 0;
+  std::int64_t statesExplored = 0;     ///< SEE frontier states expanded
+  std::int64_t candidatesEvaluated = 0;
+  std::int64_t routeInvocations = 0;   ///< SEE no-candidates actions
+  /// Sub-problem cache traffic. On a hit the cached SEE statistics are
+  /// still added to the counters above, so the aggregate counters are
+  /// byte-identical with the cache on or off — the cache only changes
+  /// wall-clock.
+  std::int64_t cacheHits = 0;
+  std::int64_t cacheMisses = 0;
+  /// Max values time-sharing one wire at any level — recomputed from the
+  /// *surviving* records of the winning attempt (not merged across failed
+  /// attempts, whose rolled-back pressure is meaningless).
+  int maxWirePressure = 0;
+
+  /// Folds another attempt's counters into this one. `achievedTargetIi`
+  /// and `maxWirePressure` are properties of the winning attempt and are
+  /// deliberately left alone.
+  void merge(const HcaStats& other) {
+    problemsSolved += other.problemsSolved;
+    backtrackAttempts += other.backtrackAttempts;
+    outerAttempts += other.outerAttempts;
+    attemptsCancelled += other.attemptsCancelled;
+    statesExplored += other.statesExplored;
+    candidatesEvaluated += other.candidatesEvaluated;
+    routeInvocations += other.routeInvocations;
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
+  }
+};
 
 /// Occupancy snapshot of one PG cluster after single-level assignment.
 struct ClusterSummary {

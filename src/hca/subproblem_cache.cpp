@@ -1,0 +1,142 @@
+#include "hca/subproblem_cache.hpp"
+
+#include <cstring>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace hca::core {
+
+namespace {
+
+/// Little accumulator for the binary key: fixed-width fields, no separators
+/// needed because every record below has a self-describing length prefix.
+void appendI32(std::string& out, std::int32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(v));
+}
+
+void appendDouble(std::string& out, double v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(v));
+}
+
+template <class Id>
+void appendIds(std::string& out, const std::vector<Id>& ids) {
+  appendI32(out, static_cast<std::int32_t>(ids.size()));
+  for (const Id id : ids) appendI32(out, id.value());
+}
+
+void appendWires(std::string& out,
+                 const std::vector<mapper::WireValues>& wires) {
+  appendI32(out, static_cast<std::int32_t>(wires.size()));
+  for (const auto& wire : wires) {
+    appendI32(out, wire.wire);
+    appendIds(out, wire.values);
+  }
+}
+
+void appendOptions(std::string& out, const see::SeeOptions& o) {
+  appendI32(out, o.beamWidth);
+  appendI32(out, o.candidateKeep);
+  appendI32(out, o.maxOpsPerUnit);
+  appendI32(out, o.enableRouteAllocator ? 1 : 0);
+  appendI32(out, o.eagerRouting ? 1 : 0);
+  appendI32(out, o.retryLadder ? 1 : 0);
+  appendI32(out, o.maxRouteHops);
+  appendI32(out, o.chainGrouping ? 1 : 0);
+  appendDouble(out, o.weights.iiEstimate);
+  appendDouble(out, o.weights.copyCount);
+  appendDouble(out, o.weights.loadBalance);
+  appendDouble(out, o.weights.criticalPath);
+  appendDouble(out, o.weights.wiringSlack);
+  appendI32(out, o.weights.targetIi);
+}
+
+}  // namespace
+
+std::string subproblemKey(
+    const machine::PatternGraph& pg, const machine::PgConstraints& constraints,
+    const ddg::LatencyModel& latency, int inWiresPerCluster,
+    int outWiresPerCluster,
+    const std::vector<mapper::WireValues>& boundaryInputs,
+    const std::vector<mapper::WireValues>& boundaryOutputs,
+    const std::vector<DdgNodeId>& workingSet,
+    const std::vector<ValueId>& relayValues, const see::SeeOptions& options) {
+  std::string key;
+  key.reserve(64 + 8 * (workingSet.size() + relayValues.size()) +
+              16 * static_cast<std::size_t>(pg.numNodes()));
+
+  // Pattern-graph shape: node kinds and resources. Arcs are fully
+  // determined by the construction sequence (complete cluster connection +
+  // connectBoundaryNodes), but serialize the count as a tripwire.
+  appendI32(key, pg.numNodes());
+  for (std::int32_t v = 0; v < pg.numNodes(); ++v) {
+    const auto& node = pg.node(ClusterId(v));
+    appendI32(key, static_cast<std::int32_t>(node.kind));
+    appendI32(key, node.resources.alu());
+    appendI32(key, node.resources.ag());
+  }
+  appendI32(key, pg.numArcs());
+
+  appendI32(key, constraints.maxInNeighbors);
+  appendI32(key, constraints.maxOutNeighbors);
+  appendI32(key, constraints.outputNodeUnaryFanIn ? 1 : 0);
+
+  appendI32(key, latency.alu);
+  appendI32(key, latency.mul);
+  appendI32(key, latency.mac);
+  appendI32(key, latency.load);
+  appendI32(key, latency.store);
+  appendI32(key, latency.recv);
+  appendI32(key, latency.interCluster);
+
+  appendI32(key, inWiresPerCluster);
+  appendI32(key, outWiresPerCluster);
+
+  appendWires(key, boundaryInputs);
+  appendWires(key, boundaryOutputs);
+  appendIds(key, workingSet);
+  appendIds(key, relayValues);
+  appendOptions(key, options);
+  return key;
+}
+
+SubproblemCache::SubproblemCache(int numShards)
+    : shards_(static_cast<std::size_t>(numShards)) {
+  HCA_REQUIRE(numShards >= 1, "cache needs at least one shard");
+}
+
+SubproblemCache::Shard& SubproblemCache::shardOf(const std::string& key) const {
+  const std::size_t h = std::hash<std::string>()(key);
+  return shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const see::SeeResult> SubproblemCache::lookup(
+    const std::string& key) const {
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const see::SeeResult> SubproblemCache::insert(
+    const std::string& key, see::SeeResult result) {
+  auto entry = std::make_shared<const see::SeeResult>(std::move(result));
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.emplace(key, std::move(entry)).first->second;  // first writer wins
+}
+
+std::int64_t SubproblemCache::entries() const {
+  std::int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += static_cast<std::int64_t>(shard.map.size());
+  }
+  return total;
+}
+
+}  // namespace hca::core

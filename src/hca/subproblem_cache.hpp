@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/pattern_graph.hpp"
+#include "mapper/mapper.hpp"
+#include "see/engine.hpp"
+
+/// Memoization of single-level SEE sub-problems (one HcaDriver::run).
+///
+/// The outer portfolio search re-solves the same 4-ish-node sub-problems
+/// over and over: backtracking alternatives re-enter identical children,
+/// and different heuristic profiles share every sub-problem whose options
+/// they do not perturb. The SEE is deterministic, so a sub-problem is fully
+/// described by the *content* of its inputs — pattern-graph shape, working
+/// set, relay values, boundary ILIs, constraints, latency model, and a
+/// fingerprint of the SeeOptions — and its SeeResult can be replayed from a
+/// hash lookup. Keys are exact serialized content (compared byte-for-byte on
+/// lookup), never a lossy hash, so a hit is guaranteed to byte-match a fresh
+/// solve. The map is sharded: each shard has its own mutex, so concurrent
+/// portfolio attempts rarely contend.
+///
+/// The problem path is deliberately *not* part of the key: identical
+/// sub-problems at different positions of the problem tree (or in different
+/// outer attempts) share one entry.
+namespace hca::core {
+
+/// Serializes everything the SEE result depends on, except the DDG itself
+/// (fixed for the lifetime of one cache) and the problem path (irrelevant
+/// to the result). `boundaryInputs`/`boundaryOutputs` must be the exact
+/// wire lists used to extend `pg` with boundary nodes, in that order.
+[[nodiscard]] std::string subproblemKey(
+    const machine::PatternGraph& pg, const machine::PgConstraints& constraints,
+    const ddg::LatencyModel& latency, int inWiresPerCluster,
+    int outWiresPerCluster,
+    const std::vector<mapper::WireValues>& boundaryInputs,
+    const std::vector<mapper::WireValues>& boundaryOutputs,
+    const std::vector<DdgNodeId>& workingSet,
+    const std::vector<ValueId>& relayValues, const see::SeeOptions& options);
+
+class SubproblemCache {
+ public:
+  explicit SubproblemCache(int numShards = 16);
+
+  SubproblemCache(const SubproblemCache&) = delete;
+  SubproblemCache& operator=(const SubproblemCache&) = delete;
+
+  /// Returns the cached result for `key`, or nullptr on a miss.
+  [[nodiscard]] std::shared_ptr<const see::SeeResult> lookup(
+      const std::string& key) const;
+
+  /// Inserts `result` if the key is absent and returns the stored entry
+  /// (the first writer wins, so concurrent attempts all observe the same
+  /// object — with a deterministic SEE both candidates are identical
+  /// anyway).
+  std::shared_ptr<const see::SeeResult> insert(const std::string& key,
+                                               see::SeeResult result);
+
+  [[nodiscard]] std::int64_t entries() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const see::SeeResult>> map;
+  };
+
+  [[nodiscard]] Shard& shardOf(const std::string& key) const;
+
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace hca::core

@@ -48,9 +48,11 @@ std::optional<PartialSolution> assignGroupDirect(
 }
 }  // namespace
 
-SeeResult SpaceExplorationEngine::run(const SeeProblem& problem) const {
-  SeeResult result = runOnce(problem, options_);
+SeeResult SpaceExplorationEngine::run(const SeeProblem& problem,
+                                      const CancellationToken* cancel) const {
+  SeeResult result = runOnce(problem, options_, cancel);
   if (result.legal || !options_.retryLadder) return result;
+  if (cancel != nullptr && cancel->cancelled()) return result;
   // Diversification ladder (part of the node-filter design): a narrower,
   // route-heavier search sometimes reaches a legal corner of the space the
   // scored beam pruned away. Statistics accumulate across attempts.
@@ -71,7 +73,8 @@ SeeResult SpaceExplorationEngine::run(const SeeProblem& problem) const {
     ladder.push_back(balanced);
   }
   for (const SeeOptions& attempt : ladder) {
-    SeeResult retry = runOnce(problem, attempt);
+    if (cancel != nullptr && cancel->cancelled()) return result;
+    SeeResult retry = runOnce(problem, attempt, cancel);
     retry.stats.statesExplored += result.stats.statesExplored;
     retry.stats.candidatesEvaluated += result.stats.candidatesEvaluated;
     retry.stats.statesPruned += result.stats.statesPruned;
@@ -83,8 +86,9 @@ SeeResult SpaceExplorationEngine::run(const SeeProblem& problem) const {
   return result;
 }
 
-SeeResult SpaceExplorationEngine::runOnce(const SeeProblem& problem,
-                                          const SeeOptions& options) const {
+SeeResult SpaceExplorationEngine::runOnce(
+    const SeeProblem& problem, const SeeOptions& options,
+    const CancellationToken* cancel) const {
   const PreparedProblem prepared(problem, options);
   const WeightedObjective objective(options.weights);
 
@@ -95,6 +99,13 @@ SeeResult SpaceExplorationEngine::runOnce(const SeeProblem& problem,
       objective.evaluate(prepared, frontier.back()));
 
   for (const ItemGroup& group : prepared.items()) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.legal = false;
+      result.failedItem = group.members.front();
+      result.failureReason = "cancelled";
+      result.solution = frontier.front();
+      return result;
+    }
     std::vector<PartialSolution> next;
     std::vector<int> parentOf;  // parallel to next: index into frontier
     int parentIndex = -1;

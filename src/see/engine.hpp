@@ -5,6 +5,7 @@
 #include "see/cost.hpp"
 #include "see/partial_solution.hpp"
 #include "see/problem.hpp"
+#include "support/thread_pool.hpp"
 
 /// The Space Exploration Engine (paper Section 3, Figures 4 and 5).
 ///
@@ -34,13 +35,19 @@ class SpaceExplorationEngine {
  public:
   explicit SpaceExplorationEngine(SeeOptions options = {});
 
-  [[nodiscard]] SeeResult run(const SeeProblem& problem) const;
+  /// Runs the beam search. When `cancel` is non-null the loop polls it at
+  /// every priority-list step and, once it flips, unwinds immediately with
+  /// an illegal result (failureReason = "cancelled"). A result with
+  /// legal == true is always a complete, cancellation-free computation.
+  [[nodiscard]] SeeResult run(const SeeProblem& problem,
+                              const CancellationToken* cancel = nullptr) const;
 
   [[nodiscard]] const SeeOptions& options() const { return options_; }
 
  private:
   [[nodiscard]] SeeResult runOnce(const SeeProblem& problem,
-                                  const SeeOptions& options) const;
+                                  const SeeOptions& options,
+                                  const CancellationToken* cancel) const;
 
   SeeOptions options_;
 };

@@ -1,0 +1,64 @@
+#include "support/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace hca {
+
+ThreadPool::ThreadPool(int numThreads) {
+  HCA_REQUIRE(numThreads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(numThreads));
+  for (int i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    HCA_CHECK(!stop_, "submit on a stopped thread pool");
+    queue_.push_back(std::move(task));
+  }
+  workCv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+int ThreadPool::resolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idleCv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hca

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Minimal fixed-size thread pool and cooperative cancellation primitive.
+///
+/// Used by the HCA driver's portfolio search: every (target II, heuristic
+/// profile) attempt is an independent task, so a plain FIFO pool — no work
+/// stealing, no futures — is all the machinery the outer loop needs. Tasks
+/// must not throw (the driver captures exceptions into per-attempt slots).
+namespace hca {
+
+/// A cooperative soft-cancellation flag.
+///
+/// Long-running searches poll `cancelled()` at loop boundaries and unwind
+/// with an "illegal" result when it flips; the canceller never blocks or
+/// interrupts. Cancellation is one-way and sticky.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `numThreads` workers (must be >= 1).
+  explicit ThreadPool(int numThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; wrap bodies in try/catch and
+  /// stash the exception if the caller needs it.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. The pool is
+  /// reusable after wait() returns.
+  void wait();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Maps the user-facing `numThreads` knob to a concrete worker count:
+  /// 0 = std::thread::hardware_concurrency (at least 1), otherwise the
+  /// requested value clamped to >= 1.
+  [[nodiscard]] static int resolveThreads(int requested);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable workCv_;  // queue non-empty or shutting down
+  std::condition_variable idleCv_;  // queue empty and no task in flight
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hca
