@@ -10,16 +10,22 @@ namespace hca::baseline {
 
 FlatIcaResult runFlatIca(const ddg::Ddg& ddg,
                          const machine::DspFabricModel& model,
-                         const see::SeeOptions& options) {
+                         const see::SeeOptions& options,
+                         const CancellationToken* cancel,
+                         HierarchyCollect* collect) {
   HCA_REQUIRE(model.totalCns() <= 64,
               "flat ICA supports up to 64 computation nodes");
   FlatIcaResult result;
 
-  // The flat K_n pattern graph: every CN connected to every other.
+  // The flat K_n pattern graph: every CN connected to every other. Dead
+  // CNs keep their slot (indices must stay CN ids) but carry no resources
+  // and are marked so SEE never places work on them.
   machine::PatternGraph pg;
   for (int i = 0; i < model.totalCns(); ++i) {
-    pg.addCluster(machine::ResourceTable::computationNode(),
+    const bool alive = model.cnAlive(CnId(i));
+    pg.addCluster(machine::ResourceTable::computationNode() * (alive ? 1 : 0),
                   "CN" + std::to_string(i));
+    if (!alive) pg.markDead(ClusterId(i));
   }
   pg.connectClustersCompletely();
 
@@ -43,12 +49,12 @@ FlatIcaResult runFlatIca(const ddg::Ddg& ddg,
     const auto stats = ddg.stats();
     flatOptions.weights.targetIi = std::max<int>(
         {static_cast<int>(ddg.miiRec(model.config().latency)),
-         (stats.numInstructions + model.totalCns() - 1) / model.totalCns(),
+         (stats.numInstructions + model.aliveCns() - 1) / model.aliveCns(),
          (stats.numMemOps + model.config().dmaSlots - 1) /
              model.config().dmaSlots});
   }
   const see::SpaceExplorationEngine engine(flatOptions);
-  const auto seeResult = engine.run(problem);
+  const auto seeResult = engine.run(problem, cancel);
   result.seeStats = seeResult.stats;
   result.assignmentLegal = seeResult.legal;
   if (!seeResult.legal) {
@@ -70,7 +76,8 @@ FlatIcaResult runFlatIca(const ddg::Ddg& ddg,
   }
 
   // Post-hoc: can the MUX hierarchy actually realize this assignment?
-  result.hierarchy = checkHierarchyFeasibility(ddg, model, result.assignment);
+  result.hierarchy =
+      checkHierarchyFeasibility(ddg, model, result.assignment, collect);
   result.hierarchyLegal = result.hierarchy.legal;
   if (!result.hierarchyLegal) {
     result.failureReason = "hierarchy: " + result.hierarchy.failureReason;

@@ -7,6 +7,7 @@
 #include "ddg/ddg.hpp"
 #include "machine/dspfabric.hpp"
 #include "see/problem.hpp"
+#include "support/thread_pool.hpp"
 
 /// Flat (non-hierarchical) Instruction Cluster Assignment baseline.
 ///
@@ -33,8 +34,15 @@ struct FlatIcaResult {
   int maxCnPressure = 0;
 };
 
+/// `cancel` (optional) aborts the flat SEE search early; `collect`
+/// (optional) materializes per-level records when the hierarchy check
+/// passes — see HierarchyCollect. On a faulty model the dead CNs are
+/// excluded from the flat pattern graph, so the assignment only uses
+/// surviving resources.
 FlatIcaResult runFlatIca(const ddg::Ddg& ddg,
                          const machine::DspFabricModel& model,
-                         const see::SeeOptions& options = {});
+                         const see::SeeOptions& options = {},
+                         const CancellationToken* cancel = nullptr,
+                         HierarchyCollect* collect = nullptr);
 
 }  // namespace hca::baseline

@@ -1,6 +1,7 @@
 #include "ddg/serialize.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -22,6 +23,15 @@ std::int64_t parseInt(const std::string& value, int line) {
     throw InvalidArgumentError(
         strCat("line ", line, ": expected an integer, got '", value, "'"));
   }
+}
+
+/// Operand src/distance are stored as int32: a value outside the range
+/// must be a hard parse error, not a silent wrap to some other node id.
+std::int32_t parseInt32(const std::string& value, int line) {
+  const std::int64_t parsed = parseInt(value, line);
+  HCA_REQUIRE(parsed >= INT32_MIN && parsed <= INT32_MAX,
+              "line " << line << ": integer out of range: '" << value << "'");
+  return static_cast<std::int32_t>(parsed);
 }
 
 Op opFromName(const std::string& name, int line) {
@@ -101,11 +111,17 @@ Ddg fromText(const std::string& text) {
                       "line " << lineNumber << ": malformed operand '"
                               << triple << "'");
           Operand operand;
-          operand.src = DdgNodeId(
-              static_cast<std::int32_t>(parseInt(parts[0], lineNumber)));
+          const std::int32_t src = parseInt32(parts[0], lineNumber);
+          HCA_REQUIRE(src >= 0, "line " << lineNumber
+                                        << ": negative operand source "
+                                        << src);
+          operand.src = DdgNodeId(src);
           if (parts.size() >= 2) {
-            operand.distance =
-                static_cast<std::int32_t>(parseInt(parts[1], lineNumber));
+            operand.distance = parseInt32(parts[1], lineNumber);
+            HCA_REQUIRE(operand.distance >= 0,
+                        "line " << lineNumber
+                                << ": negative dependence distance "
+                                << operand.distance);
           }
           if (parts.size() >= 3) operand.init = parseInt(parts[2], lineNumber);
           node.operands.push_back(operand);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <set>
 
+#include "baseline/flat_ica.hpp"
 #include "mapper/mapper.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -13,12 +15,55 @@
 
 namespace hca::core {
 
+const char* to_string(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kInvalidInput: return "invalid-input";
+    case FailureCause::kDisconnectedFabric: return "disconnected-fabric";
+    case FailureCause::kDeadlineExpired: return "deadline-expired";
+    case FailureCause::kNoLegalMapping: return "no-legal-mapping";
+    case FailureCause::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+std::string HcaFailureReport::toString() const {
+  std::string out = strCat("HcaFailure{", to_string(cause));
+  if (level >= 0) {
+    out += strCat(", level ", level, " [", strJoin(subproblemPath, "."), "]");
+  }
+  out += strCat(": ", message);
+  if (!escalationsTried.empty()) {
+    out += strCat(" (escalations: ", strJoin(escalationsTried, ", "), ")");
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// A !legal HcaResult carrying a structured report (kDegrade paths).
+HcaResult failureResult(FailureCause cause, std::string message,
+                        std::vector<std::string> escalations = {}) {
+  HcaResult result;
+  result.legal = false;
+  result.failureReason = message;
+  auto report = std::make_unique<HcaFailureReport>();
+  report->cause = cause;
+  report->message = std::move(message);
+  report->escalationsTried = std::move(escalations);
+  result.failure = std::move(report);
+  return result;
+}
+
+}  // namespace
+
 HcaDriver::HcaDriver(machine::DspFabricModel model, HcaOptions options)
     : model_(std::move(model)), options_(options) {}
 
 see::SeeOptions HcaDriver::profileOptions(int target, int profile) const {
   see::SeeOptions seeOptions = options_.see;
   seeOptions.weights.targetIi = target;
+  if (options_.maxBeamSteps > 0) seeOptions.maxBeamSteps = options_.maxBeamSteps;
   switch (profile) {
     case 0: break;  // configured options
     case 1:
@@ -81,20 +126,31 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
 
 HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
                                     const std::vector<DdgNodeId>& rootWs,
-                                    int iniMii, SubproblemCache* cache) const {
+                                    int iniMii, SubproblemCache* cache,
+                                    const CancellationToken* deadline) const {
   HcaStats sweepStats;
   HcaResult best;
+  bool expired = false;
   for (int target = iniMii;
-       target <= iniMii + std::max(0, options_.targetIiSlack); ++target) {
+       target <= iniMii + std::max(0, options_.targetIiSlack) && !expired;
+       ++target) {
     for (int profile = 0; profile < std::max(1, options_.searchProfiles);
          ++profile) {
+      if (deadline != nullptr && deadline->cancelled()) {
+        expired = true;
+        break;
+      }
       HcaResult result =
-          runAttempt(ddg, rootWs, target, profile, cache, nullptr);
+          runAttempt(ddg, rootWs, target, profile, cache, deadline);
       if (result.legal) {
         result.stats.merge(sweepStats);
         return result;
       }
       sweepStats.merge(result.stats);
+      if (deadline != nullptr && deadline->cancelled()) {
+        // The attempt was aborted mid-search, not genuinely infeasible.
+        ++sweepStats.attemptsCancelled;
+      }
       best = std::move(result);
     }
   }
@@ -104,13 +160,18 @@ HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
   best.stats = sweepStats;
   best.stats.maxWirePressure = lastMaxWire;
   best.stats.achievedTargetIi = 0;
+  if (best.failureReason.empty()) {
+    // The deadline fired before the first attempt even started.
+    best.failureReason = "deadline expired before any outer attempt completed";
+  }
   return best;
 }
 
 HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
                                       const std::vector<DdgNodeId>& rootWs,
                                       int iniMii, SubproblemCache* cache,
-                                      int numThreads) const {
+                                      int numThreads,
+                                      const CancellationToken* deadline) const {
   const int numProfiles = std::max(1, options_.searchProfiles);
   const int numTargets = 1 + std::max(0, options_.targetIiSlack);
   const int numAttempts = numTargets * numProfiles;
@@ -123,6 +184,11 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
   };
   std::vector<AttemptSlot> slots(static_cast<std::size_t>(numAttempts));
   std::vector<CancellationToken> tokens(static_cast<std::size_t>(numAttempts));
+  // Every per-attempt token also observes the run-wide deadline (chained
+  // before any task can run).
+  if (deadline != nullptr) {
+    for (auto& token : tokens) token.chainTo(deadline);
+  }
   // Lowest attempt index known to be legal: attempts above it can no
   // longer be the returned result (the sweep is ordered), so they are
   // soft-cancelled.
@@ -199,11 +265,24 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
     result.stats.merge(aggregate);
     return result;
   }
-  // No attempt succeeded; nothing was cancelled (cancellation only follows
-  // a legal result), so every slot completed. Mirror the serial sweep:
-  // return the last attempt's failure with the aggregate counters.
-  HcaResult best =
-      std::move(slots[static_cast<std::size_t>(numAttempts - 1)].result);
+  // No attempt succeeded. Without a deadline nothing was cancelled
+  // (cancellation only follows a legal result) and every slot completed;
+  // with one, trailing attempts may have been skipped. Mirror the serial
+  // sweep: return the last completed attempt's failure with the aggregate
+  // counters.
+  int lastCompleted = -1;
+  for (int i = numAttempts - 1; i >= 0; --i) {
+    if (slots[static_cast<std::size_t>(i)].completed) {
+      lastCompleted = i;
+      break;
+    }
+  }
+  HcaResult best;
+  if (lastCompleted >= 0) {
+    best = std::move(slots[static_cast<std::size_t>(lastCompleted)].result);
+  } else {
+    best.failureReason = "deadline expired before any outer attempt completed";
+  }
   const int lastMaxWire = best.stats.maxWirePressure;
   best.stats = aggregate;
   best.stats.maxWirePressure = lastMaxWire;
@@ -212,16 +291,44 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
 }
 
 HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
+  const bool degrade = options_.failurePolicy == FailurePolicy::kDegrade;
+
+  // A fault set that disconnects the fabric can never be mapped onto;
+  // refuse it up front instead of sweeping to an opaque failure.
+  if (model_.hasFaults()) {
+    const std::string viability = model_.faultViabilityError();
+    if (!viability.empty()) {
+      HCA_REQUIRE(degrade,
+                  "fault set leaves the fabric disconnected: " << viability);
+      return failureResult(
+          FailureCause::kDisconnectedFabric,
+          strCat("fault set leaves the fabric disconnected: ", viability));
+    }
+  }
+
+  if (!degrade) return runChecked(ddg);
+  try {
+    return runChecked(ddg);
+  } catch (const InvalidArgumentError& e) {
+    return failureResult(FailureCause::kInvalidInput, e.what());
+  } catch (const Error& e) {
+    return failureResult(FailureCause::kInternalError, e.what());
+  } catch (const std::exception& e) {
+    return failureResult(FailureCause::kInternalError, e.what());
+  }
+}
+
+HcaResult HcaDriver::runChecked(const ddg::Ddg& ddg) const {
   ddg.validate();
 
   // Base target II for the cost function (Section 4.2): clusters below
   // iniMII are never the bottleneck, so the search may pack them for
-  // locality.
+  // locality. Only surviving CNs contribute issue slots.
   int iniMii = options_.see.weights.targetIi;
   if (iniMii <= 1) {
     const auto stats = ddg.stats();
-    const int issue = (stats.numInstructions + model_.totalCns() - 1) /
-                      model_.totalCns();
+    const int issue = (stats.numInstructions + model_.aliveCns() - 1) /
+                      model_.aliveCns();
     const int mem = (stats.numMemOps + model_.config().dmaSlots - 1) /
                     model_.config().dmaSlots;
     iniMii = static_cast<int>(std::max<std::int64_t>(
@@ -233,46 +340,143 @@ HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
     if (ddg::isInstruction(ddg.node(DdgNodeId(v)).op)) rootWs.emplace_back(v);
   }
 
+  CancellationToken deadlineToken;
+  const CancellationToken* deadline = nullptr;
+  if (options_.deadlineMs > 0) {
+    deadlineToken.setDeadline(std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(options_.deadlineMs));
+    deadline = &deadlineToken;
+  }
+  return runLadder(ddg, rootWs, iniMii, deadline);
+}
+
+HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
+                               const std::vector<DdgNodeId>& rootWs,
+                               int iniMii,
+                               const CancellationToken* deadline) const {
+  const bool degrade = options_.failurePolicy == FailurePolicy::kDegrade;
+  const auto expired = [&] {
+    return deadline != nullptr && deadline->cancelled();
+  };
+  std::vector<std::string> escalations;
+
   // One cache per run: the DDG (the part of a sub-problem the cache key
   // does not serialize) is fixed for its lifetime.
   SubproblemCache cache;
   SubproblemCache* cachePtr =
       options_.enableSubproblemCache ? &cache : nullptr;
 
-  // Outer loop: smallest target II first (the modulo-scheduling II search
-  // applied to clusterization), a few heuristic profiles per target —
-  // serially, or as a parallel portfolio with deterministic selection.
+  // Rung 1 — the primary sweep: smallest target II first (the
+  // modulo-scheduling II search applied to clusterization), a few
+  // heuristic profiles per target — serially, or as a parallel portfolio
+  // with deterministic selection.
   const int numAttempts = (1 + std::max(0, options_.targetIiSlack)) *
                           std::max(1, options_.searchProfiles);
   const int threads =
       std::min(ThreadPool::resolveThreads(options_.numThreads), numAttempts);
   HcaResult best =
       threads <= 1
-          ? runSerialSweep(ddg, rootWs, iniMii, cachePtr)
-          : runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads);
+          ? runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline)
+          : runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads, deadline);
   if (best.legal) return best;
 
-  // Degraded-bandwidth fallback: solve on a copy of the machine whose MUX
-  // capacities are clamped to 2. The produced wiring uses a subset of the
-  // real wires, so the result is valid (if slow) on the real fabric.
-  if (options_.degradedFallback &&
+  // Rung 2 (kDegrade) — retry with backoff: a widened beam and deeper
+  // candidate keep explore assignments the primary profiles pruned.
+  if (degrade && !expired()) {
+    escalations.push_back("widened-beam retry (beam x2, keep +4)");
+    HcaOptions wider = options_;
+    wider.see.beamWidth *= 2;
+    wider.see.candidateKeep += 4;
+    const HcaDriver widened(model_, wider);
+    HcaResult retry =
+        threads <= 1
+            ? widened.runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline)
+            : widened.runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads,
+                                       deadline);
+    if (retry.legal) {
+      retry.stats.merge(best.stats);
+      retry.fallbackUsed = "beam-backoff";
+      return retry;
+    }
+    best.stats.merge(retry.stats);
+  }
+
+  // Rung 3 — degraded-bandwidth fallback: solve on a copy of the machine
+  // whose MUX capacities are clamped to 2 (faults carried over). The
+  // produced wiring uses a subset of the real surviving wires, so the
+  // result is valid (if slow) on the real fabric. Skipped when the faults
+  // leave the *degraded* fabric disconnected — the real one may still be
+  // fine with its wider MUXes.
+  if (options_.degradedFallback && !expired() &&
       (model_.config().n > 2 || model_.config().m > 2 ||
        model_.config().k > 2)) {
     machine::DspFabricConfig degradedConfig = model_.config();
     degradedConfig.n = std::min(degradedConfig.n, 2);
     degradedConfig.m = std::min(degradedConfig.m, 2);
     degradedConfig.k = std::min(degradedConfig.k, 2);
-    HcaOptions degradedOptions = options_;
-    degradedOptions.degradedFallback = false;
-    degradedOptions.targetIiSlack = std::max(options_.targetIiSlack, 6);
-    const HcaDriver degraded(
-        machine::DspFabricModel(degradedConfig), degradedOptions);
-    HcaResult result = degraded.run(ddg);
-    if (result.legal) {
-      result.stats.merge(best.stats);
+    machine::DspFabricModel degradedModel(degradedConfig, model_.faults());
+    if (!degradedModel.hasFaults() ||
+        degradedModel.faultViabilityError().empty()) {
+      escalations.push_back("degraded-bandwidth re-run (N=M=K=2)");
+      HcaOptions degradedOptions = options_;
+      degradedOptions.degradedFallback = false;
+      degradedOptions.failurePolicy = FailurePolicy::kStrict;
+      degradedOptions.targetIiSlack = std::max(options_.targetIiSlack, 6);
+      const HcaDriver degraded(std::move(degradedModel), degradedOptions);
+      HcaResult result = degraded.runLadder(ddg, rootWs, iniMii, deadline);
+      if (result.legal) {
+        result.stats.merge(best.stats);
+        result.fallbackUsed = "degraded-bandwidth";
+        return result;
+      }
+      best.stats.merge(result.stats);
+    }
+  }
+
+  // Rung 4 (kDegrade) — flat ICA on the surviving resources: gives up the
+  // hierarchical search entirely and accepts any assignment the post-hoc
+  // hierarchy check can realize, materialized into regular records.
+  if (degrade && !expired() && model_.totalCns() <= 64) {
+    escalations.push_back("flat ICA on surviving resources");
+    see::SeeOptions flatOptions = options_.see;
+    if (options_.maxBeamSteps > 0) {
+      flatOptions.maxBeamSteps = options_.maxBeamSteps;
+    }
+    baseline::HierarchyCollect collect;
+    const baseline::FlatIcaResult flat =
+        baseline::runFlatIca(ddg, model_, flatOptions, deadline, &collect);
+    if (flat.assignmentLegal && flat.hierarchyLegal) {
+      HcaResult result;
+      result.legal = true;
+      result.fallbackUsed = "flat-ica";
+      result.assignment = flat.assignment;
+      result.records = std::move(collect.records);
+      result.reconfig = std::move(collect.reconfig);
+      result.reconfig.validate();
+      result.stats = best.stats;
+      ++result.stats.outerAttempts;
+      result.stats.statesExplored += flat.seeStats.statesExplored;
+      result.stats.candidatesEvaluated += flat.seeStats.candidatesEvaluated;
+      result.stats.routeInvocations += flat.seeStats.routeInvocations;
+      result.stats.problemsSolved += flat.hierarchy.problemsChecked;
+      result.stats.maxWirePressure = flat.hierarchy.maxWirePressure;
+      result.stats.achievedTargetIi = 0;  // no target II was honored
       return result;
     }
-    best.stats.merge(result.stats);
+  }
+
+  // Every rung exhausted (or the deadline cut the ladder short).
+  if (degrade) {
+    auto report = std::make_unique<HcaFailureReport>();
+    report->cause = expired() ? FailureCause::kDeadlineExpired
+                              : FailureCause::kNoLegalMapping;
+    if (best.failureRecord != nullptr) {
+      report->level = best.failureRecord->level;
+      report->subproblemPath = best.failureRecord->path;
+    }
+    report->message = best.failureReason;
+    report->escalationsTried = std::move(escalations);
+    best.failure = std::move(report);
   }
   return best;
 }
@@ -298,7 +502,10 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   record->relayValues = relayValues;
 
   // --- Pattern graph with boundary nodes (Section 4.1, Fig. 10b). ---------
-  record->pg = model_.patternGraph(level);
+  // On a faulty machine the PG carries the sub-problem's surviving
+  // resources (dead children marked, wire caps clamped); fault-free paths
+  // get the identical per-level graph as before.
+  record->pg = model_.patternGraphAt(path);
   see::SeeProblem problem;
   problem.ddg = &ddg;
   problem.workingSet = std::move(workingSet);
@@ -447,6 +654,14 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
     mapInput.inWiresPerChild = spec.inWires;
     mapInput.outWiresPerChild = spec.outWires;
     mapInput.maxWiresIntoChild = leaf ? 0 : spec.maxWiresIntoChild;
+    if (model_.hasFaults()) {
+      const machine::ProblemSpec pspec = model_.problemSpec(path);
+      if (pspec.touched) {
+        mapInput.inWiresOfChild = pspec.inWiresOfChild;
+        mapInput.outWiresOfChild = pspec.outWiresOfChild;
+        if (!leaf) mapInput.maxWiresIntoChildOf = pspec.maxWiresIntoChildOf;
+      }
+    }
     mapInput.problemPath = path;
     const mapper::Mapper mapperPass;
     attempt->mapResult = mapperPass.map(mapInput);
@@ -467,8 +682,12 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
       for (std::size_t i = 0; i < attempt->workingSet.size(); ++i) {
         auto cnPath = path;
         cnPath.push_back(attempt->wsChild[i]);
-        result.assignment[attempt->workingSet[i].index()] =
-            model_.cnIdOf(cnPath);
+        const CnId cn = model_.cnIdOf(cnPath);
+        HCA_CHECK(model_.cnAlive(cn),
+                  "SEE placed instruction "
+                      << attempt->workingSet[i].value() << " on dead CN "
+                      << to_string(cn));
+        result.assignment[attempt->workingSet[i].index()] = cn;
       }
       for (std::size_t i = 0; i < attempt->relayValues.size(); ++i) {
         auto cnPath = path;

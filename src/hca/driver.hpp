@@ -24,6 +24,42 @@
 /// outer level) travel down as relay values and are parked on a concrete CN.
 namespace hca::core {
 
+/// What the driver does when a run cannot produce a legal mapping.
+enum class FailurePolicy {
+  /// Historical contract: invalid input throws, an unsolvable problem
+  /// returns legal=false with only failureReason set.
+  kStrict,
+  /// Never throw: failures become a structured HcaFailureReport, and two
+  /// extra fallback rungs (widened-beam retry, flat ICA on the surviving
+  /// resources) are tried before giving up.
+  kDegrade,
+};
+
+enum class FailureCause {
+  kInvalidInput,        ///< the DDG or options failed validation
+  kDisconnectedFabric,  ///< the fault set leaves the fabric unusable
+  kDeadlineExpired,     ///< the wall-clock budget ran out first
+  kNoLegalMapping,      ///< every rung of the ladder was exhausted
+  kInternalError,       ///< an invariant violation inside the driver
+};
+
+[[nodiscard]] const char* to_string(FailureCause cause);
+
+/// Structured description of a failed kDegrade run: what gave out, where
+/// in the problem tree, and which fallback rungs were tried on the way.
+struct HcaFailureReport {
+  FailureCause cause = FailureCause::kNoLegalMapping;
+  /// Interconnect level of the sub-problem that could not be solved
+  /// (-1 when the failure is not tied to one sub-problem).
+  int level = -1;
+  std::vector<int> subproblemPath;
+  std::string message;
+  /// Human-readable labels of the escalation rungs that ran, in order.
+  std::vector<std::string> escalationsTried;
+
+  [[nodiscard]] std::string toString() const;
+};
+
 struct HcaOptions {
   HcaOptions() {
     // The hierarchical problems are small (4-node pattern graphs); a
@@ -71,6 +107,18 @@ struct HcaOptions {
   /// alternatives (see subproblem_cache.hpp). Results are byte-identical
   /// with the cache on or off; the cache only saves wall-clock.
   bool enableSubproblemCache = true;
+  /// See FailurePolicy. With zero faults, no deadline and a solvable
+  /// problem, kDegrade produces byte-identical output to kStrict — the
+  /// extra rungs only run after the primary sweep has already failed.
+  FailurePolicy failurePolicy = FailurePolicy::kStrict;
+  /// Wall-clock budget for the whole run in milliseconds; 0 = unlimited.
+  /// On expiry every in-flight SEE search unwinds at its next cancellation
+  /// poll and the run returns what it has (a legal result from an earlier
+  /// rung, or — under kDegrade — a kDeadlineExpired report).
+  int deadlineMs = 0;
+  /// Per-attempt cap on SEE frontier expansions, applied on top of every
+  /// search profile (see SeeOptions::maxBeamSteps); 0 = unlimited.
+  int maxBeamSteps = 0;
 };
 
 struct RelayPlacement {
@@ -96,6 +144,12 @@ struct HcaResult {
   /// solved (its records entry may have been rolled back by backtracking).
   std::unique_ptr<ProblemRecord> failureRecord;
   HcaStats stats;
+
+  /// Which ladder rung produced the result: empty (primary sweep),
+  /// "beam-backoff", "degraded-bandwidth" or "flat-ica".
+  std::string fallbackUsed;
+  /// kDegrade only: set iff !legal — the structured failure description.
+  std::unique_ptr<HcaFailureReport> failure;
 };
 
 class HcaDriver {
@@ -133,19 +187,36 @@ class HcaDriver {
                                      const CancellationToken* cancel) const;
 
   /// The legacy serial sweep: attempts in (target asc, profile asc) order,
-  /// first legal result wins.
+  /// first legal result wins. `deadline` (may be null) aborts the sweep
+  /// between and inside attempts.
   [[nodiscard]] HcaResult runSerialSweep(const ddg::Ddg& ddg,
                                          const std::vector<DdgNodeId>& rootWs,
-                                         int iniMii,
-                                         SubproblemCache* cache) const;
+                                         int iniMii, SubproblemCache* cache,
+                                         const CancellationToken* deadline)
+      const;
 
   /// The parallel portfolio: every attempt is a pool task; a shared
   /// best-so-far index soft-cancels attempts that can no longer win, and
   /// the lowest-index legal attempt is returned — deterministically the
-  /// same result as the serial sweep.
+  /// same result as the serial sweep. Per-attempt tokens chain to
+  /// `deadline` (may be null).
   [[nodiscard]] HcaResult runParallelSweep(
       const ddg::Ddg& ddg, const std::vector<DdgNodeId>& rootWs, int iniMii,
-      SubproblemCache* cache, int numThreads) const;
+      SubproblemCache* cache, int numThreads,
+      const CancellationToken* deadline) const;
+
+  /// run() minus the input validation / report wrapping: computes iniMii,
+  /// arms the deadline and walks the ladder.
+  [[nodiscard]] HcaResult runChecked(const ddg::Ddg& ddg) const;
+
+  /// The escalation ladder: primary sweep, then (kDegrade) a widened-beam
+  /// retry, then the degraded-bandwidth re-run, then (kDegrade) flat ICA
+  /// on the surviving resources. Returns the first legal result, or the
+  /// primary failure annotated with a report under kDegrade.
+  [[nodiscard]] HcaResult runLadder(const ddg::Ddg& ddg,
+                                    const std::vector<DdgNodeId>& rootWs,
+                                    int iniMii,
+                                    const CancellationToken* deadline) const;
 
   /// Solves the sub-problem at `path`; returns false (and fills
   /// result.failureReason) on the first illegality.

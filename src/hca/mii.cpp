@@ -19,7 +19,9 @@ std::string MiiReport::toString() const {
 
 int unifiedMiiRes(const ddg::DdgStats& stats,
                   const machine::DspFabricModel& model) {
-  const int issue = ceilDiv(stats.numInstructions, model.totalCns());
+  // Only surviving CNs contribute issue slots: on a faulty fabric the
+  // resource bound rises monotonically with the number of dead clusters.
+  const int issue = ceilDiv(stats.numInstructions, model.aliveCns());
   const int mem = ceilDiv(stats.numMemOps, model.config().dmaSlots);
   return std::max({issue, mem, 1});
 }

@@ -39,9 +39,11 @@ struct HcaStats {
   /// was found (historically this reported the *last* attempt's target even
   /// on failure).
   int achievedTargetIi = 0;
-  /// Portfolio attempts soft-cancelled because a lower-index attempt
-  /// already produced a legal result (includes attempts cancelled before
-  /// they started). Always 0 in a serial sweep.
+  /// Attempts aborted before producing a genuine verdict: portfolio
+  /// attempts soft-cancelled because a lower-index attempt already
+  /// produced a legal result (includes attempts cancelled before they
+  /// started), and — in any sweep — attempts cut short by the run's
+  /// deadline (HcaOptions::deadlineMs).
   int attemptsCancelled = 0;
   std::int64_t statesExplored = 0;     ///< SEE frontier states expanded
   std::int64_t candidatesEvaluated = 0;

@@ -46,6 +46,7 @@ void appendOptions(std::string& out, const see::SeeOptions& o) {
   appendI32(out, o.eagerRouting ? 1 : 0);
   appendI32(out, o.retryLadder ? 1 : 0);
   appendI32(out, o.maxRouteHops);
+  appendI32(out, o.maxBeamSteps);
   appendI32(out, o.chainGrouping ? 1 : 0);
   appendDouble(out, o.weights.iiEstimate);
   appendDouble(out, o.weights.copyCount);
@@ -78,6 +79,11 @@ std::string subproblemKey(
     appendI32(key, static_cast<std::int32_t>(node.kind));
     appendI32(key, node.resources.alu());
     appendI32(key, node.resources.ag());
+    // Fault state: dead nodes and surviving-wire overrides change the SEE
+    // result, so two problems differing only in faults must never collide.
+    appendI32(key, node.dead ? 1 : 0);
+    appendI32(key, node.inWireCap);
+    appendI32(key, node.outWireCap);
   }
   appendI32(key, pg.numArcs());
 

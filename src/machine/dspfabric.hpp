@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "ddg/opcode.hpp"
+#include "machine/fault.hpp"
 #include "machine/pattern_graph.hpp"
 #include "machine/resources.hpp"
 #include "support/ids.hpp"
@@ -49,11 +51,31 @@ struct DspFabricConfig {
   [[nodiscard]] std::string toString() const;
 };
 
+/// Fault-aware interconnect figures of one concrete sub-problem (identified
+/// by its path in the problem tree, unlike the per-level `LevelSpec`).
+struct ProblemSpec {
+  int level = 0;
+  LevelSpec base;  ///< fault-free figures of this level
+  /// Surviving wires per child (base minus dead wires, floored at 0).
+  std::vector<int> inWiresOfChild;
+  std::vector<int> outWiresOfChild;
+  /// Surviving ILI budget into each child sub-problem (crossbar lanes for
+  /// leaf children). All zeros at the leaf level (nothing below a CN).
+  std::vector<int> maxWiresIntoChildOf;
+  /// True when no computation node survives below the child.
+  std::vector<bool> childDead;
+  /// True when any figure deviates from the fault-free fabric (used to keep
+  /// the zero-fault path byte-identical to the unfaulted model).
+  bool touched = false;
+};
+
 class DspFabricModel {
  public:
-  explicit DspFabricModel(DspFabricConfig config);
+  explicit DspFabricModel(DspFabricConfig config, FaultSet faults = {});
 
   [[nodiscard]] const DspFabricConfig& config() const { return config_; }
+  [[nodiscard]] const FaultSet& faults() const { return faults_; }
+  [[nodiscard]] bool hasFaults() const { return !faults_.empty(); }
 
   /// Number of interconnect levels (= depth of the problem tree).
   [[nodiscard]] int numLevels() const {
@@ -76,6 +98,31 @@ class DspFabricModel {
   /// (input/output) nodes are added by the HCA decomposition, not here.
   [[nodiscard]] PatternGraph patternGraph(int level) const;
 
+  /// --- Fault-aware views --------------------------------------------------
+  /// Liveness of one CN / count of surviving CNs / survivors below the
+  /// problem-tree node at `path` (empty path = whole fabric, length
+  /// numLevels() = a single CN).
+  [[nodiscard]] bool cnAlive(CnId cn) const;
+  [[nodiscard]] int aliveCns() const { return aliveCns_; }
+  [[nodiscard]] int aliveCnsBelow(const std::vector<int>& path) const;
+
+  /// Fault-aware interconnect figures of the sub-problem at `path`
+  /// (path.size() = its level; must be < numLevels()).
+  [[nodiscard]] ProblemSpec problemSpec(const std::vector<int>& path) const;
+
+  /// Fault-aware variant of patternGraph() for the concrete sub-problem at
+  /// `path`: dead children are kept as zero-resource nodes flagged `dead`,
+  /// children with dead MUX wires carry reduced per-node wire caps. With no
+  /// faults affecting the problem this returns exactly patternGraph().
+  [[nodiscard]] PatternGraph patternGraphAt(const std::vector<int>& path) const;
+
+  /// Validates that the surviving fabric is still connected: at least one
+  /// CN is alive and every alive child of every sub-problem keeps >= 1
+  /// input wire, >= 1 output wire, and (for leaf children) >= 1 crossbar
+  /// lane. Returns an empty string when viable, else a description of the
+  /// first disconnection found.
+  [[nodiscard]] std::string faultViabilityError() const;
+
   /// --- CN addressing ------------------------------------------------------
   /// A CN is identified by its path (one child index per level) or by a
   /// linear id in row-major order.
@@ -91,8 +138,23 @@ class DspFabricModel {
   [[nodiscard]] int copyLatency(CnId a, CnId b) const;
 
  private:
+  struct WireFaultCount {
+    int in = 0;
+    int out = 0;
+  };
+
+  [[nodiscard]] std::string viabilityWalk(std::vector<int>& path) const;
+
   DspFabricConfig config_;
+  FaultSet faults_;
   int totalCns_ = 1;
+  int aliveCns_ = 1;
+  /// alivePrefix_[i] = number of alive CNs with id < i (size totalCns_+1).
+  std::vector<int> alivePrefix_;
+  /// Dead-wire counts per sub-problem path, one entry per child.
+  std::map<std::vector<int>, std::vector<WireFaultCount>> wireFaults_;
+  /// Dead crossbar lanes per leaf-problem path.
+  std::map<std::vector<int>, int> laneFaults_;
 };
 
 }  // namespace hca::machine

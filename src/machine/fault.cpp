@@ -1,0 +1,131 @@
+#include "machine/fault.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::machine {
+
+namespace {
+
+std::vector<std::string> splitTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',' || c == ' ' || c == '\t' || c == '\n') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : s) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+int parseSmallInt(const std::string& s, const std::string& token) {
+  HCA_REQUIRE(!s.empty(), "fault token '" << token << "': empty number");
+  int value = 0;
+  for (const char c : s) {
+    HCA_REQUIRE(c >= '0' && c <= '9',
+                "fault token '" << token << "': bad number '" << s << "'");
+    value = value * 10 + (c - '0');
+    HCA_REQUIRE(value <= 1'000'000,
+                "fault token '" << token << "': number out of range");
+  }
+  return value;
+}
+
+std::vector<int> parsePath(const std::string& s, const std::string& token) {
+  std::vector<int> path;
+  for (const std::string& part : splitOn(s, '.')) {
+    path.push_back(parseSmallInt(part, token));
+  }
+  return path;
+}
+
+}  // namespace
+
+FaultSet FaultSet::parse(const std::string& text) {
+  FaultSet faults;
+  for (const std::string& token : splitTokens(text)) {
+    const std::vector<std::string> parts = splitOn(token, ':');
+    const std::string& kind = parts.front();
+    if (kind == "cn") {
+      HCA_REQUIRE(parts.size() == 2,
+                  "fault token '" << token << "': expected cn:<id>");
+      faults.deadCns.emplace_back(parseSmallInt(parts[1], token));
+    } else if (kind == "wire") {
+      HCA_REQUIRE(parts.size() == 3,
+                  "fault token '" << token << "': expected wire:<path>:<dir>");
+      DeadWire wire;
+      std::vector<int> path = parsePath(parts[1], token);
+      wire.child = path.back();
+      path.pop_back();
+      wire.problemPath = std::move(path);
+      if (parts[2] == "in") {
+        wire.input = true;
+      } else if (parts[2] == "out") {
+        wire.input = false;
+      } else {
+        HCA_REQUIRE(false, "fault token '" << token
+                                           << "': direction must be in|out");
+      }
+      faults.deadWires.push_back(std::move(wire));
+    } else if (kind == "lane") {
+      HCA_REQUIRE(parts.size() == 2,
+                  "fault token '" << token << "': expected lane:<leafPath>");
+      faults.deadLanes.push_back(DeadLane{parsePath(parts[1], token)});
+    } else {
+      HCA_REQUIRE(false, "unknown fault token '" << token
+                                                 << "' (want cn:/wire:/lane:)");
+    }
+  }
+  return faults;
+}
+
+std::string FaultSet::toString() const {
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const CnId cn : deadCns) {
+    sep();
+    os << "cn:" << cn.value();
+  }
+  for (const DeadWire& w : deadWires) {
+    sep();
+    os << "wire:";
+    for (const int p : w.problemPath) os << p << ".";
+    os << w.child << (w.input ? ":in" : ":out");
+  }
+  for (const DeadLane& l : deadLanes) {
+    sep();
+    os << "lane:";
+    for (std::size_t i = 0; i < l.leafPath.size(); ++i) {
+      if (i > 0) os << ".";
+      os << l.leafPath[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hca::machine

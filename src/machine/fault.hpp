@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+/// Hardware fault model for the DSPFabric (robustness layer).
+///
+/// A coarse-grain reconfigurable fabric is attractive partly because a
+/// partially defective die can still be shipped: a mapping tool that can
+/// route *around* dead resources rescues yield. A `FaultSet` describes which
+/// resources of a concrete fabric instance are unusable:
+///
+///  - dead computation nodes (a whole cluster disappears from the resource
+///    pool; its ancestors shrink accordingly),
+///  - dead MUX wires (one input or output wire of a specific child at a
+///    specific sub-problem of the interconnect tree — the MUX capacity seen
+///    by the mapper drops by one per dead wire),
+///  - dead ILI lanes (one of the K crossbar lanes feeding a leaf cluster —
+///    the inter-level-interface bandwidth into that leaf shrinks).
+///
+/// The set is purely descriptive; `DspFabricModel` consumes it and exposes
+/// fault-aware pattern graphs, wire budgets and viability checks so that
+/// faulty resources never appear as SEE candidates or Mapper routes.
+namespace hca::machine {
+
+/// One dead MUX wire: input (or output) wire of child `child` of the
+/// sub-problem addressed by `problemPath` (empty = root problem). Listing
+/// the same wire position several times kills several wires of that MUX.
+struct DeadWire {
+  std::vector<int> problemPath;
+  int child = 0;
+  bool input = true;
+
+  friend bool operator==(const DeadWire&, const DeadWire&) = default;
+};
+
+/// One dead crossbar lane into the leaf problem at `leafPath` (one child
+/// index per non-leaf level). Each occurrence removes one of the K wires
+/// the leaf crossbar accepts from the level above.
+struct DeadLane {
+  std::vector<int> leafPath;
+
+  friend bool operator==(const DeadLane&, const DeadLane&) = default;
+};
+
+struct FaultSet {
+  std::vector<CnId> deadCns;
+  std::vector<DeadWire> deadWires;
+  std::vector<DeadLane> deadLanes;
+
+  [[nodiscard]] bool empty() const {
+    return deadCns.empty() && deadWires.empty() && deadLanes.empty();
+  }
+  [[nodiscard]] int totalFaults() const {
+    return static_cast<int>(deadCns.size() + deadWires.size() +
+                            deadLanes.size());
+  }
+
+  /// Parses the textual fault list used by `hcac --faults`. Tokens are
+  /// separated by commas and/or whitespace:
+  ///   cn:<id>            dead computation node (linear id)
+  ///   wire:<path>:<dir>  dead MUX wire; <path> is a dot-separated child
+  ///                      path whose last element selects the child inside
+  ///                      the problem named by the prefix (so `wire:2:out`
+  ///                      kills an output wire of root child 2), <dir> is
+  ///                      `in` or `out`
+  ///   lane:<leafPath>    dead crossbar lane into the leaf at <leafPath>
+  /// Repeated tokens accumulate (two `wire:2:out` = two dead wires).
+  /// Throws InvalidArgumentError on malformed input; range validation
+  /// against a concrete fabric happens in DspFabricModel.
+  [[nodiscard]] static FaultSet parse(const std::string& text);
+
+  /// Round-trippable textual form (the `parse` syntax).
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const FaultSet&, const FaultSet&) = default;
+};
+
+}  // namespace hca::machine

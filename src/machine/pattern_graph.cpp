@@ -80,6 +80,26 @@ void PatternGraph::connectBoundaryNodes() {
   }
 }
 
+void PatternGraph::markDead(ClusterId id) {
+  HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+              "PG node id out of range: " << to_string(id));
+  nodes_[id.index()].dead = true;
+}
+
+void PatternGraph::setWireCaps(ClusterId id, int inCap, int outCap) {
+  HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+              "PG node id out of range: " << to_string(id));
+  nodes_[id.index()].inWireCap = inCap;
+  nodes_[id.index()].outWireCap = outCap;
+}
+
+bool PatternGraph::hasFaults() const {
+  for (const PgNode& n : nodes_) {
+    if (n.dead || n.inWireCap >= 0 || n.outWireCap >= 0) return true;
+  }
+  return false;
+}
+
 const PgNode& PatternGraph::node(ClusterId id) const {
   HCA_REQUIRE(id.valid() && id.value() < numNodes(),
               "PG node id out of range: " << to_string(id));

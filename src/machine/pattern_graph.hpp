@@ -29,6 +29,14 @@ struct PgNode {
   /// For input nodes: the values the parent level pumps in on this wire.
   /// For output nodes: the values that must leave on this wire.
   std::vector<ValueId> boundaryValues;
+  /// Fault model: a dead cluster keeps its PG slot (so child indices stay
+  /// meaningful across the hierarchy) but must never receive an assignment,
+  /// a copy, or a relay hop.
+  bool dead = false;
+  /// Surviving-wire overrides for faulty fabrics; -1 = use the level-wide
+  /// PgConstraints caps.
+  int inWireCap = -1;
+  int outWireCap = -1;
 };
 
 struct PgArc {
@@ -66,6 +74,14 @@ class PatternGraph {
   /// Connects every input node to every cluster (ingoing values can be
   /// broadcast anywhere) and every cluster to every output node.
   void connectBoundaryNodes();
+
+  /// Fault-model mutators (see PgNode). Arcs touching a dead node are kept
+  /// so arc ids stay aligned with the fault-free graph; the search layers
+  /// refuse to use them.
+  void markDead(ClusterId id);
+  void setWireCaps(ClusterId id, int inCap, int outCap);
+  /// True when any node is dead or carries a wire-cap override.
+  [[nodiscard]] bool hasFaults() const;
 
   [[nodiscard]] std::int32_t numNodes() const {
     return static_cast<std::int32_t>(nodes_.size());

@@ -50,6 +50,33 @@ MapResult Mapper::map(const MapperInput& input) const {
   const auto outputNodes = pg.outputNodes();
   const int numChildren = static_cast<int>(children.size());
 
+  const auto checkPerChild = [&](const std::vector<int>& v, const char* what) {
+    HCA_REQUIRE(v.empty() || static_cast<int>(v.size()) == numChildren,
+                "Mapper " << what << " must be empty or one entry per child");
+  };
+  checkPerChild(input.inWiresOfChild, "inWiresOfChild");
+  checkPerChild(input.outWiresOfChild, "outWiresOfChild");
+  checkPerChild(input.maxWiresIntoChildOf, "maxWiresIntoChildOf");
+  /// Surviving output wires of one sending child.
+  const auto outBudgetOf = [&](int si) {
+    return input.outWiresOfChild.empty()
+               ? input.outWiresPerChild
+               : input.outWiresOfChild[static_cast<std::size_t>(si)];
+  };
+  /// Surviving input-wire budget of one receiving child (MUX wires further
+  /// capped by the surviving crossbar lanes at the leaves).
+  const auto inCapOf = [&](int di) {
+    const int wires =
+        input.inWiresOfChild.empty()
+            ? input.inWiresPerChild
+            : input.inWiresOfChild[static_cast<std::size_t>(di)];
+    const int extra =
+        input.maxWiresIntoChildOf.empty()
+            ? input.maxWiresIntoChild
+            : input.maxWiresIntoChildOf[static_cast<std::size_t>(di)];
+    return extra > 0 ? std::min(wires, extra) : wires;
+  };
+
   // Cluster node id -> child index; input/output node id -> boundary index.
   std::map<std::int32_t, int> childIndex;
   for (int i = 0; i < numChildren; ++i) {
@@ -138,7 +165,7 @@ MapResult Mapper::map(const MapperInput& input) const {
     // wire's value list becomes an outNode_MaxIn co-location group one
     // level down, so thin wires keep the child problems solvable.
     // Boundary groups are not splittable (the parent wire is fixed).
-    while (static_cast<int>(groups.size()) < input.outWiresPerChild) {
+    while (static_cast<int>(groups.size()) < outBudgetOf(si)) {
       int fattest = -1;
       for (int i = 0; i < static_cast<int>(groups.size()); ++i) {
         const auto& g = groups[static_cast<std::size_t>(i)];
@@ -162,7 +189,16 @@ MapResult Mapper::map(const MapperInput& input) const {
     }
 
     // Cap: merge the two smallest groups while the wire budget is blown.
-    while (static_cast<int>(groups.size()) > input.outWiresPerChild) {
+    while (static_cast<int>(groups.size()) > outBudgetOf(si)) {
+      if (groups.size() < 2) {
+        // A single unmergeable group over budget: the child must drive a
+        // wire but none survives (dead output wires).
+        result.legal = false;
+        result.failureReason =
+            strCat("child ", si, " must drive ", groups.size(),
+                   " output wires but only ", outBudgetOf(si), " survive");
+        return result;
+      }
       int a = -1, b = -1;
       for (int i = 0; i < static_cast<int>(groups.size()); ++i) {
         const auto size = groups[static_cast<std::size_t>(i)].values.size();
@@ -184,11 +220,6 @@ MapResult Mapper::map(const MapperInput& input) const {
   }
 
   // ---- Phase B: satisfy per-receiver input-wire budgets by merging. ------
-  const int inCap =
-      input.maxWiresIntoChild > 0
-          ? std::min(input.inWiresPerChild, input.maxWiresIntoChild)
-          : input.inWiresPerChild;
-
   const auto wiresInto = [&](std::int32_t dstNodeId) {
     int count = 0;
     // Boundary input wires with traffic for dst.
@@ -207,6 +238,7 @@ MapResult Mapper::map(const MapperInput& input) const {
 
   for (int di = 0; di < numChildren; ++di) {
     const std::int32_t d = children[static_cast<std::size_t>(di)].value();
+    const int inCap = inCapOf(di);
     while (wiresInto(d) > inCap) {
       // Merge two groups of the sender with the most wires into d.
       int bestSender = -1;
@@ -317,8 +349,9 @@ MapResult Mapper::map(const MapperInput& input) const {
   // Final verification of the budgets.
   for (int di = 0; di < numChildren; ++di) {
     const int used = inWireCursor[static_cast<std::size_t>(di)];
-    HCA_CHECK(used <= inCap, "mapper exceeded input-wire budget of child "
-                                 << di << ": " << used << " > " << inCap);
+    HCA_CHECK(used <= inCapOf(di),
+              "mapper exceeded input-wire budget of child "
+                  << di << ": " << used << " > " << inCapOf(di));
   }
   result.reconfig.validate();
   result.legal = true;

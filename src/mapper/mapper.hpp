@@ -49,6 +49,14 @@ struct MapperInput {
   /// Additional cap on wires entering one child's sub-problem (the K
   /// crossbar inputs at the leaves); <= 0 means "no extra cap".
   int maxWiresIntoChild = 0;
+  /// Per-child overrides of the uniform figures above, used when the fabric
+  /// carries faults (dead MUX wires / dead ILI lanes shrink individual
+  /// children's budgets). Empty = every child uses the uniform figures;
+  /// otherwise one entry per cluster node, 0 entries are legal (a fully
+  /// dead child has no surviving wires — and must carry no traffic).
+  std::vector<int> inWiresOfChild;
+  std::vector<int> outWiresOfChild;
+  std::vector<int> maxWiresIntoChildOf;
   /// Identifies this problem in emitted MUX settings.
   std::vector<int> problemPath;
 };

@@ -106,6 +106,15 @@ SeeResult SpaceExplorationEngine::runOnce(
       result.solution = frontier.front();
       return result;
     }
+    if (options.maxBeamSteps > 0 &&
+        result.stats.statesExplored >= options.maxBeamSteps) {
+      result.legal = false;
+      result.failedItem = group.members.front();
+      result.failureReason =
+          strCat("beam step budget exhausted (", options.maxBeamSteps, ")");
+      result.solution = frontier.front();
+      return result;
+    }
     std::vector<PartialSolution> next;
     std::vector<int> parentOf;  // parallel to next: index into frontier
     int parentIndex = -1;

@@ -12,6 +12,18 @@ constexpr std::uint64_t bit(ClusterId c) { return 1ULL << c.index(); }
 void addDistinct(std::vector<ValueId>& list, ValueId v) {
   if (std::find(list.begin(), list.end(), v) == list.end()) list.push_back(v);
 }
+
+/// In-neighbor budget of one PG node: the level-wide MUX capacity, further
+/// tightened by the node's surviving-wire override when the fabric carries
+/// faults. -1 = unlimited.
+int effectiveInCap(const machine::PgNode& node,
+                   const machine::PgConstraints& constraints) {
+  int cap = constraints.maxInNeighbors;
+  if (node.inWireCap >= 0) {
+    cap = cap < 0 ? node.inWireCap : std::min(cap, node.inWireCap);
+  }
+  return cap;
+}
 }  // namespace
 
 PartialSolution PartialSolution::initial(const PreparedProblem& prepared) {
@@ -52,6 +64,9 @@ bool PartialSolution::canAddCopy(const PreparedProblem& prepared,
                                  ClusterId src, ClusterId dst,
                                  ValueId value) const {
   const auto& pg = *prepared.problem().pg;
+  if (pg.node(src).dead || pg.node(dst).dead) return false;
+  // A node whose output wires are all dead can send nothing new.
+  if (pg.node(src).outWireCap == 0) return false;
   const auto arc = pg.arcBetween(src, dst);
   if (!arc.has_value()) return false;
   if (std::find(flow_.copiesOn(*arc).begin(), flow_.copiesOn(*arc).end(),
@@ -67,8 +82,8 @@ bool PartialSolution::canAddCopy(const PreparedProblem& prepared,
     return true;
   }
   if ((dstMask & bit(src)) == 0) {
-    if (constraints.maxInNeighbors >= 0 &&
-        __builtin_popcountll(dstMask) >= constraints.maxInNeighbors) {
+    const int inCap = effectiveInCap(pg.node(dst), constraints);
+    if (inCap >= 0 && __builtin_popcountll(dstMask) >= inCap) {
       return false;
     }
   }
@@ -87,6 +102,7 @@ bool PartialSolution::canAssign(const PreparedProblem& prepared,
                                 const Item& item, ClusterId cluster) const {
   const auto& pg = *prepared.problem().pg;
   if (pg.node(cluster).kind != machine::PgNodeKind::kCluster) return false;
+  if (pg.node(cluster).dead) return false;
   const auto& rt = pg.node(cluster).resources;
   const auto& options = prepared.options();
 
@@ -129,18 +145,19 @@ bool PartialSolution::canAssign(const PreparedProblem& prepared,
   // Incoming copies: every located operand source must reach `cluster`,
   // cumulatively within the in-neighbor budget.
   const auto& constraints = prepared.problem().constraints;
+  const int inCap = effectiveInCap(pg.node(cluster), constraints);
   std::uint64_t mask = inNbrMask_[cluster.index()];
   for (const ValueId v : prepared.operandValues(n)) {
     const ClusterId loc = valueLocation(prepared, v);
     if (!loc.valid() || loc == cluster) continue;
     if (valueDelivered(cluster, v)) continue;  // already routed here
+    if (pg.node(loc).dead || pg.node(loc).outWireCap == 0) return false;
     const auto arc = pg.arcBetween(loc, cluster);
     if (!arc.has_value()) return false;
     const auto& onArc = flow_.copiesOn(*arc);
     if (std::find(onArc.begin(), onArc.end(), v) != onArc.end()) continue;
     if ((mask & bit(loc)) == 0) {
-      if (constraints.maxInNeighbors >= 0 &&
-          __builtin_popcountll(mask) >= constraints.maxInNeighbors) {
+      if (inCap >= 0 && __builtin_popcountll(mask) >= inCap) {
         return false;
       }
       mask |= bit(loc);

@@ -83,6 +83,12 @@ struct SeeOptions {
   bool retryLadder = true;
   /// Maximum relay hops the route allocator may insert per operand.
   int maxRouteHops = 3;
+  /// Hard budget on frontier-state expansions per search attempt (each
+  /// retry-ladder rung counts separately); when exhausted the engine stops
+  /// and reports the best-so-far partial solution as illegal instead of
+  /// searching on. <= 0 = unlimited. This is the adversarial-DDG guard:
+  /// combined with a deadline token it bounds SEE wall-clock.
+  int maxBeamSteps = 0;
   /// Chain grouping: merge single-consumer dependence chains into one
   /// priority-list entry so they are placed together (the paper's SEE
   /// "picks a new DDG node (or a set of nodes) at each step"). Groups are

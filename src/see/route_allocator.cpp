@@ -26,8 +26,10 @@ std::vector<ClusterId> RouteAllocator::findPath(
     for (const PgArcId a : pg.outArcs(u)) {
       const ClusterId w = pg.arc(a).dst;
       if (depth[w.index()] != -1) continue;
-      // Only relay through cluster nodes; the destination may be anything.
-      if (w != dst && pg.node(w).kind != machine::PgNodeKind::kCluster) {
+      // Only relay through (alive) cluster nodes; the destination may be
+      // anything — canAddCopy refuses dead destinations itself.
+      if (w != dst && (pg.node(w).kind != machine::PgNodeKind::kCluster ||
+                       pg.node(w).dead)) {
         continue;
       }
       if (!solution.canAddCopy(prepared, u, w, value)) continue;

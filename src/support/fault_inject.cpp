@@ -1,0 +1,98 @@
+#include "support/fault_inject.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace hca::machine {
+
+namespace {
+
+/// Does `candidate` keep the surviving fabric connected?
+bool viable(const DspFabricModel& model, const FaultSet& candidate) {
+  const DspFabricModel probe(model.config(), candidate);
+  return probe.faultViabilityError().empty();
+}
+
+std::vector<int> randomPath(Rng& rng, const DspFabricConfig& config,
+                            int length) {
+  std::vector<int> path;
+  path.reserve(static_cast<std::size_t>(length));
+  for (int l = 0; l < length; ++l) {
+    path.push_back(static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(config.branching[
+            static_cast<std::size_t>(l)]))));
+  }
+  return path;
+}
+
+}  // namespace
+
+FaultSet injectRandomFaults(Rng& rng, const DspFabricModel& model,
+                            const FaultInjectParams& params) {
+  const DspFabricConfig& config = model.config();
+  HCA_REQUIRE(params.deadCns >= 0 && params.deadCns < model.totalCns(),
+              "deadCns must be in [0, totalCns): " << params.deadCns);
+  HCA_REQUIRE(params.deadWires >= 0 && params.deadLanes >= 0,
+              "fault counts must be non-negative");
+  HCA_REQUIRE(params.deadLanes == 0 || model.numLevels() >= 2,
+              "lane faults need a hierarchy of >= 2 levels");
+
+  FaultSet faults;
+
+  // Dead CNs: one full permutation, killed set = its prefix. Drawing the
+  // whole permutation (not just the first deadCns swaps) keeps the RNG
+  // stream position independent of deadCns, so wire/lane draws match
+  // between nested runs too.
+  std::vector<int> perm(static_cast<std::size_t>(model.totalCns()));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(perm.size() - i));
+    std::swap(perm[i], perm[j]);
+  }
+  for (int i = 0; i < params.deadCns; ++i) {
+    faults.deadCns.emplace_back(perm[static_cast<std::size_t>(i)]);
+  }
+  // Killing CNs alone never disconnects the fabric (a fully dead subtree
+  // is simply absent), but assert the invariant anyway.
+  HCA_CHECK(viable(model, faults), "CN-only fault set not viable");
+
+  // Dead MUX wires: uniform over (level, problem, child, direction),
+  // re-sampled while the kill would disconnect an alive child.
+  for (int w = 0; w < params.deadWires; ++w) {
+    for (int attempt = 0; attempt < std::max(1, params.maxResample);
+         ++attempt) {
+      const int level =
+          static_cast<int>(rng.below(
+              static_cast<std::uint64_t>(model.numLevels())));
+      DeadWire wire;
+      wire.problemPath = randomPath(rng, config, level);
+      wire.child = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(config.branching[
+              static_cast<std::size_t>(level)])));
+      wire.input = rng.chance(0.5);
+      faults.deadWires.push_back(wire);
+      if (viable(model, faults)) break;
+      faults.deadWires.pop_back();
+    }
+  }
+
+  // Dead ILI lanes into random leaves, same re-sampling rule.
+  for (int l = 0; l < params.deadLanes; ++l) {
+    for (int attempt = 0; attempt < std::max(1, params.maxResample);
+         ++attempt) {
+      DeadLane lane;
+      lane.leafPath = randomPath(rng, config, model.numLevels() - 1);
+      faults.deadLanes.push_back(lane);
+      if (viable(model, faults)) break;
+      faults.deadLanes.pop_back();
+    }
+  }
+
+  HCA_CHECK(viable(model, faults), "injected fault set not viable");
+  return faults;
+}
+
+}  // namespace hca::machine

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "machine/dspfabric.hpp"
+#include "machine/fault.hpp"
+#include "support/rng.hpp"
+
+/// Deterministic random fault injection for tests and benchmarks.
+///
+/// The generator draws dead CNs, dead MUX wires and dead ILI lanes for a
+/// concrete fabric so that the result is always *viable* (the surviving
+/// fabric stays connected — see DspFabricModel::faultViabilityError).
+///
+/// CN kills are nested: for the same entry RNG state, the CNs killed with
+/// `deadCns = k` are a subset of those killed with `deadCns = k' > k`
+/// (the generator draws one full Fisher-Yates permutation and takes its
+/// prefix). This is what makes "MII degrades monotonically with the fault
+/// count" a well-posed property — each larger fault set strictly contains
+/// the smaller one.
+namespace hca::machine {
+
+struct FaultInjectParams {
+  int deadCns = 0;    ///< random dead computation nodes (< totalCns)
+  int deadWires = 0;  ///< random dead MUX wires
+  int deadLanes = 0;  ///< random dead crossbar lanes (needs >= 2 levels)
+  /// Wire/lane draws that would disconnect the surviving fabric are
+  /// re-sampled up to this many times each before giving up on that draw.
+  int maxResample = 64;
+};
+
+[[nodiscard]] FaultSet injectRandomFaults(Rng& rng,
+                                          const DspFabricModel& model,
+                                          const FaultInjectParams& params);
+
+}  // namespace hca::machine

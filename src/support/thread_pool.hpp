@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -21,6 +22,13 @@ namespace hca {
 /// Long-running searches poll `cancelled()` at loop boundaries and unwind
 /// with an "illegal" result when it flips; the canceller never blocks or
 /// interrupts. Cancellation is one-way and sticky.
+///
+/// Beyond the plain flag, a token can carry a wall-clock deadline (the
+/// HCA driver's `deadlineMs` budget) and can be chained to a parent token
+/// (the portfolio sweep chains every per-attempt token to the run-wide
+/// deadline token). `cancelled()` latches: once it has observed an expired
+/// deadline or a cancelled parent it stays cancelled, so no polling site
+/// ever sees the flag flip back.
 class CancellationToken {
  public:
   CancellationToken() = default;
@@ -28,12 +36,34 @@ class CancellationToken {
   CancellationToken& operator=(const CancellationToken&) = delete;
 
   void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms a wall-clock deadline; polling `cancelled()` after this instant
+  /// cancels the token. Must be set before the token is shared.
+  void setDeadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ = deadline;
+    hasDeadline_ = true;
+  }
+
+  /// Chains this token to `parent`: a cancelled parent (for any reason)
+  /// cancels this token at the next poll. Must be set before the token is
+  /// shared; `parent` must outlive this token. nullptr = no parent.
+  void chainTo(const CancellationToken* parent) noexcept { parent_ = parent; }
+
   [[nodiscard]] bool cancelled() const noexcept {
-    return cancelled_.load(std::memory_order_acquire);
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if ((hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) ||
+        (parent_ != nullptr && parent_->cancelled())) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
   }
 
  private:
-  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool hasDeadline_ = false;
+  const CancellationToken* parent_ = nullptr;
 };
 
 class ThreadPool {

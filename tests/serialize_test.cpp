@@ -116,5 +116,57 @@ TEST(SerializeTest, RejectsMalformedInput) {
                InvalidArgumentError);
 }
 
+TEST(SerializeTest, RejectsOutOfRangeIntegers) {
+  // Before range checking, 4294967296 silently wrapped to node 0 and the
+  // stream parsed "successfully" into the wrong graph.
+  const char* wrapSrc = "node const imm0=1\nnode store ops=4294967296,0\n";
+  try {
+    fromText(wrapSrc);
+    FAIL() << "expected out-of-range error";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  // 2^31 (just past INT32_MAX) used to wrap negative.
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=2147483648,0\n"),
+               InvalidArgumentError);
+  // Distance field wraps too.
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=0:4294967297,0\n"),
+               InvalidArgumentError);
+  // Values too large even for int64 are a parse error, not UB.
+  EXPECT_THROW(fromText("node const imm0=99999999999999999999\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      fromText("node const imm0=1\nnode store ops=99999999999999999999,0\n"),
+      InvalidArgumentError);
+}
+
+TEST(SerializeTest, RejectsNegativeOperandFields) {
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=-1,0\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=0:-2,0\n"),
+               InvalidArgumentError);
+}
+
+TEST(SerializeTest, RejectsTruncatedAndCorruptStreams) {
+  // Line cut off mid-token.
+  EXPECT_THROW(fromText("node const imm0=1\nnode ad"), InvalidArgumentError);
+  // Operand triple with missing pieces or trailing colon-garbage.
+  EXPECT_THROW(fromText("node add ops=,1\n"), InvalidArgumentError);
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=0:,1\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=0:0:0:0,1\n"),
+               InvalidArgumentError);
+  // Dangling reference past the end of a truncated stream.
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=99,0\n"),
+               InvalidArgumentError);
+  // Field with no '=' separator.
+  EXPECT_THROW(fromText("node const imm0\n"), InvalidArgumentError);
+  // Non-numeric garbage inside an operand.
+  EXPECT_THROW(fromText("node const imm0=1\nnode store ops=0x1,0\n"),
+               InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace hca::ddg

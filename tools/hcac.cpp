@@ -8,6 +8,10 @@
 //   hcac --kernel idcthor --schedule --simulate
 //   hcac --file loop.ddg --n 4 --m 4 --k 4 --dot-assignment out.dot
 //   hcac --kernel fir2dim --emit-reconfig
+//   hcac --kernel fir2dim --faults "cn:3 cn:17" --failure-policy degrade
+//
+// Exit codes: 0 success, 1 schedule/simulation failure, 2 invalid input,
+// 3 internal error, 4 no legal mapping.
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +21,7 @@
 
 #include "ddg/kernels.hpp"
 #include "ddg/serialize.hpp"
+#include "machine/fault.hpp"
 #include "hca/coherency.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
@@ -26,6 +31,7 @@
 #include "sched/regpressure.hpp"
 #include "sim/dma.hpp"
 #include "sim/simulator.hpp"
+#include "support/check.hpp"
 
 using namespace hca;
 
@@ -38,6 +44,12 @@ void usage() {
       "                       h264deblocking\n"
       "  --file PATH          DDG in the text format of ddg/serialize.hpp\n"
       "  --n/--m/--k INT      MUX bandwidths (default 8/8/8)\n"
+      "  --faults LIST        dead resources, e.g. \"cn:3 wire:2:out\"\n"
+      "                       (see machine/fault.hpp for the syntax)\n"
+      "  --failure-policy P   strict (default) or degrade: degrade never\n"
+      "                       throws and walks the fallback ladder\n"
+      "  --deadline-ms INT    wall-clock budget for the whole run (0 = off)\n"
+      "  --max-beam-steps INT per-attempt SEE expansion budget (0 = off)\n"
       "  --schedule           run the modulo scheduler after HCA\n"
       "  --simulate ITER      run the fabric simulator (built-in kernels)\n"
       "  --emit-reconfig      print the MUX reconfiguration program\n"
@@ -45,12 +57,28 @@ void usage() {
       "  --dot-assignment PATH  write the clusterized DDG as DOT\n");
 }
 
-}  // namespace
+/// Integer flag parsing that reports bad values as invalid input (exit 2)
+/// instead of an unhandled std::invalid_argument (exit 3).
+int parseIntFlag(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(text, &pos);
+    HCA_REQUIRE(pos == text.size(), "trailing garbage");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(
+        "flag " + flag + " needs an integer, got '" + text + "'");
+  }
+}
 
-int main(int argc, char** argv) {
+int runTool(int argc, char** argv) {
   std::string kernelName;
   std::string filePath;
   int n = 8, m = 8, k = 8;
+  std::string faultsText;
+  std::string failurePolicy = "strict";
+  int deadlineMs = 0;
+  int maxBeamSteps = 0;
   bool schedule = false;
   int simulateIterations = 0;
   bool emitReconfig = false;
@@ -60,18 +88,23 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
+        throw InvalidArgumentError("missing value for " + arg);
       }
       return argv[++i];
     };
     if (arg == "--kernel") kernelName = value();
     else if (arg == "--file") filePath = value();
-    else if (arg == "--n") n = std::stoi(value());
-    else if (arg == "--m") m = std::stoi(value());
-    else if (arg == "--k") k = std::stoi(value());
+    else if (arg == "--n") n = parseIntFlag(arg, value());
+    else if (arg == "--m") m = parseIntFlag(arg, value());
+    else if (arg == "--k") k = parseIntFlag(arg, value());
+    else if (arg == "--faults") faultsText = value();
+    else if (arg == "--failure-policy") failurePolicy = value();
+    else if (arg == "--deadline-ms") deadlineMs = parseIntFlag(arg, value());
+    else if (arg == "--max-beam-steps")
+      maxBeamSteps = parseIntFlag(arg, value());
     else if (arg == "--schedule") schedule = true;
-    else if (arg == "--simulate") simulateIterations = std::stoi(value());
+    else if (arg == "--simulate")
+      simulateIterations = parseIntFlag(arg, value());
     else if (arg == "--emit-reconfig") emitReconfig = true;
     else if (arg == "--dot-tree") dotTree = value();
     else if (arg == "--dot-assignment") dotAssignment = value();
@@ -80,6 +113,9 @@ int main(int argc, char** argv) {
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
+  HCA_REQUIRE(failurePolicy == "strict" || failurePolicy == "degrade",
+              "--failure-policy must be 'strict' or 'degrade', got '"
+                  << failurePolicy << "'");
   if (kernelName.empty() == filePath.empty()) {
     usage();
     return 2;
@@ -107,12 +143,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    try {
-      ddg = ddg::fromText(buffer.str());
-    } catch (const Error& e) {
-      std::fprintf(stderr, "parse error: %s\n", e.what());
-      return 2;
-    }
+    ddg = ddg::fromText(buffer.str());  // malformed input -> exit 2
   }
   const auto stats = ddg.stats();
   std::printf("DDG: %d instructions (%d memory ops)\n",
@@ -123,15 +154,41 @@ int main(int argc, char** argv) {
   config.n = n;
   config.m = m;
   config.k = k;
-  const machine::DspFabricModel model(config);
+  const machine::FaultSet faults = machine::FaultSet::parse(faultsText);
+  const machine::DspFabricModel model(config, faults);
   std::printf("Machine: %s\n", config.toString().c_str());
+  if (model.hasFaults()) {
+    std::printf("Faults: %s (%d of %d CNs alive)\n",
+                faults.toString().c_str(), model.aliveCns(),
+                model.totalCns());
+  }
 
-  const core::HcaDriver driver(model);
+  core::HcaOptions hcaOptions;
+  if (failurePolicy == "degrade") {
+    hcaOptions.failurePolicy = core::FailurePolicy::kDegrade;
+  }
+  hcaOptions.deadlineMs = deadlineMs;
+  hcaOptions.maxBeamSteps = maxBeamSteps;
+  const core::HcaDriver driver(model, hcaOptions);
   const auto result = driver.run(ddg);
   if (!result.legal) {
-    std::printf("NO legal clusterization: %s\n",
-                result.failureReason.c_str());
-    return 1;
+    if (result.failure != nullptr) {
+      std::fprintf(stderr, "hcac: no legal mapping: %s\n",
+                   result.failure->toString().c_str());
+      // Degrade-mode reports fold input/internal errors into the result;
+      // surface them with the same exit codes the strict path uses.
+      switch (result.failure->cause) {
+        case core::FailureCause::kInvalidInput: return 2;
+        case core::FailureCause::kInternalError: return 3;
+        default: return 4;
+      }
+    }
+    std::fprintf(stderr, "hcac: no legal mapping: %s\n",
+                 result.failureReason.c_str());
+    return 4;
+  }
+  if (!result.fallbackUsed.empty()) {
+    std::printf("fallback used: %s\n", result.fallbackUsed.c_str());
   }
   const auto mii = core::computeMii(ddg, model, result);
   std::printf("legal clusterization — %s\n", mii.toString().c_str());
@@ -194,4 +251,21 @@ int main(int argc, char** argv) {
     return match ? 0 : 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return runTool(argc, argv);
+  } catch (const InvalidArgumentError& e) {
+    std::fprintf(stderr, "hcac: invalid input: %s\n", e.what());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hcac: internal error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hcac: internal error: %s\n", e.what());
+    return 3;
+  }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the tier-1 test suite under AddressSanitizer.
+#
+# Builds into a separate tree (build-asan/) so the instrumented binaries
+# never pollute the regular build directory, then runs the full ctest
+# suite. The fault-injection sweep (`-L fault`) is included: degraded-mode
+# mappings exercise the dead-resource guards in SEE/Mapper, which is
+# exactly where an out-of-bounds read would hide.
+#
+# Usage: tools/run_asan_tier1.sh [extra ctest args...]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${root}/build-asan"
+
+cmake -B "${build}" -S "${root}" -DHCA_SANITIZE=address
+cmake --build "${build}" -j "$(nproc)"
+
+# halt_on_error: make any ASan report fail the test immediately instead of
+# letting the process limp on and report a confusing secondary failure.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+
+cd "${build}"
+ctest --output-on-failure -j "$(nproc)" "$@"
