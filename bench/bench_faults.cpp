@@ -9,11 +9,14 @@
 
 #include <cstdio>
 #include <ctime>
+#include <fstream>
 
 #include "ddg/kernels.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
+#include "hca/report.hpp"
 #include "support/fault_inject.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 
 using namespace hca;
@@ -22,7 +25,7 @@ namespace {
 
 constexpr int kFaultCounts[] = {0, 1, 2, 4, 8, 16};
 
-void runKernel(const ddg::Kernel& kernel, int index) {
+void runKernel(const ddg::Kernel& kernel, int index, JsonWriter& json) {
   std::printf("%-16s", kernel.name.c_str());
   for (const int deadCns : kFaultCounts) {
     // Fresh RNG per count keeps the nested-prefix property of the
@@ -42,13 +45,34 @@ void runKernel(const ddg::Kernel& kernel, int index) {
     options.deadlineMs = 20000;
     const core::HcaDriver driver(model, options);
     const auto result = driver.run(kernel.ddg);
+
+    // One JSON row per kernel x fault-count cell, embedding the full
+    // per-phase run report (which rung ran, per-level search metrics).
+    json.beginObject();
+    json.key("kernel").value(kernel.name);
+    json.key("deadCns").value(deadCns);
+    json.key("legal").value(result.legal);
+    json.key("fallbackUsed").value(result.fallbackUsed);
+    json.key("failureCause");
+    if (result.failure != nullptr) {
+      json.value(to_string(result.failure->cause));
+    } else {
+      json.null();
+    }
+    json.key("attemptsCancelled").value(result.stats.attemptsCancelled);
+
     if (result.legal) {
       const auto mii = core::computeMii(kernel.ddg, model, result);
       std::printf(" %6d%s", mii.finalMii,
                   result.fallbackUsed.empty() ? " " : "*");
+      json.key("mii").value(mii.finalMii);
     } else {
       std::printf(" %6s ", "failed");
+      json.key("mii").null();
     }
+    json.key("report");
+    core::writeRunReport(json, result, &model);
+    json.endObject();
     std::fflush(stdout);
   }
   std::printf("\n");
@@ -65,9 +89,18 @@ int main() {
   for (const int deadCns : kFaultCounts) std::printf(" %5dCN ", deadCns);
   std::printf("\n%s\n", std::string(70, '-').c_str());
   const std::clock_t t0 = std::clock();
+  std::ofstream jsonOut("BENCH_faults.json");
+  JsonWriter json(jsonOut);
+  json.beginObject();
+  json.key("bench").value("faults");
+  json.key("rows").beginArray();
   int index = 0;
-  for (auto& kernel : ddg::table1Kernels()) runKernel(kernel, index++);
+  for (auto& kernel : ddg::table1Kernels()) runKernel(kernel, index++, json);
+  json.endArray();
+  json.endObject();
+  jsonOut << "\n";
   std::printf("\nTotal time: %.1fs\n",
               static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
+  std::printf("Per-cell rows with embedded run reports: BENCH_faults.json\n");
   return 0;
 }

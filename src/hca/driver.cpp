@@ -55,10 +55,18 @@ HcaResult failureResult(FailureCause cause, std::string message,
   return result;
 }
 
+/// Per-level metric name: `base + ".L" + level` (DESIGN.md section 4e).
+std::string lvl(const char* base, int level) {
+  return strCat(base, ".L", level);
+}
+
 }  // namespace
 
 HcaDriver::HcaDriver(machine::DspFabricModel model, HcaOptions options)
-    : model_(std::move(model)), options_(options) {}
+    : model_(std::move(model)),
+      options_(options),
+      tracer_(options.tracer != nullptr ? options.tracer
+                                        : Tracer::envForced()) {}
 
 see::SeeOptions HcaDriver::profileOptions(int target, int profile) const {
   see::SeeOptions seeOptions = options_.see;
@@ -99,9 +107,45 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
   HcaResult result;
   result.assignment.assign(static_cast<std::size_t>(ddg.numNodes()),
                            CnId::invalid());
-  const SolveContext ctx{seeOptions, cache, cancel};
+  TraceSpan span(tracer_, "hca", "attempt");
+  if (span.active()) {
+    span.arg("target", std::to_string(target));
+    span.arg("profile", std::to_string(profile));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  // Resolve the per-level `.L<n>` metric names once: map nodes are stable,
+  // so solve() bumps raw pointers instead of rebuilding names per problem.
+  std::vector<LevelMetrics> levelMetrics;
+  levelMetrics.reserve(static_cast<std::size_t>(model_.numLevels()));
+  for (int level = 0; level < model_.numLevels(); ++level) {
+    MetricsRegistry& m = result.metrics;
+    levelMetrics.push_back(LevelMetrics{
+        &m.counter(lvl("cache.hits", level)),
+        &m.counter(lvl("cache.misses", level)),
+        &m.counter(lvl("see.problems", level)),
+        &m.counter(lvl("see.expansions", level)),
+        &m.counter(lvl("see.pruned", level)),
+        &m.counter(lvl("see.candidates", level)),
+        &m.counter(lvl("see.candidate_rejections", level)),
+        &m.counter(lvl("see.route_invocations", level)),
+        &m.counter(lvl("see.route_failures", level)),
+        &m.counter(lvl("see.routed_operands", level)),
+        &m.counter(lvl("hca.backtracks", level)),
+        &m.counter(lvl("mapper.failures", level)),
+        &m.histogram(lvl("mapper.max_values_per_wire", level)),
+        &m.histogram(lvl("mapper.wire_utilization", level)),
+        &m.histogram(lvl("mapper.copies_per_ili", level)),
+    });
+  }
+  const SolveContext ctx{seeOptions, cache, cancel, tracer_, &levelMetrics};
   result.legal = solve(ddg, /*path=*/{}, rootWs, /*relayValues=*/{},
                        Boundary{}, ctx, result);
+  const auto wallUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  result.metrics.observe("attempt.wall_us", static_cast<double>(wallUs));
+  result.metrics.add(result.legal ? "attempt.legal" : "attempt.illegal", 1);
+  if (span.active()) span.arg("legal", result.legal ? "true" : "false");
   result.stats.outerAttempts = 1;
   if (result.legal) {
     result.stats.achievedTargetIi = target;
@@ -129,6 +173,7 @@ HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
                                     int iniMii, SubproblemCache* cache,
                                     const CancellationToken* deadline) const {
   HcaStats sweepStats;
+  MetricsRegistry sweepMetrics;
   HcaResult best;
   bool expired = false;
   for (int target = iniMii;
@@ -144,9 +189,11 @@ HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
           runAttempt(ddg, rootWs, target, profile, cache, deadline);
       if (result.legal) {
         result.stats.merge(sweepStats);
+        result.metrics.merge(sweepMetrics);
         return result;
       }
       sweepStats.merge(result.stats);
+      sweepMetrics.merge(result.metrics);
       if (deadline != nullptr && deadline->cancelled()) {
         // The attempt was aborted mid-search, not genuinely infeasible.
         ++sweepStats.attemptsCancelled;
@@ -160,6 +207,7 @@ HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
   best.stats = sweepStats;
   best.stats.maxWirePressure = lastMaxWire;
   best.stats.achievedTargetIi = 0;
+  best.metrics = std::move(sweepMetrics);
   if (best.failureReason.empty()) {
     // The deadline fired before the first attempt even started.
     best.failureReason = "deadline expired before any outer attempt completed";
@@ -246,6 +294,7 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
   }
 
   HcaStats aggregate;
+  MetricsRegistry aggregateMetrics;
   for (int i = 0; i < numAttempts; ++i) {
     AttemptSlot& slot = slots[static_cast<std::size_t>(i)];
     if (i == winner) continue;
@@ -255,14 +304,25 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
     }
     if (!slot.completed) continue;  // errored past the winner
     aggregate.merge(slot.result.stats);
+    aggregateMetrics.merge(slot.result.metrics);
     if (!slot.result.legal && tokens[static_cast<std::size_t>(i)].cancelled()) {
       ++aggregate.attemptsCancelled;
     }
+  }
+  // Pool telemetry: how busy the portfolio kept the workers.
+  {
+    const ThreadPool::PoolStats ps = pool.stats();
+    aggregateMetrics.add("pool.threads", pool.size());
+    aggregateMetrics.add("pool.tasks", ps.tasksExecuted);
+    aggregateMetrics.add("pool.max_queue_depth", ps.maxQueueDepth);
+    aggregateMetrics.histogram("pool.task_wait_us").merge(ps.taskWaitUs);
+    aggregateMetrics.histogram("pool.task_run_us").merge(ps.taskRunUs);
   }
 
   if (winner >= 0) {
     HcaResult result = std::move(slots[static_cast<std::size_t>(winner)].result);
     result.stats.merge(aggregate);
+    result.metrics.merge(aggregateMetrics);
     return result;
   }
   // No attempt succeeded. Without a deadline nothing was cancelled
@@ -287,6 +347,7 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
   best.stats = aggregate;
   best.stats.maxWirePressure = lastMaxWire;
   best.stats.achievedTargetIi = 0;
+  best.metrics = std::move(aggregateMetrics);
   return best;
 }
 
@@ -319,6 +380,7 @@ HcaResult HcaDriver::run(const ddg::Ddg& ddg) const {
 }
 
 HcaResult HcaDriver::runChecked(const ddg::Ddg& ddg) const {
+  TraceSpan span(tracer_, "hca", "run");
   ddg.validate();
 
   // Base target II for the cost function (Section 4.2): clusters below
@@ -347,6 +409,7 @@ HcaResult HcaDriver::runChecked(const ddg::Ddg& ddg) const {
                               std::chrono::milliseconds(options_.deadlineMs));
     deadline = &deadlineToken;
   }
+  if (span.active()) span.arg("iniMii", std::to_string(iniMii));
   return runLadder(ddg, rootWs, iniMii, deadline);
 }
 
@@ -366,6 +429,25 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
   SubproblemCache* cachePtr =
       options_.enableSubproblemCache ? &cache : nullptr;
 
+  // Folds the cache's per-shard counters into the returned result, both as
+  // run totals and as across-shard distributions (a hot shard shows up as
+  // a max far above the p50). Applied once per runLadder return; the
+  // nested degraded-bandwidth ladder harvests its own cache first and the
+  // counters sum.
+  const auto harvestCache = [&](HcaResult& r) {
+    if (cachePtr == nullptr) return;
+    const auto shards = cachePtr->shardStats();
+    for (const auto& s : shards) {
+      r.metrics.add("cache.hits", s.hits);
+      r.metrics.add("cache.misses", s.misses);
+      r.metrics.add("cache.evictions", s.evictions);
+      r.metrics.add("cache.entries", s.entries);
+      r.metrics.observe("cache.shard_hits", static_cast<double>(s.hits));
+      r.metrics.observe("cache.shard_entries", static_cast<double>(s.entries));
+    }
+    r.metrics.add("cache.shards", static_cast<std::int64_t>(shards.size()));
+  };
+
   // Rung 1 — the primary sweep: smallest target II first (the
   // modulo-scheduling II search applied to clusterization), a few
   // heuristic profiles per target — serially, or as a parallel portfolio
@@ -374,16 +456,26 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
                           std::max(1, options_.searchProfiles);
   const int threads =
       std::min(ThreadPool::resolveThreads(options_.numThreads), numAttempts);
-  HcaResult best =
-      threads <= 1
-          ? runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline)
-          : runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads, deadline);
-  if (best.legal) return best;
+  HcaResult best;
+  {
+    TraceSpan rung(tracer_, "hca", "rung:primary-sweep");
+    best = threads <= 1
+               ? runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline)
+               : runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads,
+                                  deadline);
+  }
+  best.metrics.add("ladder.rung.primary", 1);
+  if (best.legal) {
+    harvestCache(best);
+    return best;
+  }
 
   // Rung 2 (kDegrade) — retry with backoff: a widened beam and deeper
   // candidate keep explore assignments the primary profiles pruned.
   if (degrade && !expired()) {
     escalations.push_back("widened-beam retry (beam x2, keep +4)");
+    best.metrics.add("ladder.rung.beam_backoff", 1);
+    TraceSpan rung(tracer_, "hca", "rung:beam-backoff");
     HcaOptions wider = options_;
     wider.see.beamWidth *= 2;
     wider.see.candidateKeep += 4;
@@ -395,10 +487,13 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
                                        deadline);
     if (retry.legal) {
       retry.stats.merge(best.stats);
+      retry.metrics.merge(best.metrics);
       retry.fallbackUsed = "beam-backoff";
+      harvestCache(retry);
       return retry;
     }
     best.stats.merge(retry.stats);
+    best.metrics.merge(retry.metrics);
   }
 
   // Rung 3 — degraded-bandwidth fallback: solve on a copy of the machine
@@ -418,6 +513,8 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
     if (!degradedModel.hasFaults() ||
         degradedModel.faultViabilityError().empty()) {
       escalations.push_back("degraded-bandwidth re-run (N=M=K=2)");
+      best.metrics.add("ladder.rung.degraded_bandwidth", 1);
+      TraceSpan rung(tracer_, "hca", "rung:degraded-bandwidth");
       HcaOptions degradedOptions = options_;
       degradedOptions.degradedFallback = false;
       degradedOptions.failurePolicy = FailurePolicy::kStrict;
@@ -426,10 +523,13 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
       HcaResult result = degraded.runLadder(ddg, rootWs, iniMii, deadline);
       if (result.legal) {
         result.stats.merge(best.stats);
+        result.metrics.merge(best.metrics);
         result.fallbackUsed = "degraded-bandwidth";
+        harvestCache(result);
         return result;
       }
       best.stats.merge(result.stats);
+      best.metrics.merge(result.metrics);
     }
   }
 
@@ -438,6 +538,8 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
   // hierarchy check can realize, materialized into regular records.
   if (degrade && !expired() && model_.totalCns() <= 64) {
     escalations.push_back("flat ICA on surviving resources");
+    best.metrics.add("ladder.rung.flat_ica", 1);
+    TraceSpan rung(tracer_, "hca", "rung:flat-ica");
     see::SeeOptions flatOptions = options_.see;
     if (options_.maxBeamSteps > 0) {
       flatOptions.maxBeamSteps = options_.maxBeamSteps;
@@ -454,6 +556,7 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
       result.reconfig = std::move(collect.reconfig);
       result.reconfig.validate();
       result.stats = best.stats;
+      result.metrics = std::move(best.metrics);
       ++result.stats.outerAttempts;
       result.stats.statesExplored += flat.seeStats.statesExplored;
       result.stats.candidatesEvaluated += flat.seeStats.candidatesEvaluated;
@@ -461,11 +564,15 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
       result.stats.problemsSolved += flat.hierarchy.problemsChecked;
       result.stats.maxWirePressure = flat.hierarchy.maxWirePressure;
       result.stats.achievedTargetIi = 0;  // no target II was honored
+      harvestCache(result);
       return result;
     }
   }
 
   // Every rung exhausted (or the deadline cut the ladder short).
+  harvestCache(best);
+  best.metrics.add("ladder.escalations",
+                   static_cast<std::int64_t>(escalations.size()));
   if (degrade) {
     auto report = std::make_unique<HcaFailureReport>();
     report->cause = expired() ? FailureCause::kDeadlineExpired
@@ -493,6 +600,12 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   const int level = static_cast<int>(path.size());
   const bool leaf = level == model_.numLevels() - 1;
   const machine::LevelSpec spec = model_.levelSpec(level);
+
+  TraceSpan span(ctx.tracer, "hca", "solve");
+  if (span.active()) {
+    span.arg("path", strJoin(path, "."));
+    span.arg("level", std::to_string(level));
+  }
 
   auto record = std::make_unique<ProblemRecord>();
   record->path = path;
@@ -556,12 +669,20 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   }
   see::SeeResult freshResult;
   const see::SeeResult* seePtr = nullptr;
+  const LevelMetrics& lm = (*ctx.levels)[static_cast<std::size_t>(level)];
   if (cacheEntry != nullptr) {
     ++result.stats.cacheHits;
+    ++*lm.cacheHits;
+    if (span.active()) span.arg("cache", "hit");
     seePtr = cacheEntry.get();
   } else {
+    TraceSpan seeSpan(ctx.tracer, "hca", "see");
     const see::SpaceExplorationEngine engine(ctx.seeOptions);
     freshResult = engine.run(problem, ctx.cancel);
+    if (seeSpan.active()) {
+      seeSpan.arg("states", std::to_string(freshResult.stats.statesExplored));
+      seeSpan.arg("legal", freshResult.legal ? "true" : "false");
+    }
     // Never cache a search aborted by cancellation: its "illegal" verdict
     // is an artifact of the abort, not a property of the sub-problem. A
     // legal result is always a complete computation and safe to cache.
@@ -569,6 +690,7 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
                          ctx.cancel->cancelled();
     if (ctx.cache != nullptr && !aborted) {
       ++result.stats.cacheMisses;
+      ++*lm.cacheMisses;
       cacheEntry = ctx.cache->insert(cacheKey, std::move(freshResult));
       seePtr = cacheEntry.get();
     } else {
@@ -582,6 +704,16 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   result.stats.statesExplored += seeResult.stats.statesExplored;
   result.stats.candidatesEvaluated += seeResult.stats.candidatesEvaluated;
   result.stats.routeInvocations += seeResult.stats.routeInvocations;
+  // Per-level search-pressure series (cache hits replay the recorded
+  // SeeStats, so the counters are byte-identical with the cache on or off).
+  ++*lm.seeProblems;
+  *lm.seeExpansions += seeResult.stats.statesExplored;
+  *lm.seePruned += seeResult.stats.statesPruned;
+  *lm.seeCandidates += seeResult.stats.candidatesEvaluated;
+  *lm.seeCandidateRejections += seeResult.stats.candidateRejections;
+  *lm.seeRouteInvocations += seeResult.stats.routeInvocations;
+  *lm.seeRouteFailures += seeResult.stats.routeFailures;
+  *lm.seeRoutedOperands += seeResult.stats.routedOperands;
 
   if (!seeResult.legal) {
     if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
@@ -609,6 +741,7 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
     if (alt > 0) {
       if (result.stats.backtrackAttempts >= options_.backtrackBudget) break;
       ++result.stats.backtrackAttempts;
+      ++*lm.hcaBacktracks;
     }
     const auto& solution = seeResult.alternatives[static_cast<std::size_t>(alt)];
 
@@ -664,12 +797,37 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
     }
     mapInput.problemPath = path;
     const mapper::Mapper mapperPass;
-    attempt->mapResult = mapperPass.map(mapInput);
+    {
+      TraceSpan mapSpan(ctx.tracer, "hca", "mapper");
+      if (mapSpan.active()) mapSpan.arg("alt", std::to_string(alt));
+      attempt->mapResult = mapperPass.map(mapInput);
+      if (mapSpan.active()) {
+        mapSpan.arg("legal", attempt->mapResult.legal ? "true" : "false");
+      }
+    }
     if (!attempt->mapResult.legal) {
+      ++*lm.mapperFailures;
       lastFailure = strCat("sub-problem [", strJoin(path, "."), "] (level ",
                            level, ") mapper: ",
                            attempt->mapResult.failureReason);
       continue;
+    }
+    // Copy-flow distribution of this level's wiring: serialization pressure
+    // per mapped problem, copies funneled into each child's ILI, and the
+    // fraction of the surviving wire budget actually driven.
+    lm.mapperMaxValuesPerWire->add(
+        static_cast<double>(attempt->mapResult.maxValuesPerWire));
+    if (attempt->mapResult.wiresAvailable > 0) {
+      lm.mapperWireUtilization->add(
+          static_cast<double>(attempt->mapResult.wiresUsed) /
+          static_cast<double>(attempt->mapResult.wiresAvailable));
+    }
+    for (const mapper::Ili& ili : attempt->mapResult.ilis) {
+      std::int64_t copies = 0;
+      for (const auto& wire : ili.inputs) {
+        copies += static_cast<std::int64_t>(wire.values.size());
+      }
+      lm.mapperCopiesPerIli->add(static_cast<double>(copies));
     }
     result.stats.maxWirePressure = std::max(
         result.stats.maxWirePressure, attempt->mapResult.maxValuesPerWire);

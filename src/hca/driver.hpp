@@ -10,7 +10,9 @@
 #include "machine/dspfabric.hpp"
 #include "machine/reconfig.hpp"
 #include "see/engine.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 /// Hierarchical Cluster Assignment (paper Section 4).
 ///
@@ -119,6 +121,12 @@ struct HcaOptions {
   /// Per-attempt cap on SEE frontier expansions, applied on top of every
   /// search profile (see SeeOptions::maxBeamSteps); 0 = unlimited.
   int maxBeamSteps = 0;
+  /// Span tracer for this run (see support/trace.hpp): one span per outer
+  /// attempt / fallback rung / sub-problem / SEE invocation / mapper pass,
+  /// nested like the problem tree. Not owned; must outlive the run.
+  /// nullptr = tracing off — unless HCA_TRACE_FORCE is set in the
+  /// environment, in which case the process-wide forced tracer is used.
+  Tracer* tracer = nullptr;
 };
 
 struct RelayPlacement {
@@ -144,6 +152,12 @@ struct HcaResult {
   /// solved (its records entry may have been rolled back by backtracking).
   std::unique_ptr<ProblemRecord> failureRecord;
   HcaStats stats;
+  /// Named observability counters and histograms (per-level SEE pressure,
+  /// cache traffic, mapper distributions, pool latencies, ladder activity);
+  /// aggregated across every attempt of the run exactly like `stats`. See
+  /// DESIGN.md section 4e for the name catalogue. Serialized by
+  /// `runReportJson()` (hca/report.hpp) and printed by `hcac --stats`.
+  MetricsRegistry metrics;
 
   /// Which ladder rung produced the result: empty (primary sweep),
   /// "beam-backoff", "degraded-bandwidth" or "flat-ica".
@@ -166,13 +180,40 @@ class HcaDriver {
     std::vector<mapper::WireValues> outputs;
   };
 
+  /// Pre-resolved handles into one attempt's `MetricsRegistry` for one
+  /// hierarchy level: `std::map` node addresses are stable, so resolving
+  /// the `.L<level>` names once per attempt keeps the per-sub-problem
+  /// instrumentation down to raw pointer bumps (no string building or map
+  /// lookups on the solve hot path).
+  struct LevelMetrics {
+    std::int64_t* cacheHits;
+    std::int64_t* cacheMisses;
+    std::int64_t* seeProblems;
+    std::int64_t* seeExpansions;
+    std::int64_t* seePruned;
+    std::int64_t* seeCandidates;
+    std::int64_t* seeCandidateRejections;
+    std::int64_t* seeRouteInvocations;
+    std::int64_t* seeRouteFailures;
+    std::int64_t* seeRoutedOperands;
+    std::int64_t* hcaBacktracks;
+    std::int64_t* mapperFailures;
+    Histogram* mapperMaxValuesPerWire;
+    Histogram* mapperWireUtilization;
+    Histogram* mapperCopiesPerIli;
+  };
+
   /// Per-attempt execution context threaded through the recursion: the
-  /// attempt's SEE options, the run-wide sub-problem cache (may be null)
-  /// and the portfolio's soft-cancellation token (may be null).
+  /// attempt's SEE options, the run-wide sub-problem cache (may be null),
+  /// the portfolio's soft-cancellation token (may be null), the run's
+  /// span tracer (may be null = tracing off) and the attempt's per-level
+  /// metric handles (indexed by hierarchy level).
   struct SolveContext {
     const see::SeeOptions& seeOptions;
     SubproblemCache* cache = nullptr;
     const CancellationToken* cancel = nullptr;
+    Tracer* tracer = nullptr;
+    const std::vector<LevelMetrics>* levels = nullptr;
   };
 
   /// SEE options of one (target II, heuristic profile) outer attempt.
@@ -227,6 +268,9 @@ class HcaDriver {
 
   machine::DspFabricModel model_;
   HcaOptions options_;
+  /// Resolved at construction: options_.tracer, or the HCA_TRACE_FORCE
+  /// process tracer, or nullptr (tracing off).
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hca::core

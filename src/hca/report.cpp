@@ -1,0 +1,184 @@
+#include "hca/report.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+namespace {
+
+std::string lvl(const char* base, int level) {
+  return strCat(base, ".L", level);
+}
+
+/// Hierarchy levels that actually solved sub-problems in this run: the
+/// driver emits one `see.problems.L<n>` counter per visited level, so the
+/// report needs no model to know the tree depth (the degraded-bandwidth
+/// rung even reuses the same depth).
+std::vector<int> levelsPresent(const MetricsRegistry& metrics) {
+  std::vector<int> levels;
+  for (int level = 0; level < 64; ++level) {
+    if (metrics.counterValue(lvl("see.problems", level)) > 0) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+void writeHistogramSummary(JsonWriter& json, const Histogram* h) {
+  if (h == nullptr || h->stats().count() == 0) {
+    json.null();
+    return;
+  }
+  json.beginObject();
+  json.key("count").value(h->stats().count());
+  json.key("mean").value(h->stats().mean());
+  json.key("min").value(h->stats().min());
+  json.key("max").value(h->stats().max());
+  json.key("p50").value(h->quantile(0.5));
+  json.key("p90").value(h->quantile(0.9));
+  json.endObject();
+}
+
+void writeFailure(JsonWriter& json, const HcaFailureReport& failure) {
+  json.beginObject();
+  json.key("cause").value(to_string(failure.cause));
+  json.key("level").value(failure.level);
+  json.key("subproblemPath").beginArray();
+  for (const int p : failure.subproblemPath) json.value(p);
+  json.endArray();
+  json.key("message").value(failure.message);
+  json.key("escalationsTried").beginArray();
+  for (const std::string& e : failure.escalationsTried) json.value(e);
+  json.endArray();
+  json.endObject();
+}
+
+}  // namespace
+
+std::string runReportJson(const HcaResult& result,
+                          const machine::DspFabricModel* model) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  writeRunReport(json, result, model);
+  return os.str();
+}
+
+void writeRunReport(JsonWriter& json, const HcaResult& result,
+                    const machine::DspFabricModel* model) {
+  json.beginObject();
+
+  json.key("legal").value(result.legal);
+  json.key("fallbackUsed").value(result.fallbackUsed);
+  json.key("failureReason").value(result.failureReason);
+  json.key("failure");
+  if (result.failure != nullptr) {
+    writeFailure(json, *result.failure);
+  } else {
+    json.null();
+  }
+
+  const HcaStats& s = result.stats;
+  json.key("stats").beginObject();
+  json.key("problemsSolved").value(s.problemsSolved);
+  json.key("backtrackAttempts").value(s.backtrackAttempts);
+  json.key("outerAttempts").value(s.outerAttempts);
+  json.key("achievedTargetIi").value(s.achievedTargetIi);
+  json.key("attemptsCancelled").value(s.attemptsCancelled);
+  json.key("statesExplored").value(s.statesExplored);
+  json.key("candidatesEvaluated").value(s.candidatesEvaluated);
+  json.key("routeInvocations").value(s.routeInvocations);
+  json.key("cacheHits").value(s.cacheHits);
+  json.key("cacheMisses").value(s.cacheMisses);
+  json.key("maxWirePressure").value(s.maxWirePressure);
+  json.endObject();
+
+  // Per-level breakdown: the `.L<n>` series of the registry, one row per
+  // hierarchy level that solved at least one sub-problem.
+  const MetricsRegistry& m = result.metrics;
+  json.key("levels").beginArray();
+  for (const int level : levelsPresent(m)) {
+    json.beginObject();
+    json.key("level").value(level);
+    json.key("name").value(model != nullptr && level < model->numLevels()
+                               ? model->levelName(level)
+                               : strCat("L", level));
+    json.key("problems").value(m.counterValue(lvl("see.problems", level)));
+    json.key("expansions").value(m.counterValue(lvl("see.expansions", level)));
+    json.key("pruned").value(m.counterValue(lvl("see.pruned", level)));
+    json.key("candidates").value(m.counterValue(lvl("see.candidates", level)));
+    json.key("candidateRejections")
+        .value(m.counterValue(lvl("see.candidate_rejections", level)));
+    json.key("routeInvocations")
+        .value(m.counterValue(lvl("see.route_invocations", level)));
+    json.key("routeFailures")
+        .value(m.counterValue(lvl("see.route_failures", level)));
+    json.key("cacheHits").value(m.counterValue(lvl("cache.hits", level)));
+    json.key("cacheMisses").value(m.counterValue(lvl("cache.misses", level)));
+    json.key("backtracks").value(m.counterValue(lvl("hca.backtracks", level)));
+    json.key("mapperFailures")
+        .value(m.counterValue(lvl("mapper.failures", level)));
+    json.key("wireUtilization");
+    writeHistogramSummary(json,
+                          m.findHistogram(lvl("mapper.wire_utilization", level)));
+    json.key("copiesPerIli");
+    writeHistogramSummary(json,
+                          m.findHistogram(lvl("mapper.copies_per_ili", level)));
+    json.key("maxValuesPerWire");
+    writeHistogramSummary(
+        json, m.findHistogram(lvl("mapper.max_values_per_wire", level)));
+    json.endObject();
+  }
+  json.endArray();
+
+  json.key("metrics");
+  m.writeJson(json);
+
+  json.key("records").beginObject();
+  json.key("count").value(static_cast<std::int64_t>(result.records.size()));
+  json.key("relays").value(static_cast<std::int64_t>(result.relays.size()));
+  json.key("reconfigSettings")
+      .value(static_cast<std::int64_t>(result.reconfig.settings.size()));
+  json.endObject();
+
+  json.endObject();
+}
+
+void printRunStats(std::ostream& os, const HcaResult& result) {
+  os << "=== HCA run stats ===\n";
+  if (result.legal) {
+    os << "outcome: legal ("
+       << (result.fallbackUsed.empty() ? "primary sweep"
+                                       : strCat("fallback rung: ",
+                                                result.fallbackUsed))
+       << ")\n";
+  } else {
+    os << "outcome: no legal mapping";
+    if (result.failure != nullptr) {
+      os << " [" << to_string(result.failure->cause) << "]";
+    }
+    os << "\n";
+    if (!result.failureReason.empty()) {
+      os << "reason:  " << result.failureReason << "\n";
+    }
+  }
+  const HcaStats& s = result.stats;
+  os << "target II achieved: " << s.achievedTargetIi
+     << "  outer attempts: " << s.outerAttempts
+     << "  cancelled: " << s.attemptsCancelled << "\n";
+  os << "problems solved: " << s.problemsSolved
+     << "  backtracks: " << s.backtrackAttempts
+     << "  max wire pressure: " << s.maxWirePressure << "\n";
+  os << "states explored: " << s.statesExplored
+     << "  candidates: " << s.candidatesEvaluated
+     << "  cache h/m: " << s.cacheHits << "/" << s.cacheMisses << "\n";
+  if (!result.metrics.empty()) {
+    os << "--- metrics registry ---\n";
+    result.metrics.printTable(os);
+  }
+}
+
+}  // namespace hca::core

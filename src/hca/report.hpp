@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "hca/driver.hpp"
+
+/// Structured per-run reporting for the HCA driver (observability layer).
+///
+/// `runReportJson` serializes one `HcaResult` — outcome, fallback rung,
+/// aggregate `HcaStats`, a per-hierarchy-level breakdown derived from the
+/// metrics registry's `.L<level>` series, and the full registry — as a
+/// single JSON document. The benches embed it per kernel in their BENCH
+/// JSONs; `hcac --report-out=FILE` writes it next to the solved run.
+///
+/// `printRunStats` is the human-facing twin (`hcac --stats`): the outcome
+/// line (including which fallback rung produced the result), the `HcaStats`
+/// summary and the aligned metrics table.
+namespace hca::core {
+
+/// Serializes `result` as a JSON object (no trailing newline). `model` is
+/// optional and only supplies human-readable level names; pass the model
+/// the run used when available.
+[[nodiscard]] std::string runReportJson(
+    const HcaResult& result, const machine::DspFabricModel* model = nullptr);
+
+/// Emits the same report object as the next value of an in-flight
+/// `JsonWriter` — the benches use this to embed one report per kernel row
+/// in their BENCH JSONs.
+void writeRunReport(JsonWriter& json, const HcaResult& result,
+                    const machine::DspFabricModel* model = nullptr);
+
+/// Pretty-prints the run outcome and metrics registry to `os`.
+void printRunStats(std::ostream& os, const HcaResult& result);
+
+}  // namespace hca::core

@@ -110,8 +110,9 @@ std::string subproblemKey(
   return key;
 }
 
-SubproblemCache::SubproblemCache(int numShards)
-    : shards_(static_cast<std::size_t>(numShards)) {
+SubproblemCache::SubproblemCache(int numShards, int maxEntriesPerShard)
+    : maxEntriesPerShard_(maxEntriesPerShard),
+      shards_(static_cast<std::size_t>(numShards)) {
   HCA_REQUIRE(numShards >= 1, "cache needs at least one shard");
 }
 
@@ -125,7 +126,12 @@ std::shared_ptr<const see::SeeResult> SubproblemCache::lookup(
   Shard& shard = shardOf(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(key);
-  return it == shard.map.end() ? nullptr : it->second;
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  return it->second;
 }
 
 std::shared_ptr<const see::SeeResult> SubproblemCache::insert(
@@ -133,7 +139,23 @@ std::shared_ptr<const see::SeeResult> SubproblemCache::insert(
   auto entry = std::make_shared<const see::SeeResult>(std::move(result));
   Shard& shard = shardOf(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.map.emplace(key, std::move(entry)).first->second;  // first writer wins
+  if (maxEntriesPerShard_ > 0 &&
+      static_cast<int>(shard.map.size()) >= maxEntriesPerShard_ &&
+      shard.map.find(key) == shard.map.end()) {
+    // Evict the oldest-inserted resident. The order list can carry keys of
+    // already-evicted entries after repeated churn; skip those.
+    while (!shard.insertionOrder.empty()) {
+      const std::string victim = std::move(shard.insertionOrder.front());
+      shard.insertionOrder.erase(shard.insertionOrder.begin());
+      if (shard.map.erase(victim) > 0) {
+        ++shard.evictions;
+        break;
+      }
+    }
+  }
+  const auto [it, inserted] = shard.map.emplace(key, std::move(entry));
+  if (inserted) shard.insertionOrder.push_back(key);
+  return it->second;  // first writer wins
 }
 
 std::int64_t SubproblemCache::entries() const {
@@ -143,6 +165,21 @@ std::int64_t SubproblemCache::entries() const {
     total += static_cast<std::int64_t>(shard.map.size());
   }
   return total;
+}
+
+std::vector<SubproblemCache::ShardStats> SubproblemCache::shardStats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ShardStats s;
+    s.hits = shard.hits;
+    s.misses = shard.misses;
+    s.evictions = shard.evictions;
+    s.entries = static_cast<std::int64_t>(shard.map.size());
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace hca::core

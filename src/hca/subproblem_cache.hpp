@@ -46,7 +46,22 @@ namespace hca::core {
 
 class SubproblemCache {
  public:
-  explicit SubproblemCache(int numShards = 16);
+  /// Per-shard traffic counters for the observability layer. Shard-level
+  /// granularity shows whether the key hash actually spreads the portfolio
+  /// attempts (a hot shard = lock contention the aggregate would hide).
+  struct ShardStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;
+  };
+
+  /// `maxEntriesPerShard` <= 0 = unbounded (the default — one run's
+  /// sub-problem population is small). When bounded, an insert into a full
+  /// shard evicts one resident entry (oldest-inserted first) and counts it
+  /// in ShardStats::evictions; correctness is unaffected because evicted
+  /// sub-problems are simply re-solved on the next miss.
+  explicit SubproblemCache(int numShards = 16, int maxEntriesPerShard = 0);
 
   SubproblemCache(const SubproblemCache&) = delete;
   SubproblemCache& operator=(const SubproblemCache&) = delete;
@@ -64,14 +79,23 @@ class SubproblemCache {
 
   [[nodiscard]] std::int64_t entries() const;
 
+  /// Snapshot of the per-shard counters, in shard order.
+  [[nodiscard]] std::vector<ShardStats> shardStats() const;
+
  private:
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::string, std::shared_ptr<const see::SeeResult>> map;
+    /// Keys in insertion order, for bounded-mode eviction.
+    std::vector<std::string> insertionOrder;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
   };
 
   [[nodiscard]] Shard& shardOf(const std::string& key) const;
 
+  const int maxEntriesPerShard_;
   mutable std::vector<Shard> shards_;
 };
 

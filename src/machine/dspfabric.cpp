@@ -102,6 +102,15 @@ LevelSpec DspFabricModel::levelSpec(int level) const {
   return spec;
 }
 
+std::string DspFabricModel::levelName(int level) const {
+  HCA_REQUIRE(level >= 0 && level < numLevels(),
+              "level out of range: " << level);
+  if (level == 0) return "cluster-sets";
+  if (level == numLevels() - 1) return "leaf-crossbars";
+  if (numLevels() <= 3) return "sub-clusters";
+  return "sub-clusters." + std::to_string(level);
+}
+
 ResourceTable DspFabricModel::clusterResources(int level) const {
   HCA_REQUIRE(level >= 0 && level < numLevels(),
               "level out of range: " << level);

@@ -86,6 +86,11 @@ class DspFabricModel {
   /// Interconnect figures of the problems at `level` (0 = root).
   [[nodiscard]] LevelSpec levelSpec(int level) const;
 
+  /// Human-readable name of `level` for traces / reports / metric tables:
+  /// "cluster-sets" at the root, "leaf-crossbars" at the last level,
+  /// "sub-clusters[.d]" in between (d = depth for fabrics deeper than 3).
+  [[nodiscard]] std::string levelName(int level) const;
+
   /// Aggregate resources of one PG node at `level` (all the CNs below it).
   [[nodiscard]] ResourceTable clusterResources(int level) const;
 

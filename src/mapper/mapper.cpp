@@ -273,6 +273,9 @@ MapResult Mapper::map(const MapperInput& input) const {
   }
 
   // ---- Emit ILIs, MUX settings and statistics. ----------------------------
+  for (int si = 0; si < numChildren; ++si) {
+    result.wiresAvailable += outBudgetOf(si);
+  }
   result.ilis.resize(static_cast<std::size_t>(numChildren));
   std::vector<int> inWireCursor(static_cast<std::size_t>(numChildren), 0);
 
@@ -291,6 +294,7 @@ MapResult Mapper::map(const MapperInput& input) const {
       result.maxValuesPerWire = std::max(
           result.maxValuesPerWire, static_cast<int>(g.values.size()));
       ++result.wiresUsed;
+      result.valuesMapped += static_cast<int>(g.values.size());
       // The sender's own ILI: values leaving on this wire.
       result.ilis[static_cast<std::size_t>(si)].outputs.push_back(
           WireValues{wire, g.values});
@@ -329,6 +333,7 @@ MapResult Mapper::map(const MapperInput& input) const {
     std::sort(boundaryValues.begin(), boundaryValues.end());
     result.maxValuesPerWire = std::max(
         result.maxValuesPerWire, static_cast<int>(boundaryValues.size()));
+    result.valuesMapped += static_cast<int>(boundaryValues.size());
     for (int di = 0; di < numChildren; ++di) {
       const auto arc =
           pg.arcBetween(in, children[static_cast<std::size_t>(di)]);

@@ -70,6 +70,13 @@ struct MapResult {
   /// wire (a lower bound on the II contribution of this level's wiring).
   int maxValuesPerWire = 0;
   int wiresUsed = 0;
+  /// Output-wire slots the children could have driven (surviving budgets
+  /// summed); `wiresUsed / wiresAvailable` is the level's wire-budget
+  /// utilization reported by the observability layer.
+  int wiresAvailable = 0;
+  /// Total value copies distributed over the used wires (sum of per-wire
+  /// value-list lengths, boundary input wires included).
+  int valuesMapped = 0;
 };
 
 /// In emitted MuxSettings, connections feeding boundary *output* wires use

@@ -75,11 +75,7 @@ SeeResult SpaceExplorationEngine::run(const SeeProblem& problem,
   for (const SeeOptions& attempt : ladder) {
     if (cancel != nullptr && cancel->cancelled()) return result;
     SeeResult retry = runOnce(problem, attempt, cancel);
-    retry.stats.statesExplored += result.stats.statesExplored;
-    retry.stats.candidatesEvaluated += result.stats.candidatesEvaluated;
-    retry.stats.statesPruned += result.stats.statesPruned;
-    retry.stats.routeInvocations += result.stats.routeInvocations;
-    retry.stats.routedOperands += result.stats.routedOperands;
+    retry.stats.merge(result.stats);
     result = std::move(retry);
     if (result.legal) return result;
   }
@@ -134,7 +130,10 @@ SeeResult SpaceExplorationEngine::runOnce(
           int routed = 0;
           auto sol = RouteAllocator::tryAssignGroup(prepared, state, group, c,
                                                     &routed);
-          if (!sol.has_value()) continue;
+          if (!sol.has_value()) {
+            ++result.stats.routeFailures;
+            continue;
+          }
           ++result.stats.candidatesEvaluated;
           result.stats.routedOperands += routed;
           sol->setObjective(objective.evaluate(prepared, *sol));
@@ -149,7 +148,10 @@ SeeResult SpaceExplorationEngine::runOnce(
         for (const ClusterId c : prepared.clusters()) {
           auto sol = RouteAllocator::tryAssignGroup(prepared, state, group,
                                                     c, &routed);
-          if (!sol.has_value()) continue;
+          if (!sol.has_value()) {
+            ++result.stats.routeFailures;
+            continue;
+          }
           ++result.stats.candidatesEvaluated;
           sol->setObjective(objective.evaluate(prepared, *sol));
           scored.push_back(std::move(*sol));
@@ -163,6 +165,8 @@ SeeResult SpaceExplorationEngine::runOnce(
                 });
       const auto keep = std::min<std::size_t>(
           scored.size(), static_cast<std::size_t>(options.candidateKeep));
+      result.stats.candidateRejections +=
+          static_cast<std::int64_t>(scored.size() - keep);
       for (std::size_t i = 0; i < keep; ++i) {
         next.push_back(std::move(scored[i]));
         parentOf.push_back(parentIndex);

@@ -103,6 +103,24 @@ struct SeeStats {
   std::int64_t statesPruned = 0;       // dropped by the node filter
   std::int64_t routeInvocations = 0;   // no-candidates actions taken
   std::int64_t routedOperands = 0;     // operands placed via relays
+  /// Scored candidates dropped by the candidate filter (kept only the best
+  /// `candidateKeep` expansions per state).
+  std::int64_t candidateRejections = 0;
+  /// Route-allocator attempts that found no relay path to the target
+  /// cluster (tryAssignGroup returned nothing).
+  std::int64_t routeFailures = 0;
+
+  /// Folds another search's counters into this one (retry-ladder rungs,
+  /// per-level aggregation in the driver's metrics registry).
+  void merge(const SeeStats& other) {
+    statesExplored += other.statesExplored;
+    candidatesEvaluated += other.candidatesEvaluated;
+    statesPruned += other.statesPruned;
+    routeInvocations += other.routeInvocations;
+    routedOperands += other.routedOperands;
+    candidateRejections += other.candidateRejections;
+    routeFailures += other.routeFailures;
+  }
 };
 
 }  // namespace hca::see

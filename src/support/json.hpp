@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Minimal JSON support for the observability layer: a streaming writer
+/// (escaping-correct, no intermediate DOM) used by the trace / report /
+/// bench exporters, and a small strict parser used by tests and tooling to
+/// round-trip what the writer produced. Neither aims to be a general JSON
+/// library; both cover exactly RFC 8259 object/array/string/number/bool/
+/// null syntax.
+namespace hca {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Streaming JSON writer. Keys/values are emitted in call order; the
+/// writer tracks nesting and inserts commas, so callers never hand-place
+/// separators. Numbers are written via std::ostream (doubles get enough
+/// digits to round-trip; NaN/inf — which JSON cannot represent — are
+/// emitted as null).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+ private:
+  void beforeValue();
+
+  std::ostream& os_;
+  /// One entry per open container: the number of elements emitted so far.
+  std::vector<int> counts_;
+  bool pendingKey_ = false;
+};
+
+/// Parsed JSON value (strict parser output).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered members (duplicate keys keep the last).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool isObject() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::kArray; }
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& name) const;
+};
+
+/// Parses `text` as one JSON document. Returns false (and sets `*error`
+/// when non-null) on any syntax violation, including trailing garbage.
+bool parseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace hca

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -9,10 +10,19 @@
 /// The assignment passes are long-running searches; being able to turn on a
 /// trace without recompiling is worth more than a fancy logging framework.
 /// Output goes to stderr, serialized by a global mutex so multi-threaded
-/// benchmark sweeps interleave cleanly.
+/// benchmark sweeps interleave cleanly. Every line carries an ISO-8601 UTC
+/// timestamp and a small per-process thread id, so interleaved fault-sweep
+/// output stays attributable; the `HCA_LOG_LEVEL` environment variable
+/// (trace|debug|info|warn|off, or 0-4) overrides the default level without
+/// recompiling.
 namespace hca {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Parses a level name (trace|debug|info|warn|warning|off|none, or 0-4,
+/// case-insensitive); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> logLevelFromString(
+    const std::string& text);
 
 class Logger {
  public:
@@ -22,10 +32,16 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
+  /// The exact line `write` emits (sans trailing newline):
+  /// `[<ISO-8601 UTC ms> hca:<LEVEL> t<tid>] <message>`. Split out so the
+  /// format is testable without capturing stderr.
+  [[nodiscard]] static std::string formatLine(LogLevel level,
+                                              const std::string& message);
+
   void write(LogLevel level, const std::string& message);
 
  private:
-  Logger() = default;
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
   std::mutex mutex_;
 };

@@ -1,0 +1,152 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "support/json.hpp"
+
+namespace hca {
+
+namespace {
+
+/// Bucket index of `x`: 0 for x < 1, otherwise 1 + floor(log2(x)), capped.
+int bucketOf(double x) {
+  if (!(x >= 1.0)) return 0;  // also catches NaN
+  const int exp = std::ilogb(x);
+  return std::min(Histogram::kBuckets - 1, 1 + exp);
+}
+
+/// Upper edge of bucket `i` (2^i; bucket 0 ends at 1).
+double bucketUpper(int i) { return std::ldexp(1.0, i); }
+
+}  // namespace
+
+void Histogram::add(double x) {
+  stats_.add(x);
+  ++buckets_[static_cast<std::size_t>(bucketOf(x))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  stats_.merge(other.stats_);
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (stats_.count() == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(stats_.count());
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= rank) {
+      // The quantile falls in this bucket; report its upper edge clamped
+      // to the exact observed range.
+      return std::clamp(bucketUpper(i), stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
+std::int64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  histograms_[name].add(value);
+}
+
+std::int64_t MetricsRegistry::counterValue(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::findHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].merge(histogram);
+  }
+}
+
+void MetricsRegistry::writeJson(JsonWriter& json) const {
+  json.beginObject();
+  json.key("counters").beginObject();
+  for (const auto& [name, value] : counters_) {
+    json.key(name).value(value);
+  }
+  json.endObject();
+  json.key("histograms").beginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const RunningStats& s = histogram.stats();
+    json.key(name).beginObject();
+    json.key("count").value(s.count());
+    json.key("sum").value(s.sum());
+    json.key("mean").value(s.mean());
+    json.key("stddev").value(s.stddev());
+    json.key("min").value(s.count() > 0 ? s.min() : 0.0);
+    json.key("max").value(s.count() > 0 ? s.max() : 0.0);
+    json.key("p50").value(histogram.quantile(0.5));
+    json.key("p90").value(histogram.quantile(0.9));
+    json.key("p99").value(histogram.quantile(0.99));
+    json.endObject();
+  }
+  json.endObject();
+  json.endObject();
+}
+
+void MetricsRegistry::printTable(std::ostream& os) const {
+  std::size_t width = 8;
+  for (const auto& [name, value] : counters_) {
+    (void)value;
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    (void)histogram;
+    width = std::max(width, name.size());
+  }
+  char buf[256];
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, value] : counters_) {
+      std::snprintf(buf, sizeof(buf), "  %-*s %12lld\n",
+                    static_cast<int>(width), name.c_str(),
+                    static_cast<long long>(value));
+      os << buf;
+    }
+  }
+  if (!histograms_.empty()) {
+    std::snprintf(buf, sizeof(buf), "histograms: %-*s %8s %10s %10s %10s %10s %10s\n",
+                  static_cast<int>(width) - 1, "", "count", "mean", "p50",
+                  "p90", "p99", "max");
+    os << buf;
+    for (const auto& [name, histogram] : histograms_) {
+      const RunningStats& s = histogram.stats();
+      std::snprintf(buf, sizeof(buf),
+                    "  %-*s %8lld %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                    static_cast<int>(width), name.c_str(),
+                    static_cast<long long>(s.count()), s.mean(),
+                    histogram.quantile(0.5), histogram.quantile(0.9),
+                    histogram.quantile(0.99), s.count() > 0 ? s.max() : 0.0);
+      os << buf;
+    }
+  }
+}
+
+}  // namespace hca

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "support/stats.hpp"
+
+/// Metrics registry for search observability.
+///
+/// A registry is a bag of *named* counters and histograms. One registry per
+/// outer HCA attempt, merged exactly like `HcaStats` (losing attempts fold
+/// into the winner), so the per-name aggregation semantics are uniform and
+/// new instrumentation needs no hand-written merge field. Names are
+/// dot-separated, with a `.L<level>` suffix for per-hierarchy-level series
+/// (e.g. `see.expansions.L1`); `std::map` keeps iteration deterministic
+/// for reports and tests.
+///
+/// The registry is deliberately *not* thread-safe: attempts own private
+/// registries and merge after the fact (the same discipline that keeps
+/// `HcaStats` race-free in the portfolio sweep).
+namespace hca {
+
+class JsonWriter;
+
+/// Streaming histogram: exact moments via `RunningStats` plus power-of-two
+/// buckets for quantile estimates (values < 1 land in bucket 0; bucket i
+/// covers [2^(i-1), 2^i)). Bounded memory, mergeable, good enough to tell
+/// "p99 task latency" from "max outlier" without storing samples.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts, clamped to
+  /// the exact observed [min, max]. NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  RunningStats stats_;
+  std::array<std::int64_t, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it at 0.
+  std::int64_t& counter(const std::string& name);
+  /// Adds `delta` to the counter named `name`.
+  void add(const std::string& name, std::int64_t delta);
+  /// Returns the histogram named `name`, creating it empty.
+  Histogram& histogram(const std::string& name);
+  /// Records one observation into the histogram named `name`.
+  void observe(const std::string& name, double value);
+
+  /// Counter value, 0 when absent (does not create the counter).
+  [[nodiscard]] std::int64_t counterValue(const std::string& name) const;
+  /// Histogram lookup, nullptr when absent.
+  [[nodiscard]] const Histogram* findHistogram(const std::string& name) const;
+
+  /// Folds `other` into this registry: counters sum, histograms merge.
+  void merge(const MetricsRegistry& other);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && histograms_.empty();
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Writes `{"counters": {...}, "histograms": {name: {count, mean, ...,
+  /// p50, p90, p99}}}` as the next JSON value of `json`.
+  void writeJson(JsonWriter& json) const;
+
+  /// Human-readable dump: one aligned row per counter, then one per
+  /// histogram with count/mean/quantiles (the `hcac --stats` table).
+  void printTable(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hca

@@ -35,6 +35,31 @@ class RunningStats {
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
 
+  /// Folds another accumulator into this one (Chan et al.'s parallel
+  /// combine), so per-attempt statistics can merge like counters do.
+  /// Merging works on the internal ±inf sentinels, never on the NaN the
+  /// min()/max() accessors report for an empty side — an empty operand is
+  /// a no-op and cannot poison the other side's extrema.
+  void merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const std::int64_t n = count_ + other.count_;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(n);
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) /
+            static_cast<double>(n);
+    count_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;

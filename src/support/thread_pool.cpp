@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace hca {
@@ -25,7 +27,10 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     HCA_CHECK(!stop_, "submit on a stopped thread pool");
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task),
+                               std::chrono::steady_clock::now()});
+    stats_.maxQueueDepth =
+        std::max(stats_.maxQueueDepth, static_cast<int>(queue_.size()));
   }
   workCv_.notify_one();
 }
@@ -35,6 +40,11 @@ void ThreadPool::wait() {
   idleCv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+ThreadPool::PoolStats ThreadPool::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 int ThreadPool::resolveThreads(int requested) {
   if (requested >= 1) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -42,8 +52,15 @@ int ThreadPool::resolveThreads(int requested) {
 }
 
 void ThreadPool::workerLoop() {
+  const auto microsSince = [](std::chrono::steady_clock::time_point since,
+                              std::chrono::steady_clock::time_point until) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(until - since)
+            .count());
+  };
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    std::chrono::steady_clock::time_point started;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -51,10 +68,15 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      started = std::chrono::steady_clock::now();
     }
-    task();
+    task.fn();
     {
+      const auto finished = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lock(mutex_);
+      ++stats_.tasksExecuted;
+      stats_.taskWaitUs.add(microsSince(task.enqueued, started));
+      stats_.taskRunUs.add(microsSince(started, finished));
       --active_;
       if (queue_.empty() && active_ == 0) idleCv_.notify_all();
     }

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/metrics.hpp"
 
 /// Minimal fixed-size thread pool and cooperative cancellation primitive.
 ///
@@ -68,6 +71,16 @@ class CancellationToken {
 
 class ThreadPool {
  public:
+  /// Execution statistics since construction, for the observability layer:
+  /// queue pressure (how far submission ran ahead of the workers) and task
+  /// latency split into queue wait vs. run time.
+  struct PoolStats {
+    std::int64_t tasksExecuted = 0;
+    int maxQueueDepth = 0;  ///< deepest queue observed at submit time
+    Histogram taskWaitUs;   ///< submit -> dequeue, microseconds
+    Histogram taskRunUs;    ///< dequeue -> completion, microseconds
+  };
+
   /// Spawns `numThreads` workers (must be >= 1).
   explicit ThreadPool(int numThreads);
   ~ThreadPool();
@@ -85,21 +98,30 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Snapshot of the execution statistics (completed tasks only).
+  [[nodiscard]] PoolStats stats() const;
+
   /// Maps the user-facing `numThreads` knob to a concrete worker count:
   /// 0 = std::thread::hardware_concurrency (at least 1), otherwise the
   /// requested value clamped to >= 1.
   [[nodiscard]] static int resolveThreads(int requested);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::deque<QueuedTask> queue_;
+  mutable std::mutex mutex_;
   std::condition_variable workCv_;  // queue non-empty or shutting down
   std::condition_variable idleCv_;  // queue empty and no task in flight
   int active_ = 0;
   bool stop_ = false;
+  PoolStats stats_;
 };
 
 }  // namespace hca

@@ -1,0 +1,142 @@
+#include "support/trace.hpp"
+
+#include <cstdlib>
+
+#include "support/json.hpp"
+
+namespace hca {
+
+namespace {
+
+/// Innermost active spans of the calling thread, as (tracer, span id)
+/// pairs. A plain vector: span lifetimes are strictly nested by the RAII
+/// discipline, so push/pop at the back is always correct. Storing the
+/// tracer next to the id lets independent tracers interleave on one thread
+/// without corrupting each other's parent chains.
+thread_local std::vector<std::pair<const Tracer*, std::int64_t>> tActiveSpans;
+
+}  // namespace
+
+Tracer::Tracer(bool enabled, std::size_t maxSpans)
+    : enabled_(enabled),
+      maxSpans_(maxSpans),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::size_t Tracer::spanCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::int64_t Tracer::droppedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<Tracer::SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::int64_t Tracer::beginSpan() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextId_++;
+}
+
+int Tracer::tidOf(std::thread::id id) {
+  // Caller holds mutex_.
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void Tracer::endSpan(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.tid = tidOf(std::this_thread::get_id());
+  if (spans_.size() >= maxSpans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(record));
+}
+
+void Tracer::writeChromeJson(std::ostream& os) const {
+  const auto snapshot = spans();
+  JsonWriter json(os);
+  json.beginObject();
+  json.key("traceEvents").beginArray();
+  for (const auto& span : snapshot) {
+    json.beginObject();
+    json.key("name").value(span.name);
+    json.key("cat").value(span.category);
+    json.key("ph").value("X");
+    json.key("ts").value(span.tsUs);
+    json.key("dur").value(span.durUs);
+    json.key("pid").value(1);
+    json.key("tid").value(span.tid);
+    json.key("args").beginObject();
+    json.key("id").value(span.id);
+    json.key("parent").value(span.parentId);
+    for (const auto& [key, value] : span.args) {
+      json.key(key).value(value);
+    }
+    json.endObject();
+    json.endObject();
+  }
+  json.endArray();
+  json.key("displayTimeUnit").value("ms");
+  json.key("otherData").beginObject();
+  json.key("droppedSpans").value(droppedSpans());
+  json.endObject();
+  json.endObject();
+  os << '\n';
+}
+
+Tracer* Tracer::envForced() {
+  static Tracer* const forced = []() -> Tracer* {
+    const char* env = std::getenv("HCA_TRACE_FORCE");
+    if (env == nullptr || env[0] == '\0') return nullptr;
+    // Leaked on purpose: the forced tracer lives for the whole process and
+    // may be referenced from any thread during static destruction.
+    return new Tracer(/*enabled=*/true);
+  }();
+  return forced;
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, const char* category, const char* name) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  record_.name = name;
+  record_.category = category;
+  record_.id = tracer_->beginSpan();
+  if (!tActiveSpans.empty() && tActiveSpans.back().first == tracer_) {
+    record_.parentId = tActiveSpans.back().second;
+  }
+  tActiveSpans.emplace_back(tracer_, record_.id);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  record_.tsUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                     start_ - tracer_->epoch_)
+                     .count();
+  record_.durUs =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  // Strictly nested lifetimes: this span is the innermost on this thread.
+  if (!tActiveSpans.empty() && tActiveSpans.back().second == record_.id &&
+      tActiveSpans.back().first == tracer_) {
+    tActiveSpans.pop_back();
+  }
+  tracer_->endSpan(std::move(record_));
+}
+
+void TraceSpan::arg(const char* key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.args.emplace_back(key, std::move(value));
+}
+
+}  // namespace hca

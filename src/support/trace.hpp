@@ -1,0 +1,134 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+/// Span-based hierarchical tracing for the HCA driver.
+///
+/// The driver decomposes one run into a tree of sub-problems (one SEE
+/// invocation per node), wrapped by portfolio attempts and fallback rungs;
+/// a `Tracer` records one span per such unit and exports the collection in
+/// Chrome `trace_event` JSON (load the file in chrome://tracing or
+/// https://ui.perfetto.dev to see the tree on a timeline).
+///
+/// Design constraints, in priority order:
+///  1. *Near-zero cost when disabled*: a `TraceSpan` against a null or
+///     disabled tracer reads no clock, takes no lock and allocates no
+///     memory — span *names* are compile-time string literals and dynamic
+///     detail goes through `arg()`, which callers guard with `active()`.
+///  2. Thread-safe recording: the parallel portfolio runs attempts
+///     concurrently; spans are stamped with a small per-tracer thread id
+///     and pushed under one mutex (spans end at most once per sub-problem,
+///     so contention is negligible next to the searches they wrap).
+///  3. Bounded memory: at most `maxSpans` spans are kept; further spans
+///     are counted in `droppedSpans()` and reported in the export metadata
+///     rather than silently discarded.
+namespace hca {
+
+class Tracer {
+ public:
+  /// One finished span. `tsUs`/`durUs` are microseconds relative to the
+  /// tracer's construction (steady clock). Nesting is explicit: `parentId`
+  /// is the id of the innermost span active on the same thread when this
+  /// span started (-1 = top level), so consumers need not infer the tree
+  /// from timestamp containment.
+  struct SpanRecord {
+    const char* name = "";
+    const char* category = "";
+    std::int64_t id = -1;
+    std::int64_t parentId = -1;
+    std::int64_t tsUs = 0;
+    std::int64_t durUs = 0;
+    int tid = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  explicit Tracer(bool enabled = true, std::size_t maxSpans = 1u << 20);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Enabled-ness is fixed at construction: spans check a plain bool with
+  /// no synchronization, which is only safe because the flag never changes
+  /// while spans may be in flight.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Spans recorded so far (finished spans only).
+  [[nodiscard]] std::size_t spanCount() const;
+  [[nodiscard]] std::int64_t droppedSpans() const;
+
+  /// Snapshot of all finished spans, in completion order.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  /// Writes the whole trace as Chrome trace_event JSON (object form with a
+  /// `traceEvents` array of complete "X" events).
+  void writeChromeJson(std::ostream& os) const;
+
+  /// Process-wide tracer forced on by the HCA_TRACE_FORCE environment
+  /// variable (any non-empty value); nullptr when the variable is unset.
+  /// Used by tools/run_obs_tier1.sh to drive every instrumentation path in
+  /// the test suite without recompiling or plumbing options.
+  static Tracer* envForced();
+
+ private:
+  friend class TraceSpan;
+
+  /// Registers the start of a span on the calling thread; returns its id.
+  std::int64_t beginSpan();
+  void endSpan(SpanRecord record);
+  [[nodiscard]] int tidOf(std::thread::id id);
+
+  const bool enabled_;
+  const std::size_t maxSpans_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::int64_t dropped_ = 0;
+  std::int64_t nextId_ = 0;
+  std::map<std::thread::id, int> tids_;
+};
+
+/// RAII span. Constructing against a null/disabled tracer is a no-op (no
+/// clock read, no allocation); otherwise the span measures from
+/// construction to destruction and records itself on destruction.
+///
+///   TraceSpan span(tracer, "hca", "solve");
+///   if (span.active()) span.arg("path", strJoin(path, "."));
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+
+  /// `category` and `name` must be string literals (or otherwise outlive
+  /// the tracer): they are stored unowned so a disabled span costs nothing.
+  TraceSpan(Tracer* tracer, const char* category, const char* name);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan();
+
+  /// True when the span will be recorded; guard `arg()` value formatting
+  /// with it to keep the disabled path allocation-free.
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches a key/value argument (no-op when inactive).
+  void arg(const char* key, std::string value);
+
+  /// The span's id (-1 when inactive); children reference it as parentId.
+  [[nodiscard]] std::int64_t id() const { return record_.id; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null = inactive
+  std::chrono::steady_clock::time_point start_{};
+  Tracer::SpanRecord record_;
+};
+
+}  // namespace hca

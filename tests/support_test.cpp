@@ -6,6 +6,7 @@
 #include "support/check.hpp"
 #include "support/dot.hpp"
 #include "support/ids.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -167,6 +168,92 @@ TEST(StatsTest, SumMatches) {
     expected += i;
   }
   EXPECT_DOUBLE_EQ(s.sum(), expected);
+}
+
+TEST(StatsTest, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_TRUE(std::isnan(a.min()));
+  EXPECT_TRUE(std::isnan(a.max()));
+}
+
+TEST(StatsTest, MergeEmptyOperandIsNoOp) {
+  // The empty side's NaN min()/max() must not propagate into the
+  // populated accumulator.
+  RunningStats a, empty;
+  a.add(3.0);
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+  EXPECT_FALSE(std::isnan(a.mean()));
+}
+
+TEST(StatsTest, MergeIntoEmptyAdoptsOperand) {
+  RunningStats a, b;
+  b.add(-2.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.0);
+}
+
+TEST(StatsTest, MergeMatchesSequentialAdd) {
+  // Splitting a sample stream across two accumulators and merging must
+  // reproduce the single-accumulator moments (Chan combine).
+  const std::vector<double> samples{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats whole, left, right;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    whole.add(samples[i]);
+    (i < 3 ? left : right).add(samples[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+}
+
+// --- log -------------------------------------------------------------------
+
+TEST(LogTest, LevelFromString) {
+  EXPECT_EQ(logLevelFromString("debug"), LogLevel::kDebug);
+  EXPECT_EQ(logLevelFromString("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(logLevelFromString("warning"), LogLevel::kWarn);
+  EXPECT_EQ(logLevelFromString("off"), LogLevel::kOff);
+  EXPECT_EQ(logLevelFromString("0"), LogLevel::kTrace);
+  EXPECT_EQ(logLevelFromString("4"), LogLevel::kOff);
+  EXPECT_EQ(logLevelFromString("bogus"), std::nullopt);
+  EXPECT_EQ(logLevelFromString(""), std::nullopt);
+}
+
+TEST(LogTest, FormatLineCarriesTimestampLevelAndThread) {
+  const std::string line = Logger::formatLine(LogLevel::kInfo, "hello");
+  // `[YYYY-MM-DDTHH:MM:SS.mmmZ hca:INFO t<id>] hello`
+  ASSERT_GE(line.size(), 30u);
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[8], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[14], ':');
+  EXPECT_EQ(line[17], ':');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+  EXPECT_NE(line.find(" hca:INFO t"), std::string::npos);
+  EXPECT_EQ(line.substr(line.size() - 7), "] hello");
+}
+
+TEST(LogTest, FormatLineLevels) {
+  EXPECT_NE(Logger::formatLine(LogLevel::kTrace, "x").find("hca:TRACE"),
+            std::string::npos);
+  EXPECT_NE(Logger::formatLine(LogLevel::kWarn, "x").find("hca:WARN"),
+            std::string::npos);
 }
 
 // --- str -------------------------------------------------------------------

@@ -26,6 +26,7 @@
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/postprocess.hpp"
+#include "hca/report.hpp"
 #include "hca/visualize.hpp"
 #include "sched/modulo.hpp"
 #include "sched/regpressure.hpp"
@@ -54,7 +55,12 @@ void usage() {
       "  --simulate ITER      run the fabric simulator (built-in kernels)\n"
       "  --emit-reconfig      print the MUX reconfiguration program\n"
       "  --dot-tree PATH      write the problem tree as GraphViz DOT\n"
-      "  --dot-assignment PATH  write the clusterized DDG as DOT\n");
+      "  --dot-assignment PATH  write the clusterized DDG as DOT\n"
+      "  --trace-out PATH     write the run's span tree as Chrome\n"
+      "                       trace_event JSON (chrome://tracing, perfetto)\n"
+      "  --report-out PATH    write the structured run report as JSON\n"
+      "  --stats              print the metrics registry after the run\n"
+      "  (every VALUE flag also accepts --flag=VALUE)\n");
 }
 
 /// Integer flag parsing that reports bad values as invalid input (exit 2)
@@ -83,10 +89,22 @@ int runTool(int argc, char** argv) {
   int simulateIterations = 0;
   bool emitReconfig = false;
   std::string dotTree, dotAssignment;
+  std::string traceOut, reportOut;
+  bool printStats = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both `--flag value` and `--flag=value` are accepted.
+    bool hasInline = false;
+    std::string inlineValue;
+    if (const std::size_t eq = arg.find('=');
+        eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      hasInline = true;
+      inlineValue = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
     const auto value = [&]() -> std::string {
+      if (hasInline) return inlineValue;
       if (i + 1 >= argc) {
         throw InvalidArgumentError("missing value for " + arg);
       }
@@ -108,6 +126,9 @@ int runTool(int argc, char** argv) {
     else if (arg == "--emit-reconfig") emitReconfig = true;
     else if (arg == "--dot-tree") dotTree = value();
     else if (arg == "--dot-assignment") dotAssignment = value();
+    else if (arg == "--trace-out") traceOut = value();
+    else if (arg == "--report-out") reportOut = value();
+    else if (arg == "--stats") printStats = true;
     else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -169,8 +190,38 @@ int runTool(int argc, char** argv) {
   }
   hcaOptions.deadlineMs = deadlineMs;
   hcaOptions.maxBeamSteps = maxBeamSteps;
+  Tracer tracer(/*enabled=*/!traceOut.empty());
+  if (!traceOut.empty()) hcaOptions.tracer = &tracer;
   const core::HcaDriver driver(model, hcaOptions);
   const auto result = driver.run(ddg);
+
+  // Observability artifacts are written for every *completed* run — legal
+  // or not, the span tree and the metrics explain what the search did.
+  if (!traceOut.empty()) {
+    std::ofstream out(traceOut);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", traceOut.c_str());
+      return 2;
+    }
+    tracer.writeChromeJson(out);
+    std::printf("trace written to %s (%zu spans)\n", traceOut.c_str(),
+                tracer.spanCount());
+  }
+  if (!reportOut.empty()) {
+    std::ofstream out(reportOut);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", reportOut.c_str());
+      return 2;
+    }
+    out << core::runReportJson(result, &model) << "\n";
+    std::printf("report written to %s\n", reportOut.c_str());
+  }
+  if (printStats) {
+    std::ostringstream statsText;
+    core::printRunStats(statsText, result);
+    std::printf("%s", statsText.str().c_str());
+  }
+
   if (!result.legal) {
     if (result.failure != nullptr) {
       std::fprintf(stderr, "hcac: no legal mapping: %s\n",

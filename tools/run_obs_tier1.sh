@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the tier-1 test suite with span tracing forced on.
+#
+# HCA_TRACE_FORCE=1 makes every HcaDriver in the process record spans into
+# a shared tracer (Tracer::envForced), so the whole suite exercises the
+# instrumentation paths — span begin/end on every sub-problem, portfolio
+# threads stamping spans concurrently, arg formatting — that the default
+# (tracing off) build never touches. Results must be identical: tracing
+# observes the search, it never steers it.
+#
+# Builds into a separate tree (build-obs/) so the env-forced runs never
+# share a ctest cache with the regular build.
+#
+# Usage: tools/run_obs_tier1.sh [extra ctest args...]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${root}/build-obs"
+
+cmake -B "${build}" -S "${root}"
+cmake --build "${build}" -j "$(nproc)"
+
+export HCA_TRACE_FORCE=1
+
+cd "${build}"
+ctest --output-on-failure -j "$(nproc)" "$@"
