@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "ddg/builder.hpp"
-#include "hca/coherency.hpp"
+#include "verify/coherency.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 

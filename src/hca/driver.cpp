@@ -12,6 +12,7 @@
 #include "support/log.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace hca::core {
 
@@ -53,6 +54,34 @@ HcaResult failureResult(FailureCause cause, std::string message,
   report->escalationsTried = std::move(escalations);
   result.failure = std::move(report);
   return result;
+}
+
+/// --verify-each hook. `record` non-null runs the per-record (between
+/// stages) checks on a just-mapped sub-problem; null runs the whole-result
+/// checks on a legal attempt. A diagnostic means the driver corrupted its
+/// own state somewhere upstream of this stage — a bug, so it throws
+/// InternalError (which kDegrade folds into a kInternalError report).
+void runVerifyEach(const ddg::Ddg& ddg, const machine::DspFabricModel& model,
+                   const HcaOptions& options, const HcaResult& result,
+                   const ProblemRecord* record) {
+  verify::VerifyInput input;
+  input.ddg = &ddg;
+  input.model = &model;
+  input.result = &result;
+  input.record = record;
+  const auto& registry = verify::CheckRegistry::builtin();
+  const std::vector<verify::Diagnostic> diagnostics =
+      record != nullptr ? registry.runRecord(input, options.verifyChecks)
+                        : registry.run(input, options.verifyChecks);
+  if (diagnostics.empty()) return;
+  throw InternalError(
+      strCat("verify-each found ", diagnostics.size(),
+             " invariant violation(s) ",
+             record != nullptr
+                 ? strCat("after mapping sub-problem [",
+                          strJoin(record->path, "."), "]")
+                 : std::string("on the legal result"),
+             ":\n", verify::formatDiagnostics(diagnostics)));
 }
 
 /// Per-level metric name: `base + ".L" + level` (DESIGN.md section 4e).
@@ -163,6 +192,10 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
       result.stats.maxWirePressure =
           std::max(result.stats.maxWirePressure,
                    record->mapResult.maxValuesPerWire);
+    }
+    if (options_.verifyEach) {
+      TraceSpan verifySpan(tracer_, "hca", "verify-result");
+      runVerifyEach(ddg, model_, options_, result, nullptr);
     }
   }
   return result;
@@ -564,6 +597,11 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
       result.stats.problemsSolved += flat.hierarchy.problemsChecked;
       result.stats.maxWirePressure = flat.hierarchy.maxWirePressure;
       result.stats.achievedTargetIi = 0;  // no target II was honored
+      // The flat rung bypasses runAttempt, so it verifies here; its
+      // materialized records satisfy the same invariants as the driver's.
+      if (options_.verifyEach) {
+        runVerifyEach(ddg, model_, options_, result, nullptr);
+      }
       harvestCache(result);
       return result;
     }
@@ -833,6 +871,14 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
         result.stats.maxWirePressure, attempt->mapResult.maxValuesPerWire);
     for (const auto& setting : attempt->mapResult.reconfig.settings) {
       result.reconfig.settings.push_back(setting);
+    }
+
+    // Between-stages verification: the record now carries its SEE solution
+    // and mapper output, so any per-record invariant it breaks was broken
+    // by *this* stage — fail loudly here instead of at the end of the run.
+    if (options_.verifyEach) {
+      TraceSpan verifySpan(ctx.tracer, "hca", "verify-record");
+      runVerifyEach(ddg, model_, options_, result, attempt.get());
     }
 
     if (leaf) {

@@ -127,6 +127,16 @@ struct HcaOptions {
   /// nullptr = tracing off — unless HCA_TRACE_FORCE is set in the
   /// environment, in which case the process-wide forced tracer is used.
   Tracer* tracer = nullptr;
+  /// Run the registered invariant checks (verify/verify.hpp) between
+  /// pipeline stages: the per-record checks after every successful mapper
+  /// pass, the whole-result checks after every legal attempt. A violation
+  /// is a driver bug and throws InternalError (which kDegrade folds into a
+  /// kInternalError failure report). The flag propagates into the fallback
+  /// rungs, so degraded-bandwidth and flat-ICA results are verified too.
+  bool verifyEach = false;
+  /// Restricts verifyEach to these check ids (empty = every registered
+  /// check). Unknown ids throw InvalidArgumentError at the first use.
+  std::vector<std::string> verifyChecks;
 };
 
 struct RelayPlacement {

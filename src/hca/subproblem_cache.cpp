@@ -124,7 +124,7 @@ SubproblemCache::Shard& SubproblemCache::shardOf(const std::string& key) const {
 std::shared_ptr<const see::SeeResult> SubproblemCache::lookup(
     const std::string& key) const {
   Shard& shard = shardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -138,7 +138,7 @@ std::shared_ptr<const see::SeeResult> SubproblemCache::insert(
     const std::string& key, see::SeeResult result) {
   auto entry = std::make_shared<const see::SeeResult>(std::move(result));
   Shard& shard = shardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (maxEntriesPerShard_ > 0 &&
       static_cast<int>(shard.map.size()) >= maxEntriesPerShard_ &&
       shard.map.find(key) == shard.map.end()) {
@@ -161,7 +161,7 @@ std::shared_ptr<const see::SeeResult> SubproblemCache::insert(
 std::int64_t SubproblemCache::entries() const {
   std::int64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += static_cast<std::int64_t>(shard.map.size());
   }
   return total;
@@ -171,7 +171,7 @@ std::vector<SubproblemCache::ShardStats> SubproblemCache::shardStats() const {
   std::vector<ShardStats> out;
   out.reserve(shards_.size());
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     ShardStats s;
     s.hits = shard.hits;
     s.misses = shard.misses;

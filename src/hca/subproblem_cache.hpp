@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,8 @@
 #include "machine/pattern_graph.hpp"
 #include "mapper/mapper.hpp"
 #include "see/engine.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 /// Memoization of single-level SEE sub-problems (one HcaDriver::run).
 ///
@@ -84,13 +85,14 @@ class SubproblemCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, std::shared_ptr<const see::SeeResult>> map;
+    mutable Mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const see::SeeResult>> map
+        HCA_GUARDED_BY(mutex);
     /// Keys in insertion order, for bounded-mode eviction.
-    std::vector<std::string> insertionOrder;
-    std::int64_t hits = 0;
-    std::int64_t misses = 0;
-    std::int64_t evictions = 0;
+    std::vector<std::string> insertionOrder HCA_GUARDED_BY(mutex);
+    std::int64_t hits HCA_GUARDED_BY(mutex) = 0;
+    std::int64_t misses HCA_GUARDED_BY(mutex) = 0;
+    std::int64_t evictions HCA_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shardOf(const std::string& key) const;

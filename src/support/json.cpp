@@ -119,9 +119,11 @@ JsonWriter& JsonWriter::null() {
 
 const JsonValue* JsonValue::find(const std::string& name) const {
   if (kind != Kind::kObject) return nullptr;
+  // The parser rejects duplicate keys, so at most one member can match;
+  // hand-built objects with duplicates resolve to the last occurrence.
   const JsonValue* found = nullptr;
   for (const auto& [key, value] : object) {
-    if (key == name) found = &value;  // duplicates: last wins
+    if (key == name) found = &value;
   }
   return found;
 }
@@ -205,6 +207,9 @@ class Parser {
       }
       std::string key;
       if (!parseString(&key)) return false;
+      for (const auto& [existing, unused] : out->object) {
+        if (existing == key) return fail("duplicate object key \"" + key + "\"");
+      }
       skipWs();
       if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
       ++pos_;

@@ -61,7 +61,7 @@ struct JsonValue {
   double number = 0.0;
   std::string string;
   std::vector<JsonValue> array;
-  /// Insertion-ordered members (duplicate keys keep the last).
+  /// Insertion-ordered members (the parser rejects duplicate keys).
   std::vector<std::pair<std::string, JsonValue>> object;
 
   [[nodiscard]] bool isObject() const { return kind == Kind::kObject; }
@@ -71,7 +71,8 @@ struct JsonValue {
 };
 
 /// Parses `text` as one JSON document. Returns false (and sets `*error`
-/// when non-null) on any syntax violation, including trailing garbage.
+/// when non-null) on any syntax violation, including trailing garbage and
+/// objects with duplicate keys.
 bool parseJson(const std::string& text, JsonValue* out,
                std::string* error = nullptr);
 

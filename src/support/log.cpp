@@ -72,7 +72,7 @@ std::string Logger::formatLine(LogLevel level, const std::string& message) {
 
 void Logger::write(LogLevel level, const std::string& message) {
   const std::string line = formatLine(level, message);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::cerr << line << '\n';
 }
 

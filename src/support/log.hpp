@@ -1,9 +1,11 @@
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 /// Minimal leveled logger.
 ///
@@ -38,12 +40,14 @@ class Logger {
   [[nodiscard]] static std::string formatLine(LogLevel level,
                                               const std::string& message);
 
-  void write(LogLevel level, const std::string& message);
+  void write(LogLevel level, const std::string& message) HCA_EXCLUDES(mutex_);
 
  private:
   Logger();
   LogLevel level_ = LogLevel::kWarn;
-  std::mutex mutex_;
+  /// Serializes the stderr stream itself (no data member is guarded; the
+  /// level is set once at startup and read racily by design).
+  Mutex mutex_;
 };
 
 namespace detail {

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+/// Annotated mutex wrappers for clang's `-Wthread-safety` analysis.
+///
+/// The analysis only reasons about capability-annotated types; `std::mutex`
+/// and `std::lock_guard` are opaque to it. These zero-overhead wrappers
+/// give every lock-protected structure in the support layer a capability
+/// the compiler can track, so a forgotten lock around a HCA_GUARDED_BY
+/// member is a *compile-time* error instead of a ThreadSanitizer finding.
+///
+/// Condition variables: use `std::condition_variable_any` with a
+/// `MutexLock` (it satisfies BasicLockable). Prefer explicit predicate
+/// loops over the predicate-lambda overloads — the analysis cannot see
+/// that a lambda body runs under the caller's lock, so guarded members
+/// read inside a predicate lambda would need an escape hatch:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);   // ready_ is HCA_GUARDED_BY(mutex_)
+namespace hca {
+
+class HCA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HCA_ACQUIRE() { mutex_.lock(); }
+  void unlock() HCA_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() HCA_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock over a `Mutex` (the annotated `std::lock_guard`). Also a
+/// BasicLockable so `std::condition_variable_any::wait` can release and
+/// re-acquire it; the analysis treats the capability as held across the
+/// wait, which is exactly the caller-visible contract.
+class HCA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HCA_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() HCA_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// BasicLockable surface for condition_variable_any. Only the wait
+  /// implementation calls these; user code relies on the RAII contract.
+  void lock() HCA_ACQUIRE() { mutex_.lock(); }
+  void unlock() HCA_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace hca

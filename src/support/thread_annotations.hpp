@@ -1,0 +1,74 @@
+#pragma once
+
+/// Clang thread-safety-analysis attribute macros (HCA_ prefixed, following
+/// the pattern of LLVM's Support/Compiler.h and Abseil's
+/// base/thread_annotations.h — see
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+///
+/// Annotating the lock-protected structures of the concurrency support
+/// layer turns `-Wthread-safety` into a *compile-time* race detector: the
+/// analysis proves at every access site that the declared capability is
+/// held, complementing the dynamic coverage of the ThreadSanitizer suite
+/// (`ctest -L tsan`), which only probes executed interleavings.
+///
+/// The macros expand to nothing on compilers without the attributes (GCC),
+/// so annotated code stays portable. The analysis only understands
+/// annotated capability types — use `hca::Mutex` / `hca::MutexLock`
+/// (support/mutex.hpp) instead of raw `std::mutex` / `std::lock_guard` for
+/// any member that carries a HCA_GUARDED_BY.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HCA_HAS_THREAD_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define HCA_HAS_THREAD_ATTRIBUTE(x) 0
+#endif
+
+#if HCA_HAS_THREAD_ATTRIBUTE(guarded_by)
+#define HCA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HCA_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a capability (a lock). Example:
+///   class HCA_CAPABILITY("mutex") Mutex { ... };
+#define HCA_CAPABILITY(x) HCA_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define HCA_SCOPED_CAPABILITY HCA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define HCA_GUARDED_BY(x) HCA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// is not).
+#define HCA_PT_GUARDED_BY(x) HCA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed capabilities.
+#define HCA_REQUIRES(...) \
+  HCA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on return.
+#define HCA_ACQUIRE(...) \
+  HCA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (which must be held on
+/// entry).
+#define HCA_RELEASE(...) \
+  HCA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `result`.
+#define HCA_TRY_ACQUIRE(result, ...) \
+  HCA_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed capabilities
+/// (deadlock prevention for non-reentrant locks).
+#define HCA_EXCLUDES(...) HCA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability protecting its result.
+#define HCA_RETURN_CAPABILITY(x) HCA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the access is safe.
+#define HCA_NO_THREAD_SAFETY_ANALYSIS \
+  HCA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int numThreads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   workCv_.notify_all();
@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     HCA_CHECK(!stop_, "submit on a stopped thread pool");
     queue_.push_back(QueuedTask{std::move(task),
                                std::chrono::steady_clock::now()});
@@ -36,12 +36,14 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idleCv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit predicate loop: the thread-safety analysis cannot see that a
+  // predicate lambda runs under this lock (see support/mutex.hpp).
+  while (!(queue_.empty() && active_ == 0)) idleCv_.wait(lock);
 }
 
 ThreadPool::PoolStats ThreadPool::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -62,8 +64,8 @@ void ThreadPool::workerLoop() {
     QueuedTask task;
     std::chrono::steady_clock::time_point started;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!(stop_ || !queue_.empty())) workCv_.wait(lock);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -73,7 +75,7 @@ void ThreadPool::workerLoop() {
     task.fn();
     {
       const auto finished = std::chrono::steady_clock::now();
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.tasksExecuted;
       stats_.taskWaitUs.add(microsSince(task.enqueued, started));
       stats_.taskRunUs.add(microsSince(started, finished));

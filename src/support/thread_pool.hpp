@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "support/metrics.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 /// Minimal fixed-size thread pool and cooperative cancellation primitive.
 ///
@@ -18,6 +19,8 @@
 /// profile) attempt is an independent task, so a plain FIFO pool — no work
 /// stealing, no futures — is all the machinery the outer loop needs. Tasks
 /// must not throw (the driver captures exceptions into per-attempt slots).
+/// All queue state is guarded by one annotated `Mutex`, so a clang
+/// `-Wthread-safety` build proves lock discipline at compile time.
 namespace hca {
 
 /// A cooperative soft-cancellation flag.
@@ -90,16 +93,16 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw; wrap bodies in try/catch and
   /// stash the exception if the caller needs it.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) HCA_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and every worker is idle. The pool is
   /// reusable after wait() returns.
-  void wait();
+  void wait() HCA_EXCLUDES(mutex_);
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
   /// Snapshot of the execution statistics (completed tasks only).
-  [[nodiscard]] PoolStats stats() const;
+  [[nodiscard]] PoolStats stats() const HCA_EXCLUDES(mutex_);
 
   /// Maps the user-facing `numThreads` knob to a concrete worker count:
   /// 0 = std::thread::hardware_concurrency (at least 1), otherwise the
@@ -112,16 +115,17 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void workerLoop();
+  void workerLoop() HCA_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<QueuedTask> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable workCv_;  // queue non-empty or shutting down
-  std::condition_variable idleCv_;  // queue empty and no task in flight
-  int active_ = 0;
-  bool stop_ = false;
-  PoolStats stats_;
+  mutable Mutex mutex_;
+  std::deque<QueuedTask> queue_ HCA_GUARDED_BY(mutex_);
+  /// condition_variable_any: waits on the annotated MutexLock directly.
+  std::condition_variable_any workCv_;  // queue non-empty or shutting down
+  std::condition_variable_any idleCv_;  // queue empty and no task in flight
+  int active_ HCA_GUARDED_BY(mutex_) = 0;
+  bool stop_ HCA_GUARDED_BY(mutex_) = false;
+  PoolStats stats_ HCA_GUARDED_BY(mutex_);
 };
 
 }  // namespace hca

@@ -23,22 +23,22 @@ Tracer::Tracer(bool enabled, std::size_t maxSpans)
       epoch_(std::chrono::steady_clock::now()) {}
 
 std::size_t Tracer::spanCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_.size();
 }
 
 std::int64_t Tracer::droppedSpans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 std::vector<Tracer::SpanRecord> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_;
 }
 
 std::int64_t Tracer::beginSpan() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return nextId_++;
 }
 
@@ -52,7 +52,7 @@ int Tracer::tidOf(std::thread::id id) {
 }
 
 void Tracer::endSpan(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   record.tid = tidOf(std::this_thread::get_id());
   if (spans_.size() >= maxSpans_) {
     ++dropped_;

@@ -3,12 +3,14 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 /// Span-based hierarchical tracing for the HCA driver.
 ///
@@ -61,11 +63,11 @@ class Tracer {
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   /// Spans recorded so far (finished spans only).
-  [[nodiscard]] std::size_t spanCount() const;
-  [[nodiscard]] std::int64_t droppedSpans() const;
+  [[nodiscard]] std::size_t spanCount() const HCA_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t droppedSpans() const HCA_EXCLUDES(mutex_);
 
   /// Snapshot of all finished spans, in completion order.
-  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const HCA_EXCLUDES(mutex_);
 
   /// Writes the whole trace as Chrome trace_event JSON (object form with a
   /// `traceEvents` array of complete "X" events).
@@ -81,19 +83,19 @@ class Tracer {
   friend class TraceSpan;
 
   /// Registers the start of a span on the calling thread; returns its id.
-  std::int64_t beginSpan();
-  void endSpan(SpanRecord record);
-  [[nodiscard]] int tidOf(std::thread::id id);
+  std::int64_t beginSpan() HCA_EXCLUDES(mutex_);
+  void endSpan(SpanRecord record) HCA_EXCLUDES(mutex_);
+  [[nodiscard]] int tidOf(std::thread::id id) HCA_REQUIRES(mutex_);
 
   const bool enabled_;
   const std::size_t maxSpans_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
-  std::int64_t dropped_ = 0;
-  std::int64_t nextId_ = 0;
-  std::map<std::thread::id, int> tids_;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> spans_ HCA_GUARDED_BY(mutex_);
+  std::int64_t dropped_ HCA_GUARDED_BY(mutex_) = 0;
+  std::int64_t nextId_ HCA_GUARDED_BY(mutex_) = 0;
+  std::map<std::thread::id, int> tids_ HCA_GUARDED_BY(mutex_);
 };
 
 /// RAII span. Constructing against a null/disabled tracer is a no-op (no

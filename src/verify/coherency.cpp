@@ -1,9 +1,10 @@
-#include "hca/coherency.hpp"
+#include "verify/coherency.hpp"
 
 #include <algorithm>
 #include <deque>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "support/check.hpp"
 #include "support/str.hpp"
@@ -114,8 +115,9 @@ std::vector<CoherencyViolation> checkCoherency(
         violations.push_back(CoherencyViolation{
             record->path, v,
             strCat("value ", to_string(v), " is consumed in sub-problem [",
-                   strJoin(record->path, "."),
-                   "] but has no source there")});
+                   strJoin(record->path, "."), "] (",
+                   model.levelName(record->level),
+                   ") but has no source there")});
         continue;
       }
 
@@ -142,10 +144,20 @@ std::vector<CoherencyViolation> checkCoherency(
                    pg.node(ClusterId(sink)).name.empty()
                        ? std::to_string(sink)
                        : pg.node(ClusterId(sink)).name,
-                   " in sub-problem [", strJoin(record->path, "."), "]")});
+                   " in sub-problem [", strJoin(record->path, "."), "] (",
+                   model.levelName(record->level), ")")});
       }
     }
   }
+  // Deterministic output regardless of record traversal order: by
+  // sub-problem path, then value id (stable, so multiple messages about one
+  // (path, value) keep their discovery order).
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const CoherencyViolation& a,
+                      const CoherencyViolation& b) {
+                     return std::tie(a.path, a.value) <
+                            std::tie(b.path, b.value);
+                   });
   return violations;
 }
 

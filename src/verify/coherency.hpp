@@ -19,6 +19,11 @@
 /// it) must be reachable from the value's source (the producer's child or
 /// the incoming boundary wire carrying it) through arcs on which the value
 /// actually flows.
+///
+/// Violations come back deterministically ordered — by sub-problem path,
+/// then value id — so diffs between two runs (or two fault sets) are
+/// meaningful line-by-line. The verifier framework (verify/verify.hpp)
+/// registers this function as its final `coherency` check.
 namespace hca::core {
 
 struct CoherencyViolation {

@@ -1,0 +1,149 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace hca::verify {
+
+std::string Diagnostic::toString() const {
+  std::string out = strCat("[", checkId, "] ");
+  out += subproblemPath.empty() ? "result"
+                                : strCat("[", strJoin(subproblemPath, "."), "]");
+  if (!entities.empty()) {
+    out += " {";
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(entities[i]);
+    }
+    out += "}";
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+const char* to_string(CheckStage stage) {
+  switch (stage) {
+    case CheckStage::kInput:
+      return "input";
+    case CheckStage::kSolve:
+      return "solve";
+    case CheckStage::kMap:
+      return "map";
+    case CheckStage::kResult:
+      return "result";
+    case CheckStage::kPostProcess:
+      return "post-process";
+  }
+  HCA_UNREACHABLE("bad CheckStage");
+}
+
+void CheckRegistry::add(Check check) {
+  HCA_REQUIRE(!check.id.empty(), "check id must not be empty");
+  HCA_REQUIRE(check.run != nullptr, "check '" << check.id << "' has no body");
+  HCA_REQUIRE(find(check.id) == nullptr,
+              "duplicate check id '" << check.id << "'");
+  checks_.push_back(std::move(check));
+}
+
+const Check* CheckRegistry::find(const std::string& id) const {
+  for (const Check& check : checks_) {
+    if (check.id == id) return &check;
+  }
+  return nullptr;
+}
+
+std::vector<const Check*> CheckRegistry::select(
+    const std::vector<std::string>& ids) const {
+  std::vector<const Check*> selected;
+  if (ids.empty()) {
+    selected.reserve(checks_.size());
+    for (const Check& check : checks_) selected.push_back(&check);
+    return selected;
+  }
+  // Selection runs in registration (= pipeline) order regardless of the
+  // order the user listed the ids in.
+  for (const Check& check : checks_) {
+    if (std::find(ids.begin(), ids.end(), check.id) != ids.end()) {
+      selected.push_back(&check);
+    }
+  }
+  for (const std::string& id : ids) {
+    HCA_REQUIRE(find(id) != nullptr, "unknown verifier check '" << id << "'");
+  }
+  return selected;
+}
+
+namespace {
+
+void runChecks(const std::vector<const Check*>& selected,
+               const VerifyInput& input, bool recordScope,
+               std::vector<Diagnostic>& out) {
+  HCA_REQUIRE(input.ddg != nullptr && input.model != nullptr &&
+                  input.result != nullptr,
+              "VerifyInput needs a DDG, a machine model and a result");
+  for (const Check* check : selected) {
+    if (recordScope && !check->perRecord) continue;
+    const std::size_t before = out.size();
+    check->run(input, out);
+    // Stamp the new diagnostics so check bodies never repeat their own id.
+    for (std::size_t i = before; i < out.size(); ++i) {
+      out[i].checkId = check->id;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckRegistry::run(
+    const VerifyInput& input, const std::vector<std::string>& ids) const {
+  VerifyInput whole = input;
+  whole.record = nullptr;
+  std::vector<Diagnostic> out;
+  runChecks(select(ids), whole, /*recordScope=*/false, out);
+  return out;
+}
+
+std::vector<Diagnostic> CheckRegistry::runRecord(
+    const VerifyInput& input, const std::vector<std::string>& ids) const {
+  HCA_REQUIRE(input.record != nullptr,
+              "runRecord needs VerifyInput::record set");
+  std::vector<Diagnostic> out;
+  runChecks(select(ids), input, /*recordScope=*/true, out);
+  return out;
+}
+
+std::vector<std::string> parseCheckList(const std::string& text) {
+  std::vector<std::string> ids;
+  std::string current;
+  const auto flush = [&] {
+    HCA_REQUIRE(!current.empty(), "empty check name in check list '"
+                                      << text << "'");
+    HCA_REQUIRE(CheckRegistry::builtin().find(current) != nullptr,
+                "unknown verifier check '" << current << "'");
+    ids.push_back(std::move(current));
+    current.clear();
+  };
+  for (const char c : text) {
+    if (c == ',') {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return ids;
+}
+
+std::string formatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!out.empty()) out += '\n';
+    out += d.toString();
+  }
+  return out;
+}
+
+}  // namespace hca::verify

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hca/driver.hpp"
+#include "hca/postprocess.hpp"
+
+/// Pipeline invariant verifier (the HCA analogue of LLVM's `-verify-each`).
+///
+/// The end-of-pipeline coherency checker (Section 4.1) can tell you *that*
+/// a clusterization is broken but not *which stage* broke it. This module
+/// is a registry of named, independently runnable invariant checks with
+/// structured diagnostics; with `HcaOptions::verifyEach` (or
+/// `hcac --verify-each`) set, the driver runs the per-record checks between
+/// every pipeline stage (SEE solve -> mapper -> recursion) and the
+/// whole-result checks after every legal attempt, so a corrupted
+/// intermediate state is caught at the stage that produced it — the
+/// per-constraint verifiability ILP/SAT mappers get from their solvers,
+/// recovered for the heuristic pipeline.
+///
+/// Built-in checks, in pipeline order:
+///   ddg-well-formed   input DDG validates (post build/serialize)
+///   see-solution      SEE assignment legality per sub-problem record
+///   ili-conservation  mapper copy-flow conservation and wire budgets
+///   topology          MUX reconfiguration legality (per record and global)
+///   fault-survivors   nothing placed on or routed through dead resources
+///   recv-placement    post-process recv legality (needs a FinalMapping)
+///   coherency         the Section 4.1 checker, registered as the final
+///                     check rather than a special case
+namespace hca::verify {
+
+/// One invariant violation: which check, where in the problem tree, which
+/// entities (value/node/CN/wire ids — check-specific), and a human message.
+struct Diagnostic {
+  std::string checkId;
+  /// Sub-problem path of the violation ([] = whole-result scope).
+  std::vector<int> subproblemPath;
+  /// Offending entity ids, check-specific (e.g. the value and child index
+  /// of a dropped ILI copy). May be empty.
+  std::vector<std::int64_t> entities;
+  std::string message;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Everything a check may inspect. `ddg`, `model` and `result` are always
+/// required; `record` non-null restricts per-record checks to that record
+/// (the between-stages mode); `mapping` is only consumed by the
+/// post-process checks and may be null elsewhere.
+struct VerifyInput {
+  const ddg::Ddg* ddg = nullptr;
+  const machine::DspFabricModel* model = nullptr;
+  const core::HcaResult* result = nullptr;
+  const core::ProblemRecord* record = nullptr;
+  const core::FinalMapping* mapping = nullptr;
+};
+
+/// Pipeline stage a check belongs to (ordering and reporting only).
+enum class CheckStage { kInput, kSolve, kMap, kResult, kPostProcess };
+
+[[nodiscard]] const char* to_string(CheckStage stage);
+
+struct Check {
+  std::string id;
+  std::string description;
+  CheckStage stage = CheckStage::kResult;
+  /// True: the check can run against a single ProblemRecord between
+  /// pipeline stages (input.record non-null). Whole-result runs iterate
+  /// every record and add the cross-record invariants.
+  bool perRecord = false;
+  std::function<void(const VerifyInput&, std::vector<Diagnostic>&)> run;
+};
+
+/// Ordered collection of named checks. The built-in registry is immutable
+/// and process-wide; tests can build private registries with `add()`.
+class CheckRegistry {
+ public:
+  /// The built-in pipeline checks, in stage order (coherency last).
+  static const CheckRegistry& builtin();
+
+  CheckRegistry() = default;
+
+  /// Registers a check. Ids must be unique within the registry.
+  void add(Check check);
+
+  [[nodiscard]] const std::vector<Check>& checks() const { return checks_; }
+  /// nullptr when no check has this id.
+  [[nodiscard]] const Check* find(const std::string& id) const;
+
+  /// Runs the selected checks in whole-result scope (`ids` empty = all).
+  /// Diagnostics come back in registration order, stamped with their check
+  /// id. Throws InvalidArgumentError on an unknown id.
+  [[nodiscard]] std::vector<Diagnostic> run(
+      const VerifyInput& input,
+      const std::vector<std::string>& ids = {}) const;
+
+  /// Runs the selected *per-record* checks against `input.record` (must be
+  /// non-null). Checks without per-record support are skipped.
+  [[nodiscard]] std::vector<Diagnostic> runRecord(
+      const VerifyInput& input,
+      const std::vector<std::string>& ids = {}) const;
+
+ private:
+  [[nodiscard]] std::vector<const Check*> select(
+      const std::vector<std::string>& ids) const;
+
+  std::vector<Check> checks_;
+};
+
+/// Parses a comma-separated check list (`--verify=see-solution,coherency`).
+/// Throws InvalidArgumentError on an unknown or empty name.
+[[nodiscard]] std::vector<std::string> parseCheckList(const std::string& text);
+
+/// One line per diagnostic, `toString()` format.
+[[nodiscard]] std::string formatDiagnostics(
+    const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace hca::verify

@@ -4,7 +4,7 @@
 #include <set>
 
 #include "ddg/kernels.hpp"
-#include "hca/coherency.hpp"
+#include "verify/coherency.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "machine/fault.hpp"

@@ -2,7 +2,7 @@
 
 #include "ddg/builder.hpp"
 #include "ddg/kernels.hpp"
-#include "hca/coherency.hpp"
+#include "verify/coherency.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/postprocess.hpp"

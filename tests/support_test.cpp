@@ -6,6 +6,7 @@
 #include "support/check.hpp"
 #include "support/dot.hpp"
 #include "support/ids.hpp"
+#include "support/json.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -292,6 +293,21 @@ TEST(DotTest, EmitsWellFormedGraph) {
   EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
   EXPECT_EQ(out.back(), '\n');
   EXPECT_NE(out.find("}"), std::string::npos);
+}
+
+// --- json ------------------------------------------------------------------
+
+TEST(JsonTest, RejectsDuplicateObjectKeys) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(parseJson(R"({"a": 1, "b": 2, "a": 3})", &doc, &error));
+  EXPECT_NE(error.find("duplicate object key \"a\""), std::string::npos);
+
+  // Nested objects are checked too, but keys in distinct objects may repeat.
+  EXPECT_FALSE(parseJson(R"({"o": {"x": 1, "x": 2}})", &doc, &error));
+  EXPECT_NE(error.find("duplicate object key \"x\""), std::string::npos);
+  EXPECT_TRUE(parseJson(R"({"o": {"x": 1}, "p": {"x": 2}})", &doc, &error))
+      << error;
 }
 
 }  // namespace

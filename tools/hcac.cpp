@@ -13,6 +13,7 @@
 // Exit codes: 0 success, 1 schedule/simulation failure, 2 invalid input,
 // 3 internal error, 4 no legal mapping.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,7 +23,7 @@
 #include "ddg/kernels.hpp"
 #include "ddg/serialize.hpp"
 #include "machine/fault.hpp"
-#include "hca/coherency.hpp"
+#include "verify/coherency.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/postprocess.hpp"
@@ -33,6 +34,8 @@
 #include "sim/dma.hpp"
 #include "sim/simulator.hpp"
 #include "support/check.hpp"
+#include "support/str.hpp"
+#include "verify/verify.hpp"
 
 using namespace hca;
 
@@ -51,6 +54,11 @@ void usage() {
       "                       throws and walks the fallback ladder\n"
       "  --deadline-ms INT    wall-clock budget for the whole run (0 = off)\n"
       "  --max-beam-steps INT per-attempt SEE expansion budget (0 = off)\n"
+      "  --verify-each        run every registered invariant check between\n"
+      "                       pipeline stages and on the final result\n"
+      "  --verify LIST        like --verify-each, restricted to a comma-\n"
+      "                       separated check list (e.g.\n"
+      "                       --verify=see-solution,ili-conservation)\n"
       "  --schedule           run the modulo scheduler after HCA\n"
       "  --simulate ITER      run the fabric simulator (built-in kernels)\n"
       "  --emit-reconfig      print the MUX reconfiguration program\n"
@@ -91,6 +99,8 @@ int runTool(int argc, char** argv) {
   std::string dotTree, dotAssignment;
   std::string traceOut, reportOut;
   bool printStats = false;
+  bool verifyEach = false;
+  std::vector<std::string> verifyChecks;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -120,6 +130,11 @@ int runTool(int argc, char** argv) {
     else if (arg == "--deadline-ms") deadlineMs = parseIntFlag(arg, value());
     else if (arg == "--max-beam-steps")
       maxBeamSteps = parseIntFlag(arg, value());
+    else if (arg == "--verify-each") verifyEach = true;
+    else if (arg == "--verify") {
+      verifyEach = true;
+      verifyChecks = verify::parseCheckList(value());  // bad name -> exit 2
+    }
     else if (arg == "--schedule") schedule = true;
     else if (arg == "--simulate")
       simulateIterations = parseIntFlag(arg, value());
@@ -190,6 +205,8 @@ int runTool(int argc, char** argv) {
   }
   hcaOptions.deadlineMs = deadlineMs;
   hcaOptions.maxBeamSteps = maxBeamSteps;
+  hcaOptions.verifyEach = verifyEach;
+  hcaOptions.verifyChecks = verifyChecks;
   Tracer tracer(/*enabled=*/!traceOut.empty());
   if (!traceOut.empty()) hcaOptions.tracer = &tracer;
   const core::HcaDriver driver(model, hcaOptions);
@@ -245,6 +262,40 @@ int runTool(int argc, char** argv) {
   std::printf("legal clusterization — %s\n", mii.toString().c_str());
   const auto violations = core::checkCoherency(ddg, model, result);
   std::printf("coherency: %s\n", violations.empty() ? "clean" : "BROKEN");
+
+  // With verification on, the driver already ran the checks between its
+  // stages; this pass re-runs them per check id for a readable scoreboard,
+  // now including the post-process checks against a built FinalMapping.
+  if (verifyEach) {
+    const auto verifyMapping = core::buildFinalMapping(ddg, model, result);
+    verify::VerifyInput verifyInput;
+    verifyInput.ddg = &ddg;
+    verifyInput.model = &model;
+    verifyInput.result = &result;
+    verifyInput.mapping = &verifyMapping;
+    const auto& registry = verify::CheckRegistry::builtin();
+    bool broken = false;
+    for (const verify::Check& check : registry.checks()) {
+      if (!verifyChecks.empty() &&
+          std::find(verifyChecks.begin(), verifyChecks.end(), check.id) ==
+              verifyChecks.end()) {
+        continue;
+      }
+      const auto diagnostics = registry.run(verifyInput, {check.id});
+      std::printf("verify %-16s %s\n", check.id.c_str(),
+                  diagnostics.empty()
+                      ? "clean"
+                      : strCat(diagnostics.size(), " violation(s)").c_str());
+      for (const auto& diagnostic : diagnostics) {
+        std::fprintf(stderr, "  %s\n", diagnostic.toString().c_str());
+      }
+      broken = broken || !diagnostics.empty();
+    }
+    if (broken) {
+      std::fprintf(stderr, "hcac: invariant verification failed\n");
+      return 3;
+    }
+  }
 
   if (emitReconfig) {
     std::printf("\nreconfiguration program (%zu settings):\n%s",
