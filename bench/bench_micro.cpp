@@ -1,8 +1,17 @@
 // E6: google-benchmark micro-benchmarks of the tool-chain components:
 // recurrence-MII computation, the reference interpreter, one SEE run, the
-// Mapper, the full HCA pipeline, and the modulo scheduler.
+// Mapper, the full HCA pipeline, the modulo scheduler, plus the PR's
+// copy-vs-delta beam expansion and arena-vs-heap allocation comparisons.
+//
+// Emits BENCH_micro.json (google-benchmark JSON) unless the caller passes
+// an explicit --benchmark_out flag.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "ddg/interp.hpp"
 #include "ddg/kernels.hpp"
@@ -13,6 +22,7 @@
 #include "mapper/mapper.hpp"
 #include "sched/modulo.hpp"
 #include "see/engine.hpp"
+#include "support/arena.hpp"
 
 namespace {
 
@@ -23,6 +33,32 @@ machine::DspFabricModel paperFabric() {
   config.n = config.m = config.k = 8;
   return machine::DspFabricModel(config);
 }
+
+/// Owns the kernel + pattern graph that a SeeProblem points into, so the
+/// single-level SEE benchmarks can share one setup.
+struct SeeFixture {
+  ddg::Kernel kernel = ddg::buildFir2Dim();
+  machine::RcpConfig config;
+  machine::PatternGraph pg;
+  see::SeeProblem problem;
+
+  SeeFixture() {
+    config.clusters = 8;
+    config.inputPorts = 4;
+    config.memClusterStride = 1;
+    pg = machine::rcpPatternGraph(config);
+    problem.ddg = &kernel.ddg;
+    for (std::int32_t v = 0; v < kernel.ddg.numNodes(); ++v) {
+      if (ddg::isInstruction(kernel.ddg.node(DdgNodeId(v)).op)) {
+        problem.workingSet.emplace_back(v);
+      }
+    }
+    problem.pg = &pg;
+    problem.constraints = machine::rcpConstraints(config);
+    problem.inWiresPerCluster = config.inputPorts;
+    problem.outWiresPerCluster = config.inputPorts;
+  }
+};
 
 void BM_MiiRec(benchmark::State& state) {
   const auto kernel =
@@ -45,31 +81,76 @@ BENCHMARK(BM_Interpreter);
 
 void BM_SeeSingleLevel(benchmark::State& state) {
   // One RCP assignment: the paper's single-level framework workload.
-  const auto kernel = ddg::buildFir2Dim();
-  machine::RcpConfig config;
-  config.clusters = 8;
-  config.inputPorts = 4;
-  config.memClusterStride = 1;
-  const auto pg = machine::rcpPatternGraph(config);
-  see::SeeProblem problem;
-  problem.ddg = &kernel.ddg;
-  for (std::int32_t v = 0; v < kernel.ddg.numNodes(); ++v) {
-    if (ddg::isInstruction(kernel.ddg.node(DdgNodeId(v)).op)) {
-      problem.workingSet.emplace_back(v);
-    }
-  }
-  problem.pg = &pg;
-  problem.constraints = machine::rcpConstraints(config);
-  problem.inWiresPerCluster = config.inputPorts;
-  problem.outWiresPerCluster = config.inputPorts;
+  const SeeFixture fx;
   see::SeeOptions options;
   options.weights.targetIi = 8;
   const see::SpaceExplorationEngine engine(options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.run(problem));
+    benchmark::DoNotOptimize(engine.run(fx.problem));
   }
 }
 BENCHMARK(BM_SeeSingleLevel);
+
+void BM_SeeCopyVsDelta(benchmark::State& state) {
+  // The PR's core trade: arg 0 = delta/CoW beam expansion (default path),
+  // arg 1 = legacy deep-copy expansion. Identical results by contract; the
+  // ratio of the two rows is the per-SEE-run speedup.
+  const SeeFixture fx;
+  see::SeeOptions options;
+  options.weights.targetIi = 8;
+  options.legacySearch = state.range(0) != 0;
+  const see::SpaceExplorationEngine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(fx.problem));
+  }
+  const auto result = engine.run(fx.problem);
+  state.counters["copies_avoided"] =
+      static_cast<double>(result.stats.copiesAvoided);
+  state.counters["snapshots"] =
+      static_cast<double>(result.stats.snapshotsMaterialized);
+  state.counters["arena_peak_bytes"] =
+      static_cast<double>(result.stats.arenaBytesPeak);
+}
+BENCHMARK(BM_SeeCopyVsDelta)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("legacy");
+
+void BM_ArenaAlloc(benchmark::State& state) {
+  // Steady-state beam-step allocation pattern: a burst of small blocks,
+  // then a wholesale reset. After warm-up the arena performs zero heap
+  // allocations per iteration (reset keeps the chunks).
+  const int blocks = static_cast<int>(state.range(0));
+  MonotonicArena arena;
+  for (auto _ : state) {
+    for (int i = 0; i < blocks; ++i) {
+      void* p = arena.allocate(64, 8);
+      benchmark::DoNotOptimize(p);
+    }
+    arena.reset();
+  }
+  state.counters["reserved_bytes"] =
+      static_cast<double>(arena.bytesReserved());
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_ArenaAlloc)->Arg(64)->Arg(1024)->ArgName("blocks");
+
+void BM_HeapAlloc(benchmark::State& state) {
+  // The same burst served by operator new: one malloc + one free per
+  // block, every iteration. Baseline for BM_ArenaAlloc.
+  const int blocks = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<char[]>> live;
+  live.reserve(static_cast<std::size_t>(blocks));
+  for (auto _ : state) {
+    for (int i = 0; i < blocks; ++i) {
+      live.emplace_back(new char[64]);
+      benchmark::DoNotOptimize(live.back().get());
+    }
+    live.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_HeapAlloc)->Arg(64)->Arg(1024)->ArgName("blocks");
 
 void BM_Mapper(benchmark::State& state) {
   machine::PatternGraph pg;
@@ -129,4 +210,24 @@ BENCHMARK(BM_ModuloScheduler);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_micro.json
+// so every run leaves a machine-readable record next to the binary.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool hasOut = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) hasOut = true;
+  }
+  std::string outFlag = "--benchmark_out=BENCH_micro.json";
+  std::string fmtFlag = "--benchmark_out_format=json";
+  if (!hasOut) {
+    args.push_back(outFlag.data());
+    args.push_back(fmtFlag.data());
+  }
+  int numArgs = static_cast<int>(args.size());
+  benchmark::Initialize(&numArgs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(numArgs, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,7 +27,8 @@ namespace {
 
 struct Row {
   std::string kernel;
-  int numThreads = 0;
+  int numThreads = 0;         ///< requested thread count
+  int effectiveThreads = 0;   ///< after the hardware-concurrency clamp
   double wallMs = 0.0;
   bool legal = false;
   int achievedTargetIi = 0;
@@ -70,12 +71,14 @@ int main(int argc, char** argv) {
                      threadCounts.end());
 
   std::printf("Portfolio scaling — worst-case sweep (slack 6, 5 profiles)\n");
-  std::printf("Machine: %s, hardware_concurrency: %d\n\n",
-              config.toString().c_str(), hw);
-  std::printf("%-16s %8s %10s %6s %9s %8s %10s %9s\n", "Loop", "threads",
-              "wall_ms", "legal", "achieved", "attempts", "cancelled",
+  std::printf(
+      "Machine: %s, hardware_concurrency: %d (requested counts above it\n"
+      "are clamped; `eff` is the worker count actually used)\n\n",
+      config.toString().c_str(), hw);
+  std::printf("%-16s %8s %4s %10s %6s %9s %8s %10s %9s\n", "Loop", "threads",
+              "eff", "wall_ms", "legal", "achieved", "attempts", "cancelled",
               "cacheHit%");
-  std::printf("%s\n", std::string(84, '-').c_str());
+  std::printf("%s\n", std::string(89, '-').c_str());
 
   std::vector<Row> rows;
   auto kernels = ddg::table1Kernels();
@@ -89,6 +92,8 @@ int main(int argc, char** argv) {
       Row row;
       row.kernel = kernel.name;
       row.numThreads = threads;
+      row.effectiveThreads =
+          ThreadPool::effectiveThreads(threads, options.allowOversubscribe);
       core::HcaResult result;
       row.wallMs = wallMsOf([&] {
         const core::HcaDriver driver(model, options);
@@ -103,9 +108,9 @@ int main(int argc, char** argv) {
       rows.push_back(row);
       if (threads == 1) serialMs = row.wallMs;
 
-      std::printf("%-16s %8d %10.1f %6s %9d %8d %10d %8.1f%%",
-                  row.kernel.c_str(), row.numThreads, row.wallMs,
-                  row.legal ? "yes" : "no", row.achievedTargetIi,
+      std::printf("%-16s %8d %4d %10.1f %6s %9d %8d %10d %8.1f%%",
+                  row.kernel.c_str(), row.numThreads, row.effectiveThreads,
+                  row.wallMs, row.legal ? "yes" : "no", row.achievedTargetIi,
                   row.outerAttempts, row.attemptsCancelled,
                   100.0 * row.hitRate());
       if (threads != 1 && serialMs > 0.0 && row.wallMs > 0.0) {
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
     const Row& row = rows[i];
     json << "    {\"kernel\": \"" << row.kernel << "\""
          << ", \"numThreads\": " << row.numThreads
+         << ", \"effectiveThreads\": " << row.effectiveThreads
          << ", \"wall_ms\": " << row.wallMs
          << ", \"legal\": " << (row.legal ? "true" : "false")
          << ", \"achievedTargetIi\": " << row.achievedTargetIi

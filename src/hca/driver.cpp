@@ -159,6 +159,8 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
         &m.counter(lvl("see.route_invocations", level)),
         &m.counter(lvl("see.route_failures", level)),
         &m.counter(lvl("see.routed_operands", level)),
+        &m.counter(lvl("see.copies_avoided", level)),
+        &m.counter(lvl("see.snapshots", level)),
         &m.counter(lvl("hca.backtracks", level)),
         &m.counter(lvl("mapper.failures", level)),
         &m.histogram(lvl("mapper.max_values_per_wire", level)),
@@ -488,7 +490,9 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
   const int numAttempts = (1 + std::max(0, options_.targetIiSlack)) *
                           std::max(1, options_.searchProfiles);
   const int threads =
-      std::min(ThreadPool::resolveThreads(options_.numThreads), numAttempts);
+      std::min(ThreadPool::effectiveThreads(options_.numThreads,
+                                            options_.allowOversubscribe),
+               numAttempts);
   HcaResult best;
   {
     TraceSpan rung(tracer_, "hca", "rung:primary-sweep");
@@ -594,6 +598,11 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
       result.stats.statesExplored += flat.seeStats.statesExplored;
       result.stats.candidatesEvaluated += flat.seeStats.candidatesEvaluated;
       result.stats.routeInvocations += flat.seeStats.routeInvocations;
+      result.stats.seeCopiesAvoided += flat.seeStats.copiesAvoided;
+      result.stats.seeSnapshotsMaterialized +=
+          flat.seeStats.snapshotsMaterialized;
+      result.stats.seeArenaBytesPeak = std::max(
+          result.stats.seeArenaBytesPeak, flat.seeStats.arenaBytesPeak);
       result.stats.problemsSolved += flat.hierarchy.problemsChecked;
       result.stats.maxWirePressure = flat.hierarchy.maxWirePressure;
       result.stats.achievedTargetIi = 0;  // no target II was honored
@@ -742,6 +751,11 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   result.stats.statesExplored += seeResult.stats.statesExplored;
   result.stats.candidatesEvaluated += seeResult.stats.candidatesEvaluated;
   result.stats.routeInvocations += seeResult.stats.routeInvocations;
+  result.stats.seeCopiesAvoided += seeResult.stats.copiesAvoided;
+  result.stats.seeSnapshotsMaterialized +=
+      seeResult.stats.snapshotsMaterialized;
+  result.stats.seeArenaBytesPeak = std::max(
+      result.stats.seeArenaBytesPeak, seeResult.stats.arenaBytesPeak);
   // Per-level search-pressure series (cache hits replay the recorded
   // SeeStats, so the counters are byte-identical with the cache on or off).
   ++*lm.seeProblems;
@@ -752,6 +766,8 @@ bool HcaDriver::solve(const ddg::Ddg& ddg, const std::vector<int>& path,
   *lm.seeRouteInvocations += seeResult.stats.routeInvocations;
   *lm.seeRouteFailures += seeResult.stats.routeFailures;
   *lm.seeRoutedOperands += seeResult.stats.routedOperands;
+  *lm.seeCopiesAvoided += seeResult.stats.copiesAvoided;
+  *lm.seeSnapshots += seeResult.stats.snapshotsMaterialized;
 
   if (!seeResult.legal) {
     if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {

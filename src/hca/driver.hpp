@@ -105,6 +105,11 @@ struct HcaOptions {
   /// (the lowest-(target, profile) legal attempt wins; attempts that can no
   /// longer win are soft-cancelled).
   int numThreads = 1;
+  /// By default the effective pool size is clamped to
+  /// hardware_concurrency: requesting 64 workers on a 4-core box makes the
+  /// CPU-bound portfolio strictly slower. Set to true to honor an
+  /// oversubscribed `numThreads` verbatim (scheduling experiments).
+  bool allowOversubscribe = false;
   /// Memoize SEE sub-problem results across outer attempts and backtracking
   /// alternatives (see subproblem_cache.hpp). Results are byte-identical
   /// with the cache on or off; the cache only saves wall-clock.
@@ -206,6 +211,8 @@ class HcaDriver {
     std::int64_t* seeRouteInvocations;
     std::int64_t* seeRouteFailures;
     std::int64_t* seeRoutedOperands;
+    std::int64_t* seeCopiesAvoided;
+    std::int64_t* seeSnapshots;
     std::int64_t* hcaBacktracks;
     std::int64_t* mapperFailures;
     Histogram* mapperMaxValuesPerWire;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,6 +59,14 @@ struct HcaStats {
   /// *surviving* records of the winning attempt (not merged across failed
   /// attempts, whose rolled-back pressure is meaningless).
   int maxWirePressure = 0;
+  /// SEE candidates expanded as copy-on-write deltas instead of full
+  /// PartialSolution deep copies (see SeeStats::copiesAvoided).
+  std::int64_t seeCopiesAvoided = 0;
+  /// Flat snapshots written to the SEE search arenas.
+  std::int64_t seeSnapshotsMaterialized = 0;
+  /// Largest per-attempt snapshot-arena high-water mark seen by any SEE
+  /// solve of the run.
+  std::int64_t seeArenaBytesPeak = 0;
 
   /// Folds another attempt's counters into this one. `achievedTargetIi`
   /// and `maxWirePressure` are properties of the winning attempt and are
@@ -72,6 +81,9 @@ struct HcaStats {
     routeInvocations += other.routeInvocations;
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
+    seeCopiesAvoided += other.seeCopiesAvoided;
+    seeSnapshotsMaterialized += other.seeSnapshotsMaterialized;
+    seeArenaBytesPeak = std::max(seeArenaBytesPeak, other.seeArenaBytesPeak);
   }
 };
 

@@ -94,6 +94,9 @@ void writeRunReport(JsonWriter& json, const HcaResult& result,
   json.key("cacheHits").value(s.cacheHits);
   json.key("cacheMisses").value(s.cacheMisses);
   json.key("maxWirePressure").value(s.maxWirePressure);
+  json.key("seeCopiesAvoided").value(s.seeCopiesAvoided);
+  json.key("seeSnapshotsMaterialized").value(s.seeSnapshotsMaterialized);
+  json.key("seeArenaBytesPeak").value(s.seeArenaBytesPeak);
   json.endObject();
 
   // Per-level breakdown: the `.L<n>` series of the registry, one row per
@@ -175,6 +178,9 @@ void printRunStats(std::ostream& os, const HcaResult& result) {
   os << "states explored: " << s.statesExplored
      << "  candidates: " << s.candidatesEvaluated
      << "  cache h/m: " << s.cacheHits << "/" << s.cacheMisses << "\n";
+  os << "copies avoided: " << s.seeCopiesAvoided
+     << "  snapshots: " << s.seeSnapshotsMaterialized
+     << "  arena peak: " << s.seeArenaBytesPeak << " B\n";
   if (!result.metrics.empty()) {
     os << "--- metrics registry ---\n";
     result.metrics.printTable(os);

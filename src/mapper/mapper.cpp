@@ -77,18 +77,25 @@ MapResult Mapper::map(const MapperInput& input) const {
     return extra > 0 ? std::min(wires, extra) : wires;
   };
 
-  // Cluster node id -> child index; input/output node id -> boundary index.
-  std::map<std::int32_t, int> childIndex;
+  // Cluster node id -> child index; output node id -> boundary index. PG
+  // node ids are dense (indexes into the node table), so a flat vector
+  // replaces the former std::map: O(1) lookups, one contiguous allocation.
+  const auto numPgNodes = static_cast<std::size_t>(pg.numNodes());
+  std::vector<int> childIndex(numPgNodes, -1);
   for (int i = 0; i < numChildren; ++i) {
-    childIndex[children[static_cast<std::size_t>(i)].value()] = i;
+    childIndex[static_cast<std::size_t>(
+        children[static_cast<std::size_t>(i)].value())] = i;
   }
-  std::map<std::int32_t, int> inputIndex, outputIndex;
-  for (std::size_t i = 0; i < inputNodes.size(); ++i) {
-    inputIndex[inputNodes[i].value()] = static_cast<int>(i);
-  }
+  std::vector<int> outputIndex(numPgNodes, -1);
   for (std::size_t i = 0; i < outputNodes.size(); ++i) {
-    outputIndex[outputNodes[i].value()] = static_cast<int>(i);
+    outputIndex[static_cast<std::size_t>(outputNodes[i].value())] =
+        static_cast<int>(i);
   }
+  const auto indexIn = [](const std::vector<int>& table, std::int32_t node) {
+    const int index = table[static_cast<std::size_t>(node)];
+    HCA_CHECK(index >= 0, "PG node " << node << " missing from index table");
+    return index;
+  };
 
   // Every output node must be fed by exactly one sender (unary fan-in of
   // the outgoing MUX wire). The SEE enforces this during assignment; for
@@ -102,8 +109,8 @@ MapResult Mapper::map(const MapperInput& input) const {
     if (feeders > 1) {
       result.legal = false;
       result.failureReason =
-          strCat("output node ", outputIndex.at(out.value()), " is fed by ",
-                 feeders, " clusters (unary fan-in violated)");
+          strCat("output node ", indexIn(outputIndex, out.value()),
+                 " is fed by ", feeders, " clusters (unary fan-in violated)");
       return result;
     }
   }
@@ -303,7 +310,7 @@ MapResult Mapper::map(const MapperInput& input) const {
       for (const std::int32_t outNode : g.boundaryOutputs) {
         machine::MuxSetting setting;
         setting.problemPath = input.problemPath;
-        setting.dstChild = numChildren + outputIndex.at(outNode);
+        setting.dstChild = numChildren + indexIn(outputIndex, outNode);
         setting.dstWire = 0;
         setting.srcChild = si;
         setting.srcWire = wire;
@@ -311,7 +318,7 @@ MapResult Mapper::map(const MapperInput& input) const {
       }
       // Sibling connections: one input wire per reading child.
       for (const std::int32_t dstNode : g.destChildren) {
-        const int di = childIndex.at(dstNode);
+        const int di = indexIn(childIndex, dstNode);
         const int dstWire = inWireCursor[static_cast<std::size_t>(di)]++;
         machine::MuxSetting setting;
         setting.problemPath = input.problemPath;

@@ -7,57 +7,24 @@
 
 namespace hca::see {
 
-namespace {
-int ceilDiv(int a, int b) { return b <= 0 ? 0 : (a + b - 1) / b; }
-}  // namespace
-
 int IiEstimateCriterion::clusterMii(const PreparedProblem& prepared,
                                     const PartialSolution& solution,
                                     ClusterId cluster) {
-  const auto& pg = *prepared.problem().pg;
-  const auto& rt = pg.node(cluster).resources;
-  const auto& usage = solution.usage(cluster);
-  const int recvs = solution.distinctValuesIn(cluster);
-  // Issue pressure: every instruction plus one receive per incoming value,
-  // spread over the CNs the cluster embraces.
-  const int issue = ceilDiv(usage.instructions + recvs, rt.issueSlots());
-  // Functional-unit pressure.
-  const int alu = ceilDiv(usage.alu, std::max(rt.alu(), 1));
-  const int ag = rt.ag() > 0 ? ceilDiv(usage.ag, rt.ag()) : 0;
-  // Wire serialization: distinct values crossing the cluster boundary,
-  // spread over the wires the Mapper can balance them on.
-  const int inPressure = ceilDiv(solution.distinctValuesIn(cluster),
-                                 prepared.problem().inWiresPerCluster);
-  const int outPressure = ceilDiv(solution.distinctValuesOut(cluster),
-                                  prepared.problem().outWiresPerCluster);
-  return std::max({issue, alu, ag, inPressure, outPressure, 1});
+  return clusterMiiT(prepared, solution, cluster);
 }
 
 int IiEstimateCriterion::maxClusterMii(const PreparedProblem& prepared,
                                        const PartialSolution& solution) {
   int result = 1;
   for (const ClusterId c : prepared.clusters()) {
-    result = std::max(result, clusterMii(prepared, solution, c));
+    result = std::max(result, clusterMiiT(prepared, solution, c));
   }
   return result;
 }
 
 double IiEstimateCriterion::score(const PreparedProblem& prepared,
                                   const PartialSolution& solution) const {
-  // Per-cluster MIIs are clamped to the loop's target II (iniMII): the
-  // final MII is max(iniMII, maxClsMII), so only excess above the target
-  // costs anything. The max dominates; the clamped average (scaled down)
-  // breaks ties between states with equal bottlenecks.
-  const int target = std::max(1, prepared.options().weights.targetIi);
-  double sum = 0;
-  int maxMii = target;
-  for (const ClusterId c : prepared.clusters()) {
-    const int mii = std::max(clusterMii(prepared, solution, c), target);
-    sum += mii;
-    maxMii = std::max(maxMii, mii);
-  }
-  const auto numClusters = static_cast<double>(prepared.clusters().size());
-  return maxMii + 0.1 * (sum / numClusters);
+  return iiEstimateScoreT(prepared, solution);
 }
 
 double CopyCountCriterion::score(const PreparedProblem&,
@@ -67,43 +34,23 @@ double CopyCountCriterion::score(const PreparedProblem&,
 
 double LoadBalanceCriterion::score(const PreparedProblem& prepared,
                                    const PartialSolution& solution) const {
-  const auto& pg = *prepared.problem().pg;
-  double sum = 0;
-  double maxLoad = 0;
-  for (const ClusterId c : prepared.clusters()) {
-    const double load =
-        static_cast<double>(solution.usage(c).instructions) /
-        std::max(1, pg.node(c).resources.issueSlots());
-    sum += load;
-    maxLoad = std::max(maxLoad, load);
-  }
-  const double mean = sum / static_cast<double>(prepared.clusters().size());
-  return maxLoad - mean;
+  return loadBalanceScoreT(prepared, solution);
 }
 
 double WiringSlackCriterion::score(const PreparedProblem& prepared,
                                    const PartialSolution& solution) const {
-  const int maxIn = prepared.problem().constraints.maxInNeighbors;
-  if (maxIn <= 0) return 0.0;
-  double penalty = 0;
-  for (const ClusterId c : prepared.clusters()) {
-    const double used = static_cast<double>(solution.realInNeighborCount(c)) /
-                        static_cast<double>(maxIn);
-    penalty += used * used;
-  }
-  return penalty;
+  return wiringSlackScoreT(prepared, solution);
 }
 
 double CriticalPathCriterion::score(const PreparedProblem& prepared,
                                     const PartialSolution& solution) const {
   // For every cross-cluster intra-iteration dependence, weight the copy by
   // how tall its consumer still is: cutting near the top of the critical
-  // path is worse.
+  // path is worse. The full scan visits terms in (working-set position,
+  // operand position) order — the order the delta path's merged term list
+  // reproduces (see snapshot.hpp).
   const auto& ddg = *prepared.problem().ddg;
-  std::int64_t maxHeight = 1;
-  for (const DdgNodeId n : prepared.problem().workingSet) {
-    maxHeight = std::max(maxHeight, prepared.height(n));
-  }
+  const std::int64_t maxHeight = prepared.maxWsHeight();
   double penalty = 0;
   for (const DdgNodeId n : prepared.problem().workingSet) {
     const ClusterId cn = solution.clusterOf(n);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +79,93 @@ class CriticalPathCriterion : public CostCriterion {
   [[nodiscard]] double score(const PreparedProblem& prepared,
                              const PartialSolution& solution) const override;
 };
+
+// --- Shared score implementations -----------------------------------------
+//
+// The formulas below are templates over the solution representation so the
+// legacy criteria (scoring a materialized PartialSolution) and the
+// incremental evaluator of the delta-based hot path (scoring a
+// DeltaSolution overlay) are the *same code* — per-cluster loops iterate
+// `prepared.clusters()` in order, so the floating-point accumulation
+// sequence, and therefore the resulting bits, are identical for equal
+// inputs. A `Sol` must provide usage(c), distinctValuesIn/Out(c), and
+// realInNeighborCount(c).
+
+namespace cost_detail {
+inline int ceilDiv(int a, int b) { return b <= 0 ? 0 : (a + b - 1) / b; }
+}  // namespace cost_detail
+
+template <typename Sol>
+int clusterMiiT(const PreparedProblem& prepared, const Sol& solution,
+                ClusterId cluster) {
+  using cost_detail::ceilDiv;
+  const auto& pg = *prepared.problem().pg;
+  const auto& rt = pg.node(cluster).resources;
+  const auto& usage = solution.usage(cluster);
+  const int recvs = solution.distinctValuesIn(cluster);
+  // Issue pressure: every instruction plus one receive per incoming value,
+  // spread over the CNs the cluster embraces.
+  const int issue = ceilDiv(usage.instructions + recvs, rt.issueSlots());
+  // Functional-unit pressure.
+  const int alu = ceilDiv(usage.alu, std::max(rt.alu(), 1));
+  const int ag = rt.ag() > 0 ? ceilDiv(usage.ag, rt.ag()) : 0;
+  // Wire serialization: distinct values crossing the cluster boundary,
+  // spread over the wires the Mapper can balance them on.
+  const int inPressure = ceilDiv(solution.distinctValuesIn(cluster),
+                                 prepared.problem().inWiresPerCluster);
+  const int outPressure = ceilDiv(solution.distinctValuesOut(cluster),
+                                  prepared.problem().outWiresPerCluster);
+  return std::max({issue, alu, ag, inPressure, outPressure, 1});
+}
+
+template <typename Sol>
+double iiEstimateScoreT(const PreparedProblem& prepared, const Sol& solution) {
+  // Per-cluster MIIs are clamped to the loop's target II (iniMII): the
+  // final MII is max(iniMII, maxClsMII), so only excess above the target
+  // costs anything. The max dominates; the clamped average (scaled down)
+  // breaks ties between states with equal bottlenecks.
+  const int target = std::max(1, prepared.options().weights.targetIi);
+  double sum = 0;
+  int maxMii = target;
+  for (const ClusterId c : prepared.clusters()) {
+    const int mii = std::max(clusterMiiT(prepared, solution, c), target);
+    sum += mii;
+    maxMii = std::max(maxMii, mii);
+  }
+  const auto numClusters = static_cast<double>(prepared.clusters().size());
+  return maxMii + 0.1 * (sum / numClusters);
+}
+
+template <typename Sol>
+double loadBalanceScoreT(const PreparedProblem& prepared,
+                         const Sol& solution) {
+  const auto& pg = *prepared.problem().pg;
+  double sum = 0;
+  double maxLoad = 0;
+  for (const ClusterId c : prepared.clusters()) {
+    const double load =
+        static_cast<double>(solution.usage(c).instructions) /
+        std::max(1, pg.node(c).resources.issueSlots());
+    sum += load;
+    maxLoad = std::max(maxLoad, load);
+  }
+  const double mean = sum / static_cast<double>(prepared.clusters().size());
+  return maxLoad - mean;
+}
+
+template <typename Sol>
+double wiringSlackScoreT(const PreparedProblem& prepared,
+                         const Sol& solution) {
+  const int maxIn = prepared.problem().constraints.maxInNeighbors;
+  if (maxIn <= 0) return 0.0;
+  double penalty = 0;
+  for (const ClusterId c : prepared.clusters()) {
+    const double used = static_cast<double>(solution.realInNeighborCount(c)) /
+                        static_cast<double>(maxIn);
+    penalty += used * used;
+  }
+  return penalty;
+}
 
 /// Weighted combination of the standard criteria.
 class WeightedObjective {

@@ -48,6 +48,18 @@ class SpaceExplorationEngine {
   [[nodiscard]] SeeResult runOnce(const SeeProblem& problem,
                                   const SeeOptions& options,
                                   const CancellationToken* cancel) const;
+  /// Reference beam loop over materialized PartialSolution values (one
+  /// full deep copy per candidate). Kept as the byte-identity oracle for
+  /// the delta path and selectable via SeeOptions::legacySearch.
+  [[nodiscard]] SeeResult runOnceLegacy(const SeeProblem& problem,
+                                        const SeeOptions& options,
+                                        const CancellationToken* cancel) const;
+  /// Copy-on-write beam loop: pooled DeltaSolution candidates against
+  /// arena-backed FlatSolution snapshots; zero steady-state heap
+  /// allocation. Byte-identical results to runOnceLegacy.
+  [[nodiscard]] SeeResult runOnceDelta(const SeeProblem& problem,
+                                       const SeeOptions& options,
+                                       const CancellationToken* cancel) const;
 
   SeeOptions options_;
 };

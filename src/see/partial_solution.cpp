@@ -2,27 +2,14 @@
 
 #include <algorithm>
 
+#include "see/solution_ops.hpp"
 #include "support/check.hpp"
 
 namespace hca::see {
 
 namespace {
-constexpr std::uint64_t bit(ClusterId c) { return 1ULL << c.index(); }
-
 void addDistinct(std::vector<ValueId>& list, ValueId v) {
   if (std::find(list.begin(), list.end(), v) == list.end()) list.push_back(v);
-}
-
-/// In-neighbor budget of one PG node: the level-wide MUX capacity, further
-/// tightened by the node's surviving-wire override when the fabric carries
-/// faults. -1 = unlimited.
-int effectiveInCap(const machine::PgNode& node,
-                   const machine::PgConstraints& constraints) {
-  int cap = constraints.maxInNeighbors;
-  if (node.inWireCap >= 0) {
-    cap = cap < 0 ? node.inWireCap : std::min(cap, node.inWireCap);
-  }
-  return cap;
 }
 }  // namespace
 
@@ -50,9 +37,7 @@ PartialSolution PartialSolution::initial(const PreparedProblem& prepared) {
 
 ClusterId PartialSolution::valueLocation(const PreparedProblem& prepared,
                                          ValueId value) const {
-  const DdgNodeId producer(value.value());
-  if (prepared.inWorkingSet(producer)) return nodeCluster_[producer.index()];
-  return prepared.valueSource(value);
+  return valueLocationT(prepared, *this, value);
 }
 
 bool PartialSolution::valueDelivered(ClusterId dst, ValueId value) const {
@@ -60,194 +45,40 @@ bool PartialSolution::valueDelivered(ClusterId dst, ValueId value) const {
   return std::find(list.begin(), list.end(), value) != list.end();
 }
 
+bool PartialSolution::flowContains(PgArcId arc, ValueId value) const {
+  const auto& onArc = flow_.copiesOn(arc);
+  return std::find(onArc.begin(), onArc.end(), value) != onArc.end();
+}
+
 bool PartialSolution::canAddCopy(const PreparedProblem& prepared,
                                  ClusterId src, ClusterId dst,
                                  ValueId value) const {
-  const auto& pg = *prepared.problem().pg;
-  if (pg.node(src).dead || pg.node(dst).dead) return false;
-  // A node whose output wires are all dead can send nothing new.
-  if (pg.node(src).outWireCap == 0) return false;
-  const auto arc = pg.arcBetween(src, dst);
-  if (!arc.has_value()) return false;
-  if (std::find(flow_.copiesOn(*arc).begin(), flow_.copiesOn(*arc).end(),
-                value) != flow_.copiesOn(*arc).end()) {
-    return true;  // already flowing: no budget change
-  }
-  const auto& constraints = prepared.problem().constraints;
-  const std::uint64_t dstMask = inNbrMask_[dst.index()];
-  if (pg.node(dst).kind == machine::PgNodeKind::kOutput) {
-    if (constraints.outputNodeUnaryFanIn) {
-      return dstMask == 0 || dstMask == bit(src);
-    }
-    return true;
-  }
-  if ((dstMask & bit(src)) == 0) {
-    const int inCap = effectiveInCap(pg.node(dst), constraints);
-    if (inCap >= 0 && __builtin_popcountll(dstMask) >= inCap) {
-      return false;
-    }
-  }
-  if (constraints.maxOutNeighbors >= 0 && !flow_.isReal(*arc)) {
-    // Count distinct out-neighbors of src (dst is not one yet).
-    int outNbrs = 0;
-    for (const PgArcId a : pg.outArcs(src)) {
-      if (flow_.isReal(a) && pg.arc(a).dst != dst) ++outNbrs;
-    }
-    if (outNbrs >= constraints.maxOutNeighbors) return false;
-  }
-  return true;
+  return canAddCopyT(prepared, *this, src, dst, value);
 }
 
 bool PartialSolution::canAssign(const PreparedProblem& prepared,
                                 const Item& item, ClusterId cluster) const {
-  const auto& pg = *prepared.problem().pg;
-  if (pg.node(cluster).kind != machine::PgNodeKind::kCluster) return false;
-  if (pg.node(cluster).dead) return false;
-  const auto& rt = pg.node(cluster).resources;
-  const auto& options = prepared.options();
-
-  if (item.kind == Item::Kind::kRelay) {
-    // A relay needs an issue slot plus in/out communication patterns.
-    if (options.maxOpsPerUnit > 0 &&
-        usage_[cluster.index()].instructions + 1 >
-            rt.issueSlots() * options.maxOpsPerUnit) {
-      return false;
-    }
-    const ClusterId source = prepared.valueSource(item.value);
-    const ClusterId out = prepared.outputNodeOf(item.value);
-    if (!valueDelivered(cluster, item.value) &&
-        !canAddCopy(prepared, source, cluster, item.value)) {
-      return false;
-    }
-    return valueDelivered(out, item.value) ||
-           canAddCopy(prepared, cluster, out, item.value);
-  }
-
-  const DdgNodeId n = item.node;
-  const ddg::Op op = prepared.problem().ddg->node(n).op;
-  const ddg::ResourceClass rc = ddg::opResource(op);
-  if (rc != ddg::ResourceClass::kNone && rt.count(rc) == 0) return false;
-  if (options.maxOpsPerUnit > 0) {
-    const auto& usage = usage_[cluster.index()];
-    if (usage.instructions + 1 > rt.issueSlots() * options.maxOpsPerUnit) {
-      return false;
-    }
-    if (rc == ddg::ResourceClass::kAlu &&
-        usage.alu + 1 > rt.alu() * options.maxOpsPerUnit) {
-      return false;
-    }
-    if (rc == ddg::ResourceClass::kAg &&
-        usage.ag + 1 > rt.ag() * options.maxOpsPerUnit) {
-      return false;
-    }
-  }
-
-  // Incoming copies: every located operand source must reach `cluster`,
-  // cumulatively within the in-neighbor budget.
-  const auto& constraints = prepared.problem().constraints;
-  const int inCap = effectiveInCap(pg.node(cluster), constraints);
-  std::uint64_t mask = inNbrMask_[cluster.index()];
-  for (const ValueId v : prepared.operandValues(n)) {
-    const ClusterId loc = valueLocation(prepared, v);
-    if (!loc.valid() || loc == cluster) continue;
-    if (valueDelivered(cluster, v)) continue;  // already routed here
-    if (pg.node(loc).dead || pg.node(loc).outWireCap == 0) return false;
-    const auto arc = pg.arcBetween(loc, cluster);
-    if (!arc.has_value()) return false;
-    const auto& onArc = flow_.copiesOn(*arc);
-    if (std::find(onArc.begin(), onArc.end(), v) != onArc.end()) continue;
-    if ((mask & bit(loc)) == 0) {
-      if (inCap >= 0 && __builtin_popcountll(mask) >= inCap) {
-        return false;
-      }
-      mask |= bit(loc);
-    }
-  }
-
-  // Outgoing copies to already-assigned WS consumers.
-  const ValueId produced(n.value());
-  for (const DdgNodeId consumer : prepared.wsConsumers(n)) {
-    const ClusterId d = nodeCluster_[consumer.index()];
-    if (!d.valid() || d == cluster) continue;
-    if (valueDelivered(d, produced)) continue;  // already routed there
-    if (!canAddCopy(prepared, cluster, d, produced)) return false;
-  }
-
-  // Output-wire requirement (outNode_MaxIn, Fig. 10).
-  const ClusterId out = prepared.outputNodeOf(produced);
-  if (out.valid() && !valueDelivered(out, produced) &&
-      !canAddCopy(prepared, cluster, out, produced)) {
-    return false;
-  }
-  return true;
+  return canAssignT(prepared, *this, item, cluster);
 }
 
-void PartialSolution::addCopyInternal(const PreparedProblem& prepared,
-                                      ClusterId src, ClusterId dst,
-                                      ValueId value) {
-  const auto& pg = *prepared.problem().pg;
-  const auto arc = pg.arcBetween(src, dst);
-  HCA_CHECK(arc.has_value(), "addCopyInternal without arc "
-                                 << to_string(src) << "->" << to_string(dst));
-  if (!flow_.addCopy(*arc, value)) return;
-  inNbrMask_[dst.index()] |= bit(src);
+bool PartialSolution::addFlowCopy(PgArcId arc, ClusterId src, ClusterId dst,
+                                  ValueId value) {
+  if (!flow_.addCopy(arc, value)) return false;
+  inNbrMask_[dst.index()] |= detail::pgBit(src);
   addDistinct(inValues_[dst.index()], value);
   addDistinct(outValues_[src.index()], value);
+  return true;
 }
 
 void PartialSolution::assign(const PreparedProblem& prepared, const Item& item,
                              ClusterId cluster) {
-  if (item.kind == Item::Kind::kRelay) {
-    const auto& relays = prepared.problem().relayValues;
-    const auto idx = static_cast<std::size_t>(
-        std::find(relays.begin(), relays.end(), item.value) - relays.begin());
-    HCA_CHECK(idx < relays.size(), "relay value not in problem");
-    relayCluster_[idx] = cluster;
-    usage_[cluster.index()].addOp(ddg::Op::kRecv);
-    if (!valueDelivered(cluster, item.value)) {
-      addCopyInternal(prepared, prepared.valueSource(item.value), cluster,
-                      item.value);
-    }
-    const ClusterId relayOut = prepared.outputNodeOf(item.value);
-    if (!valueDelivered(relayOut, item.value)) {
-      addCopyInternal(prepared, cluster, relayOut, item.value);
-    }
-    ++assigned_;
-    return;
-  }
-
-  const DdgNodeId n = item.node;
-  nodeCluster_[n.index()] = cluster;
-  usage_[cluster.index()].addOp(prepared.problem().ddg->node(n).op);
-  ++assigned_;
-
-  for (const ValueId v : prepared.operandValues(n)) {
-    if (valueDelivered(cluster, v)) continue;
-    const ClusterId loc = valueLocation(prepared, v);
-    if (loc.valid() && loc != cluster) {
-      addCopyInternal(prepared, loc, cluster, v);
-    }
-  }
-  const ValueId produced(n.value());
-  for (const DdgNodeId consumer : prepared.wsConsumers(n)) {
-    const ClusterId d = nodeCluster_[consumer.index()];
-    if (d.valid() && d != cluster && !valueDelivered(d, produced)) {
-      addCopyInternal(prepared, cluster, d, produced);
-    }
-  }
-  const ClusterId out = prepared.outputNodeOf(produced);
-  if (out.valid() && !valueDelivered(out, produced)) {
-    addCopyInternal(prepared, cluster, out, produced);
-  }
+  assignT(prepared, *this, item, cluster);
 }
 
 void PartialSolution::applyRoute(const PreparedProblem& prepared,
                                  ValueId value,
                                  const std::vector<ClusterId>& path) {
-  HCA_REQUIRE(path.size() >= 2, "route needs at least two nodes");
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    addCopyInternal(prepared, path[i], path[i + 1], value);
-  }
+  applyRouteT(prepared, *this, value, path);
 }
 
 std::uint64_t PartialSolution::signature() const {

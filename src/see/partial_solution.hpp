@@ -13,7 +13,15 @@
 /// reconfiguration budget), and the distinct values entering/leaving each
 /// cluster (the copy pressure the Mapper will have to distribute over
 /// wires).
+///
+/// This is the *materialized* representation: plain value semantics, full
+/// deep copies. The beam-search hot path works on `DeltaSolution` overlays
+/// (see snapshot.hpp) instead and materializes a PartialSolution only at
+/// the engine boundary; both representations run the same assignment
+/// semantics from solution_ops.hpp.
 namespace hca::see {
+
+class FlatSolution;
 
 class PartialSolution {
  public:
@@ -81,9 +89,33 @@ class PartialSolution {
   /// Stable hash of the assignment vector (frontier deduplication).
   [[nodiscard]] std::uint64_t signature() const;
 
+  // --- Sol interface (solution_ops.hpp) --------------------------------
+  [[nodiscard]] std::uint64_t inNbrMask(ClusterId c) const {
+    return inNbrMask_[c.index()];
+  }
+  [[nodiscard]] bool flowContains(PgArcId arc, ValueId value) const;
+  [[nodiscard]] bool flowIsReal(PgArcId arc) const {
+    return flow_.isReal(arc);
+  }
+  void setNodeCluster(DdgNodeId node, ClusterId cluster) {
+    nodeCluster_[node.index()] = cluster;
+  }
+  void setRelayCluster(std::size_t relayIndex, ClusterId cluster) {
+    relayCluster_[relayIndex] = cluster;
+  }
+  void addOp(ClusterId cluster, ddg::Op op) {
+    usage_[cluster.index()].addOp(op);
+  }
+  /// Registers a copy (idempotent per arc/value); maintains the
+  /// in-neighbor mask and the distinct in/out value lists.
+  bool addFlowCopy(PgArcId arc, ClusterId src, ClusterId dst, ValueId value);
+  void noteAssigned() { ++assigned_; }
+  /// Materialized states don't track critical-path terms — the legacy
+  /// CriticalPathCriterion rescans; only DeltaSolution accumulates them.
+  void addCritTerm(std::uint64_t /*key*/, std::int64_t /*num*/) {}
+
  private:
-  void addCopyInternal(const PreparedProblem& prepared, ClusterId src,
-                       ClusterId dst, ValueId value);
+  friend class FlatSolution;
 
   std::vector<ClusterId> nodeCluster_;   // per DDG node
   std::vector<ClusterId> relayCluster_;  // per relay value (problem order)

@@ -1,7 +1,6 @@
 #include "see/prepared.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "support/check.hpp"
 
@@ -78,6 +77,35 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
   }
 
   heights_ = ddg.heights(problem.latency);
+
+  // Critical-path adjacency for the incremental objective: every
+  // intra-iteration WS->WS dependence, keyed by (working-set position of
+  // the consumer, operand position) so the delta evaluator can sum penalty
+  // terms in exactly the order CriticalPathCriterion's full scan visits
+  // them. Self-references are skipped — equal clusters never pay.
+  wsIndexOf_.assign(static_cast<std::size_t>(ddg.numNodes()), -1);
+  for (std::size_t i = 0; i < problem.workingSet.size(); ++i) {
+    wsIndexOf_[problem.workingSet[i].index()] = static_cast<std::int32_t>(i);
+  }
+  maxWsHeight_ = 1;
+  for (const DdgNodeId n : problem.workingSet) {
+    maxWsHeight_ = std::max(maxWsHeight_, heights_[n.index()]);
+  }
+  critOperands_.resize(static_cast<std::size_t>(ddg.numNodes()));
+  critUses_.resize(static_cast<std::size_t>(ddg.numNodes()));
+  for (const DdgNodeId n : problem.workingSet) {
+    const auto& operands = ddg.node(n).operands;
+    for (std::size_t j = 0; j < operands.size(); ++j) {
+      const auto& operand = operands[j];
+      if (operand.distance != 0) continue;
+      if (operand.src == n) continue;
+      if (wsIndexOf_[operand.src.index()] < 0) continue;
+      critOperands_[n.index()].push_back(
+          CritOperand{static_cast<std::int32_t>(j), operand.src});
+      critUses_[operand.src.index()].push_back(
+          CritUse{n, static_cast<std::int32_t>(j)});
+    }
+  }
 
   // Priority list (union-find over two kinds of cohesion):
   //  * mandatory unions — items whose values leave on one output wire must
@@ -175,16 +203,35 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
 
   // Emit groups. Members sorted by height (desc); groups ordered:
   // mandatory first (largest first), then by tallest member.
+  //
+  // Buckets live in a flat vector indexed through a dense root -> slot
+  // lookup (entity ids are small consecutive integers, so the lookup array
+  // beats a std::map's node allocations at prepare time). Slots are
+  // created in first-touch order and sorted by root afterwards, matching
+  // the ascending-key iteration of the map this replaces; the final group
+  // comparator is a strict total order (minId ties are impossible across
+  // disjoint buckets), so the emitted group order is unchanged.
   struct Bucket {
+    std::int32_t root = 0;
     std::vector<Item> members;
     bool isMandatory = false;
     std::int64_t maxHeight = 0;
     std::int32_t minId = 1 << 30;
     bool hasRelay = false;
   };
-  std::map<std::int32_t, Bucket> buckets;
+  std::vector<Bucket> ordered;
+  std::vector<std::int32_t> bucketSlot(numEntities, -1);
+  const auto bucketFor = [&](std::int32_t root) -> Bucket& {
+    std::int32_t& slot = bucketSlot[static_cast<std::size_t>(root)];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(ordered.size());
+      ordered.emplace_back();
+      ordered.back().root = root;
+    }
+    return ordered[static_cast<std::size_t>(slot)];
+  };
   for (const DdgNodeId n : problem.workingSet) {
-    Bucket& bucket = buckets[find(n.value())];
+    Bucket& bucket = bucketFor(find(n.value()));
     Item item;
     item.kind = Item::Kind::kNode;
     item.node = n;
@@ -193,8 +240,8 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
     bucket.minId = std::min(bucket.minId, n.value());
   }
   for (std::size_t i = 0; i < problem.relayValues.size(); ++i) {
-    Bucket& bucket = buckets[find(
-        static_cast<std::int32_t>(ddg.numNodes() + i))];
+    Bucket& bucket = bucketFor(find(
+        static_cast<std::int32_t>(ddg.numNodes() + i)));
     Item item;
     item.kind = Item::Kind::kRelay;
     item.value = problem.relayValues[i];
@@ -203,9 +250,11 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
     bucket.minId = std::min(
         bucket.minId, static_cast<std::int32_t>(ddg.numNodes() + i));
   }
-  std::vector<Bucket> ordered;
-  for (auto& [root, bucket] : buckets) {
-    bucket.isMandatory = mandatory[static_cast<std::size_t>(root)] != 0;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Bucket& a, const Bucket& b) { return a.root < b.root; });
+  for (auto& bucket : ordered) {
+    bucket.isMandatory =
+        mandatory[static_cast<std::size_t>(bucket.root)] != 0;
     std::sort(bucket.members.begin(), bucket.members.end(),
               [&](const Item& a, const Item& b) {
                 const auto ha = a.kind == Item::Kind::kNode
@@ -223,7 +272,6 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
                                     : b.value.value() + (1 << 20);
                 return ia < ib;
               });
-    ordered.push_back(std::move(bucket));
   }
   std::sort(ordered.begin(), ordered.end(),
             [](const Bucket& a, const Bucket& b) {

@@ -27,6 +27,31 @@ struct ItemGroup {
   std::vector<Item> members;
 };
 
+/// One cross-cluster critical-path penalty term, keyed so that summing all
+/// terms in ascending key order reproduces the exact floating-point
+/// accumulation order of CriticalPathCriterion's full scan (working-set
+/// position, then operand position). `num / maxWsHeight` is the term value.
+struct CritTerm {
+  std::uint64_t key = 0;   // wsIndex(consumer) << 32 | operandIndex
+  std::int64_t num = 0;    // height(consumer) + 1
+};
+
+/// A potentially-critical operand of a WS node `n`: the j-th operand is an
+/// intra-iteration dependence on another WS node. Once both endpoints are
+/// assigned to *different* clusters the term (key(n, j), height(n)+1)
+/// becomes part of the critical-path penalty — and never leaves, because
+/// assignments are immutable.
+struct CritOperand {
+  std::int32_t operandIndex = 0;
+  DdgNodeId src;
+};
+
+/// The reverse adjacency: `consumer`'s j-th operand depends on this node.
+struct CritUse {
+  DdgNodeId consumer;
+  std::int32_t operandIndex = 0;
+};
+
 class PreparedProblem {
  public:
   PreparedProblem(const SeeProblem& problem, const SeeOptions& options);
@@ -63,6 +88,29 @@ class PreparedProblem {
     return heights_[node.index()];
   }
 
+  /// Position of a WS node in `problem().workingSet` (-1 outside the WS):
+  /// the major component of critical-path term keys.
+  [[nodiscard]] std::int32_t wsIndex(DdgNodeId node) const {
+    return wsIndexOf_[node.index()];
+  }
+  /// Tallest WS height, min 1 — the critical-path normalizer.
+  [[nodiscard]] std::int64_t maxWsHeight() const { return maxWsHeight_; }
+  /// Intra-iteration WS operands of `node` (see CritOperand).
+  [[nodiscard]] const std::vector<CritOperand>& critOperands(
+      DdgNodeId node) const {
+    return critOperands_[node.index()];
+  }
+  /// WS consumers whose listed operand depends on `node` (see CritUse).
+  [[nodiscard]] const std::vector<CritUse>& critUses(DdgNodeId node) const {
+    return critUses_[node.index()];
+  }
+  [[nodiscard]] static std::uint64_t critKey(std::int32_t wsIndex,
+                                             std::int32_t operandIndex) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(wsIndex))
+            << 32) |
+           static_cast<std::uint32_t>(operandIndex);
+  }
+
  private:
   const SeeProblem* problem_;
   SeeOptions options_;
@@ -73,6 +121,10 @@ class PreparedProblem {
   std::vector<std::vector<DdgNodeId>> wsConsumers_;
   std::unordered_map<ValueId, ClusterId> valueToOutput_;
   std::vector<std::int64_t> heights_;
+  std::vector<std::int32_t> wsIndexOf_;
+  std::int64_t maxWsHeight_ = 1;
+  std::vector<std::vector<CritOperand>> critOperands_;
+  std::vector<std::vector<CritUse>> critUses_;
 };
 
 }  // namespace hca::see

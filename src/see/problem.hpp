@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -94,6 +95,13 @@ struct SeeOptions {
   /// "picks a new DDG node (or a set of nodes) at each step"). Groups are
   /// capped at roughly targetIi * issue-width / 2 ops.
   bool chainGrouping = true;
+  /// Runs the beam loop on materialized PartialSolution values (full deep
+  /// copy per candidate) instead of the arena-backed copy-on-write delta
+  /// path. The two paths produce byte-identical results (enforced by the
+  /// delta-identity test suite); this switch exists for that comparison and
+  /// as an escape hatch. Deliberately *not* part of the sub-problem cache
+  /// key.
+  bool legacySearch = false;
   CostWeights weights;
 };
 
@@ -109,6 +117,14 @@ struct SeeStats {
   /// Route-allocator attempts that found no relay path to the target
   /// cluster (tryAssignGroup returned nothing).
   std::int64_t routeFailures = 0;
+  /// Candidates expanded as pooled copy-on-write deltas instead of full
+  /// PartialSolution deep copies (delta path only; one per delta rebase).
+  std::int64_t copiesAvoided = 0;
+  /// Flat snapshots written to the search arenas (initial state plus one
+  /// per beam survivor per step).
+  std::int64_t snapshotsMaterialized = 0;
+  /// High-water mark of bytes live in one search attempt's snapshot arenas.
+  std::int64_t arenaBytesPeak = 0;
 
   /// Folds another search's counters into this one (retry-ladder rungs,
   /// per-level aggregation in the driver's metrics registry).
@@ -120,6 +136,9 @@ struct SeeStats {
     routedOperands += other.routedOperands;
     candidateRejections += other.candidateRejections;
     routeFailures += other.routeFailures;
+    copiesAvoided += other.copiesAvoided;
+    snapshotsMaterialized += other.snapshotsMaterialized;
+    arenaBytesPeak = std::max(arenaBytesPeak, other.arenaBytesPeak);
   }
 };
 

@@ -1,62 +1,12 @@
 #include "see/route_allocator.hpp"
 
-#include <algorithm>
-#include <deque>
-
-#include "support/check.hpp"
-
 namespace hca::see {
 
 std::vector<ClusterId> RouteAllocator::findPath(
     const PreparedProblem& prepared, const PartialSolution& solution,
     ClusterId src, ClusterId dst, ValueId value, int maxHops) {
-  const auto& pg = *prepared.problem().pg;
-  const int maxPathNodes = maxHops + 2;  // src + relays + dst
-
-  std::vector<ClusterId> parent(static_cast<std::size_t>(pg.numNodes()),
-                                ClusterId::invalid());
-  std::vector<int> depth(static_cast<std::size_t>(pg.numNodes()), -1);
-  depth[src.index()] = 0;
-  std::deque<ClusterId> queue{src};
-  while (!queue.empty()) {
-    const ClusterId u = queue.front();
-    queue.pop_front();
-    if (u == dst) break;
-    if (depth[u.index()] + 1 >= maxPathNodes) continue;
-    for (const PgArcId a : pg.outArcs(u)) {
-      const ClusterId w = pg.arc(a).dst;
-      if (depth[w.index()] != -1) continue;
-      // Only relay through (alive) cluster nodes; the destination may be
-      // anything — canAddCopy refuses dead destinations itself.
-      if (w != dst && (pg.node(w).kind != machine::PgNodeKind::kCluster ||
-                       pg.node(w).dead)) {
-        continue;
-      }
-      if (!solution.canAddCopy(prepared, u, w, value)) continue;
-      depth[w.index()] = depth[u.index()] + 1;
-      parent[w.index()] = u;
-      queue.push_back(w);
-    }
-  }
-  if (depth[dst.index()] == -1) return {};
-  std::vector<ClusterId> path;
-  for (ClusterId v = dst; v.valid(); v = parent[v.index()]) {
-    path.push_back(v);
-    if (v == src) break;
-  }
-  std::reverse(path.begin(), path.end());
-  HCA_CHECK(path.front() == src, "broken BFS parent chain");
-  return path;
+  return findPathT(prepared, solution, src, dst, value, maxHops);
 }
-
-namespace {
-/// Routes the copies `item` needs at `cluster` into `sol`, then assigns.
-/// Returns false (leaving `sol` partially modified — callers work on a
-/// clone) when some copy cannot be routed.
-bool routeAndAssign(const PreparedProblem& prepared, PartialSolution& sol,
-                    const Item& item, ClusterId cluster,
-                    int* routedOperands);
-}  // namespace
 
 std::optional<PartialSolution> RouteAllocator::tryAssign(
     const PreparedProblem& prepared, const PartialSolution& base,
@@ -66,7 +16,7 @@ std::optional<PartialSolution> RouteAllocator::tryAssign(
     return std::nullopt;
   }
   PartialSolution sol = base;
-  if (!routeAndAssign(prepared, sol, item, cluster, routedOperands)) {
+  if (!routeAndAssignT(prepared, sol, item, cluster, routedOperands)) {
     return std::nullopt;
   }
   return sol;
@@ -75,77 +25,11 @@ std::optional<PartialSolution> RouteAllocator::tryAssign(
 std::optional<PartialSolution> RouteAllocator::tryAssignGroup(
     const PreparedProblem& prepared, const PartialSolution& base,
     const ItemGroup& group, ClusterId cluster, int* routedOperands) {
-  const auto& pg = *prepared.problem().pg;
-  if (pg.node(cluster).kind != machine::PgNodeKind::kCluster) {
-    return std::nullopt;
-  }
   PartialSolution sol = base;
-  for (const Item& item : group.members) {
-    if (sol.canAssign(prepared, item, cluster)) {
-      sol.assign(prepared, item, cluster);
-      continue;
-    }
-    if (!routeAndAssign(prepared, sol, item, cluster, routedOperands)) {
-      return std::nullopt;
-    }
+  if (!routeAssignGroupT(prepared, sol, group, cluster, routedOperands)) {
+    return std::nullopt;
   }
   return sol;
 }
-
-namespace {
-bool routeAndAssign(const PreparedProblem& prepared, PartialSolution& sol,
-                    const Item& item, ClusterId cluster,
-                    int* routedOperands) {
-  const int maxHops = prepared.options().maxRouteHops;
-
-  // Values that must reach `cluster` (operands of a node item; the source
-  // value of a relay item).
-  std::vector<ValueId> incoming;
-  if (item.kind == Item::Kind::kNode) {
-    incoming = prepared.operandValues(item.node);
-  } else {
-    incoming.push_back(item.value);
-  }
-  for (const ValueId v : incoming) {
-    const ClusterId loc = sol.valueLocation(prepared, v);
-    if (!loc.valid() || loc == cluster) continue;
-    if (sol.valueDelivered(cluster, v)) continue;
-    if (sol.canAddCopy(prepared, loc, cluster, v)) continue;  // direct is fine
-    const auto path =
-        RouteAllocator::findPath(prepared, sol, loc, cluster, v, maxHops);
-    if (path.empty()) return false;
-    sol.applyRoute(prepared, v, path);
-    if (routedOperands != nullptr) ++*routedOperands;
-  }
-
-  // Values produced here that must reach already-assigned consumers or a
-  // (possibly already-fed) output wire.
-  std::vector<std::pair<ValueId, ClusterId>> outgoing;
-  if (item.kind == Item::Kind::kNode) {
-    const ValueId produced(item.node.value());
-    for (const DdgNodeId consumer : prepared.wsConsumers(item.node)) {
-      const ClusterId d = sol.clusterOf(consumer);
-      if (d.valid() && d != cluster) outgoing.emplace_back(produced, d);
-    }
-    const ClusterId out = prepared.outputNodeOf(produced);
-    if (out.valid()) outgoing.emplace_back(produced, out);
-  } else {
-    outgoing.emplace_back(item.value, prepared.outputNodeOf(item.value));
-  }
-  for (const auto& [v, dst] : outgoing) {
-    if (sol.valueDelivered(dst, v)) continue;
-    if (sol.canAddCopy(prepared, cluster, dst, v)) continue;
-    const auto path =
-        RouteAllocator::findPath(prepared, sol, cluster, dst, v, maxHops);
-    if (path.empty()) return false;
-    sol.applyRoute(prepared, v, path);
-    if (routedOperands != nullptr) ++*routedOperands;
-  }
-
-  if (!sol.canAssign(prepared, item, cluster)) return false;
-  sol.assign(prepared, item, cluster);
-  return true;
-}
-}  // namespace
 
 }  // namespace hca::see

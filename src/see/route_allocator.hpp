@@ -1,10 +1,15 @@
 #pragma once
 
+#include <algorithm>
+#include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "see/partial_solution.hpp"
 #include "see/prepared.hpp"
+#include "see/solution_ops.hpp"
+#include "support/check.hpp"
 
 /// The paper's configurable `no candidates action` (Section 3, Fig. 6):
 /// when no cluster can take the current item directly — every candidate is
@@ -12,7 +17,137 @@
 /// to assign the item anyway by routing the unreachable copies through
 /// intermediate clusters. A relay cluster receives the value (one receive
 /// slot of pressure) and re-sends it, consuming arc budget on both hops.
+///
+/// Like the assignment semantics (solution_ops.hpp), the routing logic is
+/// templated over the solution representation so the legacy PartialSolution
+/// entry points and the delta-based hot path run the same code.
 namespace hca::see {
+
+/// BFS over cluster nodes: shortest relay path src -> dst for `value`,
+/// where every hop respects the in-neighbor budgets in `solution`.
+/// Returns the inclusive node path, empty when unreachable.
+template <typename Sol>
+std::vector<ClusterId> findPathT(const PreparedProblem& prepared,
+                                 const Sol& solution, ClusterId src,
+                                 ClusterId dst, ValueId value, int maxHops) {
+  const auto& pg = *prepared.problem().pg;
+  const int maxPathNodes = maxHops + 2;  // src + relays + dst
+
+  std::vector<ClusterId> parent(static_cast<std::size_t>(pg.numNodes()),
+                                ClusterId::invalid());
+  std::vector<int> depth(static_cast<std::size_t>(pg.numNodes()), -1);
+  depth[src.index()] = 0;
+  std::deque<ClusterId> queue{src};
+  while (!queue.empty()) {
+    const ClusterId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    if (depth[u.index()] + 1 >= maxPathNodes) continue;
+    for (const PgArcId a : pg.outArcs(u)) {
+      const ClusterId w = pg.arc(a).dst;
+      if (depth[w.index()] != -1) continue;
+      // Only relay through (alive) cluster nodes; the destination may be
+      // anything — canAddCopy refuses dead destinations itself.
+      if (w != dst && (pg.node(w).kind != machine::PgNodeKind::kCluster ||
+                       pg.node(w).dead)) {
+        continue;
+      }
+      if (!canAddCopyT(prepared, solution, u, w, value)) continue;
+      depth[w.index()] = depth[u.index()] + 1;
+      parent[w.index()] = u;
+      queue.push_back(w);
+    }
+  }
+  if (depth[dst.index()] == -1) return {};
+  std::vector<ClusterId> path;
+  for (ClusterId v = dst; v.valid(); v = parent[v.index()]) {
+    path.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  HCA_CHECK(path.front() == src, "broken BFS parent chain");
+  return path;
+}
+
+/// Routes the copies `item` needs at `cluster` into `sol`, then assigns.
+/// Returns false (leaving `sol` partially modified — callers work on a
+/// clone or a discardable delta) when some copy cannot be routed.
+template <typename Sol>
+bool routeAndAssignT(const PreparedProblem& prepared, Sol& sol,
+                     const Item& item, ClusterId cluster,
+                     int* routedOperands) {
+  const int maxHops = prepared.options().maxRouteHops;
+
+  // Values that must reach `cluster` (operands of a node item; the source
+  // value of a relay item).
+  std::vector<ValueId> incoming;
+  if (item.kind == Item::Kind::kNode) {
+    incoming = prepared.operandValues(item.node);
+  } else {
+    incoming.push_back(item.value);
+  }
+  for (const ValueId v : incoming) {
+    const ClusterId loc = valueLocationT(prepared, sol, v);
+    if (!loc.valid() || loc == cluster) continue;
+    if (sol.valueDelivered(cluster, v)) continue;
+    if (canAddCopyT(prepared, sol, loc, cluster, v)) continue;  // direct ok
+    const auto path = findPathT(prepared, sol, loc, cluster, v, maxHops);
+    if (path.empty()) return false;
+    applyRouteT(prepared, sol, v, path);
+    if (routedOperands != nullptr) ++*routedOperands;
+  }
+
+  // Values produced here that must reach already-assigned consumers or a
+  // (possibly already-fed) output wire.
+  std::vector<std::pair<ValueId, ClusterId>> outgoing;
+  if (item.kind == Item::Kind::kNode) {
+    const ValueId produced(item.node.value());
+    for (const DdgNodeId consumer : prepared.wsConsumers(item.node)) {
+      const ClusterId d = sol.clusterOf(consumer);
+      if (d.valid() && d != cluster) outgoing.emplace_back(produced, d);
+    }
+    const ClusterId out = prepared.outputNodeOf(produced);
+    if (out.valid()) outgoing.emplace_back(produced, out);
+  } else {
+    outgoing.emplace_back(item.value, prepared.outputNodeOf(item.value));
+  }
+  for (const auto& [v, dst] : outgoing) {
+    if (sol.valueDelivered(dst, v)) continue;
+    if (canAddCopyT(prepared, sol, cluster, dst, v)) continue;
+    const auto path = findPathT(prepared, sol, cluster, dst, v, maxHops);
+    if (path.empty()) return false;
+    applyRouteT(prepared, sol, v, path);
+    if (routedOperands != nullptr) ++*routedOperands;
+  }
+
+  if (!canAssignT(prepared, sol, item, cluster)) return false;
+  assignT(prepared, sol, item, cluster);
+  return true;
+}
+
+/// Group variant over any Sol: places every member of the co-location group
+/// on `cluster`, routing as needed. All-or-nothing from the caller's
+/// perspective: on false, `sol` is partially modified and must be
+/// discarded (clone) or rebased (delta).
+template <typename Sol>
+bool routeAssignGroupT(const PreparedProblem& prepared, Sol& sol,
+                       const ItemGroup& group, ClusterId cluster,
+                       int* routedOperands) {
+  const auto& pg = *prepared.problem().pg;
+  if (pg.node(cluster).kind != machine::PgNodeKind::kCluster) {
+    return false;
+  }
+  for (const Item& item : group.members) {
+    if (canAssignT(prepared, sol, item, cluster)) {
+      assignT(prepared, sol, item, cluster);
+      continue;
+    }
+    if (!routeAndAssignT(prepared, sol, item, cluster, routedOperands)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 class RouteAllocator {
  public:

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+/// Monotonic (bump-pointer) arena allocator for short-lived, same-lifetime
+/// object batches — the SEE beam search's frontier snapshots.
+///
+/// Allocation is a pointer bump; there is no per-object free. `reset()`
+/// rewinds the whole arena in O(chunks) while *keeping* the chunk memory,
+/// so a steady-state user (the beam loop, which double-buffers two arenas
+/// and resets the retired one every step) performs zero heap allocations
+/// once the high-water mark is reached.
+///
+/// Thread safety: a `MonotonicArena` is deliberately single-threaded — one
+/// arena per search attempt, owned by the thread running that attempt
+/// (portfolio attempts each build their own). The only cross-thread state
+/// is the process-wide creation/reservation tally used by the metrics
+/// layer, which is guarded by an annotated `Mutex` so a clang
+/// `-Wthread-safety` build proves the lock discipline.
+namespace hca {
+
+class MonotonicArena {
+ public:
+  /// Process-wide tally across all arenas (metrics/diagnostics).
+  struct GlobalStats {
+    std::int64_t arenasCreated = 0;
+    std::int64_t chunksAllocated = 0;
+    std::int64_t bytesReserved = 0;  ///< cumulative chunk bytes ever malloc'd
+  };
+
+  explicit MonotonicArena(std::size_t chunkBytes = kDefaultChunkBytes);
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Requests larger than the chunk size get a
+  /// dedicated oversize chunk.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed array allocation (uninitialized storage for trivial T).
+  template <typename T>
+  T* allocateArray(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse. All memory handed out
+  /// since the last reset is invalidated.
+  void reset();
+
+  /// Live bytes handed out since the last reset (including alignment pad).
+  [[nodiscard]] std::size_t bytesUsed() const { return bytesUsed_; }
+  /// High-water mark of `bytesUsed()` over the arena's lifetime.
+  [[nodiscard]] std::size_t peakBytesUsed() const { return peakBytesUsed_; }
+  /// Total chunk capacity currently owned.
+  [[nodiscard]] std::size_t bytesReserved() const { return bytesReserved_; }
+
+  [[nodiscard]] static GlobalStats globalStats();
+
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Makes `chunkIndex_` point at a chunk with >= `bytes` free at `cursor_`.
+  void grow(std::size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunkIndex_ = 0;  ///< chunk currently being bumped
+  std::size_t cursor_ = 0;      ///< next free offset in that chunk
+  std::size_t chunkBytes_;
+  std::size_t bytesUsed_ = 0;
+  std::size_t peakBytesUsed_ = 0;
+  std::size_t bytesReserved_ = 0;
+};
+
+/// std-compatible allocator adapter over a MonotonicArena (deallocate is a
+/// no-op; memory is reclaimed by `reset()`). Containers using it must not
+/// outlive the next reset of the arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] MonotonicArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+}  // namespace hca

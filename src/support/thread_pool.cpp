@@ -49,8 +49,18 @@ ThreadPool::PoolStats ThreadPool::stats() const {
 
 int ThreadPool::resolveThreads(int requested) {
   if (requested >= 1) return requested;
+  return hardwareThreads();
+}
+
+int ThreadPool::hardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::effectiveThreads(int requested, bool allowOversubscribe) {
+  const int resolved = resolveThreads(requested);
+  return allowOversubscribe ? resolved
+                            : std::min(resolved, hardwareThreads());
 }
 
 void ThreadPool::workerLoop() {

@@ -109,6 +109,18 @@ class ThreadPool {
   /// requested value clamped to >= 1.
   [[nodiscard]] static int resolveThreads(int requested);
 
+  /// std::thread::hardware_concurrency with the zero-means-unknown case
+  /// mapped to 1.
+  [[nodiscard]] static int hardwareThreads();
+
+  /// resolveThreads, additionally clamped to hardwareThreads() unless the
+  /// caller explicitly opts into oversubscription. Requesting more workers
+  /// than cores makes a CPU-bound portfolio strictly slower (context-switch
+  /// thrash), so the clamp is the default everywhere a user-facing knob
+  /// feeds a pool size.
+  [[nodiscard]] static int effectiveThreads(int requested,
+                                            bool allowOversubscribe);
+
  private:
   struct QueuedTask {
     std::function<void()> fn;

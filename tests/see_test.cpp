@@ -609,5 +609,91 @@ TEST(FilterTest, StatsTrackPruning) {
   EXPECT_GT(result.stats.statesExplored, 0);
 }
 
+// --- copy-on-write delta path -----------------------------------------------
+
+/// The delta/arena path and the legacy deep-copy path are the same search;
+/// results must match field for field (modulo the CoW-only counters).
+void expectSameSearch(const SeeResult& legacy, const SeeResult& delta) {
+  ASSERT_EQ(legacy.legal, delta.legal)
+      << legacy.failureReason << " vs " << delta.failureReason;
+  EXPECT_EQ(legacy.failureReason, delta.failureReason);
+  EXPECT_EQ(legacy.stats.statesExplored, delta.stats.statesExplored);
+  EXPECT_EQ(legacy.stats.candidatesEvaluated, delta.stats.candidatesEvaluated);
+  EXPECT_EQ(legacy.stats.candidateRejections,
+            delta.stats.candidateRejections);
+  EXPECT_EQ(legacy.stats.statesPruned, delta.stats.statesPruned);
+  EXPECT_EQ(legacy.stats.routeInvocations, delta.stats.routeInvocations);
+  EXPECT_EQ(legacy.stats.routeFailures, delta.stats.routeFailures);
+  EXPECT_EQ(legacy.stats.routedOperands, delta.stats.routedOperands);
+  ASSERT_EQ(legacy.alternatives.size(), delta.alternatives.size());
+  for (std::size_t i = 0; i < legacy.alternatives.size(); ++i) {
+    const auto& ls = legacy.alternatives[i];
+    const auto& ds = delta.alternatives[i];
+    EXPECT_EQ(ls.signature(), ds.signature()) << "frontier state " << i;
+    EXPECT_DOUBLE_EQ(ls.objective(), ds.objective()) << "frontier state " << i;
+    EXPECT_EQ(ls.flow().totalCopies(), ds.flow().totalCopies())
+        << "frontier state " << i;
+  }
+  if (legacy.legal) {
+    EXPECT_EQ(legacy.solution.signature(), delta.solution.signature());
+    EXPECT_DOUBLE_EQ(legacy.solution.objective(), delta.solution.objective());
+  }
+}
+
+/// Runs `problem` through both paths under `options` and checks equality.
+void roundTrip(const SeeProblem& problem, SeeOptions options) {
+  options.legacySearch = true;
+  const auto legacy = SpaceExplorationEngine(options).run(problem);
+  options.legacySearch = false;
+  const auto delta = SpaceExplorationEngine(options).run(problem);
+  expectSameSearch(legacy, delta);
+  EXPECT_EQ(legacy.stats.copiesAvoided, 0);
+  if (delta.stats.statesExplored > 0) {
+    EXPECT_GT(delta.stats.snapshotsMaterialized, 0);
+    EXPECT_GT(delta.stats.arenaBytesPeak, 0);
+  }
+}
+
+TEST(DeltaSearchTest, MatchesLegacyOnDiamond) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(2);
+  roundTrip(baseProblem(ddg, pg), SeeOptions{});
+}
+
+TEST(DeltaSearchTest, MatchesLegacyOnFir2DimAcrossBeamWidths) {
+  const auto kernel = ddg::buildFir2Dim();
+  const auto pg = smallPg(8);
+  const auto problem = baseProblem(kernel.ddg, pg);
+  for (const int beam : {1, 2, 6}) {
+    SeeOptions options;
+    options.beamWidth = beam;
+    options.candidateKeep = beam == 1 ? 1 : 4;
+    roundTrip(problem, options);
+  }
+}
+
+TEST(DeltaSearchTest, MatchesLegacyOnInfeasibleProblem) {
+  // One 1x1 cluster cannot host fir2dim: both paths must fail identically
+  // (same failure reason, same partial stats).
+  const auto kernel = ddg::buildFir2Dim();
+  machine::PatternGraph pg;
+  pg.addCluster(machine::ResourceTable(1, 1));
+  auto problem = baseProblem(kernel.ddg, pg);
+  roundTrip(problem, SeeOptions{});
+}
+
+TEST(DeltaSearchTest, MatchesLegacyWithEagerRouting) {
+  const auto kernel = ddg::buildIdctHor();
+  const auto pg = smallPg(8);
+  auto problem = baseProblem(kernel.ddg, pg);
+  problem.inWiresPerCluster = 4;
+  problem.outWiresPerCluster = 4;
+  for (const bool eager : {false, true}) {
+    SeeOptions options;
+    options.eagerRouting = eager;
+    roundTrip(problem, options);
+  }
+}
+
 }  // namespace
 }  // namespace hca::see

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <unordered_set>
+#include <vector>
 
+#include "support/arena.hpp"
 #include "support/check.hpp"
 #include "support/dot.hpp"
 #include "support/ids.hpp"
@@ -293,6 +296,67 @@ TEST(DotTest, EmitsWellFormedGraph) {
   EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
   EXPECT_EQ(out.back(), '\n');
   EXPECT_NE(out.find("}"), std::string::npos);
+}
+
+// --- arena -----------------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  MonotonicArena arena(256);
+  auto* a = arena.allocateArray<std::uint64_t>(4);
+  auto* b = arena.allocateArray<std::uint32_t>(3);
+  void* c = arena.allocate(1, 1);
+  void* d = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % 8, 0u);
+  // Disjoint: writing one block must not disturb another.
+  for (int i = 0; i < 4; ++i) a[i] = 0x1111111111111111ULL * (i + 1);
+  for (int i = 0; i < 3; ++i) b[i] = 0x22222222U;
+  *static_cast<char*>(c) = 'x';
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], 0x1111111111111111ULL * (i + 1));
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(b[i], 0x22222222U);
+}
+
+TEST(ArenaTest, ResetKeepsChunksAndTracksPeak) {
+  MonotonicArena arena(1024);
+  for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+  const auto usedBefore = arena.bytesUsed();
+  const auto reservedBefore = arena.bytesReserved();
+  EXPECT_GE(usedBefore, 64u * 64u);
+  EXPECT_GE(arena.peakBytesUsed(), usedBefore);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytesUsed(), 0u);
+  EXPECT_EQ(arena.peakBytesUsed(), usedBefore);  // peak survives reset
+  EXPECT_EQ(arena.bytesReserved(), reservedBefore);  // chunks kept
+
+  // Steady state: re-filling to the same high-water mark reuses the kept
+  // chunks and reserves nothing new.
+  for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.bytesReserved(), reservedBefore);
+  EXPECT_EQ(arena.peakBytesUsed(), usedBefore);
+}
+
+TEST(ArenaTest, OversizeRequestsGetDedicatedChunks) {
+  MonotonicArena arena(128);
+  auto* big = arena.allocateArray<std::byte>(4096);
+  ASSERT_NE(big, nullptr);
+  big[0] = std::byte{1};
+  big[4095] = std::byte{2};
+  EXPECT_GE(arena.bytesReserved(), 4096u);
+  // Small allocations still work after an oversize one.
+  void* small = arena.allocate(16, 8);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(ArenaTest, ArenaAllocatorWorksWithStdVector) {
+  MonotonicArena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_GT(arena.bytesUsed(), 0u);
 }
 
 // --- json ------------------------------------------------------------------

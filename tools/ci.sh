@@ -10,6 +10,10 @@
 #                 no thread-safety analysis)
 #   3. lint     — tools/run_clang_tidy.sh over src/tools/examples; skips
 #                 itself when clang-tidy is missing
+#   4. perf     — a Release build running the bench_micro suite once (tiny
+#                 repetitions). This is a smoke test: it fails on crash,
+#                 assertion, or sanitizer abort inside the benchmarked
+#                 paths, never on timing.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -34,5 +38,15 @@ fi
 
 echo "=== ci: clang-tidy ==="
 "${root}/tools/run_clang_tidy.sh" "${root}/build"
+
+echo "=== ci: perf smoke (Release bench_micro) ==="
+cmake -B "${root}/build-perf" -S "${root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${root}/build-perf" -j "${jobs}" --target bench_micro
+# One pass over every benchmark with minimal timing effort. Exit status is
+# the verdict — crashes/aborts in the CoW beam search, the arena, or any
+# other benchmarked component fail CI; wall-clock numbers are informational.
+(cd "${root}/build-perf/bench" &&
+  ./bench_micro --benchmark_min_time=0.01 --benchmark_repetitions=1)
+echo "ci: perf smoke passed (timings informational; BENCH_micro.json written)"
 
 echo "=== ci: all stages passed ==="

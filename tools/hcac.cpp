@@ -54,6 +54,13 @@ void usage() {
       "                       throws and walks the fallback ladder\n"
       "  --deadline-ms INT    wall-clock budget for the whole run (0 = off)\n"
       "  --max-beam-steps INT per-attempt SEE expansion budget (0 = off)\n"
+      "  --threads INT        outer-sweep portfolio width (default 1;\n"
+      "                       0 = hardware_concurrency). Clamped to the\n"
+      "                       core count unless --oversubscribe is given\n"
+      "  --oversubscribe      honor a --threads value above the core count\n"
+      "  --legacy-see         use the materialized (deep-copy) SEE beam\n"
+      "                       loop instead of the copy-on-write delta path\n"
+      "                       (byte-identical results; for comparison)\n"
       "  --verify-each        run every registered invariant check between\n"
       "                       pipeline stages and on the final result\n"
       "  --verify LIST        like --verify-each, restricted to a comma-\n"
@@ -93,6 +100,9 @@ int runTool(int argc, char** argv) {
   std::string failurePolicy = "strict";
   int deadlineMs = 0;
   int maxBeamSteps = 0;
+  int numThreads = 1;
+  bool oversubscribe = false;
+  bool legacySee = false;
   bool schedule = false;
   int simulateIterations = 0;
   bool emitReconfig = false;
@@ -130,6 +140,9 @@ int runTool(int argc, char** argv) {
     else if (arg == "--deadline-ms") deadlineMs = parseIntFlag(arg, value());
     else if (arg == "--max-beam-steps")
       maxBeamSteps = parseIntFlag(arg, value());
+    else if (arg == "--threads") numThreads = parseIntFlag(arg, value());
+    else if (arg == "--oversubscribe") oversubscribe = true;
+    else if (arg == "--legacy-see") legacySee = true;
     else if (arg == "--verify-each") verifyEach = true;
     else if (arg == "--verify") {
       verifyEach = true;
@@ -205,6 +218,9 @@ int runTool(int argc, char** argv) {
   }
   hcaOptions.deadlineMs = deadlineMs;
   hcaOptions.maxBeamSteps = maxBeamSteps;
+  hcaOptions.numThreads = numThreads;
+  hcaOptions.allowOversubscribe = oversubscribe;
+  hcaOptions.see.legacySearch = legacySee;
   hcaOptions.verifyEach = verifyEach;
   hcaOptions.verifyChecks = verifyChecks;
   Tracer tracer(/*enabled=*/!traceOut.empty());
