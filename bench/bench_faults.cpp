@@ -9,13 +9,14 @@
 
 #include <cstdio>
 #include <ctime>
-#include <fstream>
+#include <sstream>
 
 #include "ddg/kernels.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/report.hpp"
 #include "support/fault_inject.hpp"
+#include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 
@@ -89,7 +90,7 @@ int main() {
   for (const int deadCns : kFaultCounts) std::printf(" %5dCN ", deadCns);
   std::printf("\n%s\n", std::string(70, '-').c_str());
   const std::clock_t t0 = std::clock();
-  std::ofstream jsonOut("BENCH_faults.json");
+  std::ostringstream jsonOut;
   JsonWriter json(jsonOut);
   json.beginObject();
   json.key("bench").value("faults");
@@ -99,6 +100,8 @@ int main() {
   json.endArray();
   json.endObject();
   jsonOut << "\n";
+  // Atomic write: never leave a truncated BENCH JSON behind.
+  atomicWriteFile("BENCH_faults.json", jsonOut.str());
   std::printf("\nTotal time: %.1fs\n",
               static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
   std::printf("Per-cell rows with embedded run reports: BENCH_faults.json\n");

@@ -12,14 +12,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sstream>
+
 #include "ddg/kernels.hpp"
 #include "hca/driver.hpp"
+#include "support/io.hpp"
 
 using namespace hca;
 
@@ -121,7 +123,7 @@ int main(int argc, char** argv) {
   }
 
   // Machine-readable trajectory for cross-PR tracking.
-  std::ofstream json("BENCH_parallel.json");
+  std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"parallel_portfolio\",\n"
        << "  \"machine\": \"" << config.toString() << "\",\n"
@@ -145,6 +147,8 @@ int main(int argc, char** argv) {
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
+  // Atomic write: never leave a truncated BENCH JSON behind.
+  atomicWriteFile("BENCH_parallel.json", json.str());
   std::printf("\nWrote BENCH_parallel.json (%zu rows)\n", rows.size());
   return 0;
 }

@@ -21,7 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 
 #include "ddg/kernels.hpp"
 #include "hca/driver.hpp"
@@ -30,6 +30,7 @@
 #include "hca/report.hpp"
 #include "sched/modulo.hpp"
 #include "sim/simulator.hpp"
+#include "support/io.hpp"
 #include "support/json.hpp"
 
 using namespace hca;
@@ -61,7 +62,7 @@ int main() {
 
   // Machine-readable twin of the printed table: one row per kernel, each
   // embedding the full per-phase run report (levels, metrics registry).
-  std::ofstream jsonOut("BENCH_table1.json");
+  std::ostringstream jsonOut;
   JsonWriter json(jsonOut);
   json.beginObject();
   json.key("bench").value("table1");
@@ -176,6 +177,9 @@ int main() {
   json.endArray();
   json.endObject();
   jsonOut << "\n";
+  // Atomic write: a crash (or full disk) mid-write must not leave a
+  // truncated BENCH JSON that downstream tracking parses as a regression.
+  atomicWriteFile("BENCH_table1.json", jsonOut.str());
   std::printf(
       "\nNotes: N_Instr/MIIRec/MIIRes reproduce the paper exactly (input\n"
       "calibration, DESIGN.md §4). finalMII is our heuristic's result; the\n"

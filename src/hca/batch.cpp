@@ -1,0 +1,428 @@
+#include "hca/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "ddg/kernels.hpp"
+#include "ddg/serialize.hpp"
+#include "hca/checkpoint.hpp"
+#include "hca/report.hpp"
+#include "machine/fault.hpp"
+#include "support/check.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+namespace {
+
+// --- strict manifest accessors ---------------------------------------------
+
+const JsonValue& member(const JsonValue& v, const char* name) {
+  const JsonValue* m = v.find(name);
+  HCA_REQUIRE(m != nullptr, "batch manifest: missing member '" << name << "'");
+  return *m;
+}
+
+const std::string& asString(const JsonValue& v, const char* what) {
+  HCA_REQUIRE(v.kind == JsonValue::Kind::kString,
+              "batch manifest: '" << what << "' must be a string");
+  return v.string;
+}
+
+int asI32(const JsonValue& v, const char* what) {
+  HCA_REQUIRE(v.kind == JsonValue::Kind::kNumber && v.number >= INT32_MIN &&
+                  v.number <= INT32_MAX &&
+                  v.number == static_cast<double>(
+                                  static_cast<std::int64_t>(v.number)),
+              "batch manifest: '" << what << "' must be an integer");
+  return static_cast<int>(v.number);
+}
+
+bool asBool(const JsonValue& v, const char* what) {
+  HCA_REQUIRE(v.kind == JsonValue::Kind::kBool,
+              "batch manifest: '" << what << "' must be a bool");
+  return v.boolean;
+}
+
+bool safeName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// One try's outcome, separated from the retry loop so the loop body stays
+/// a pure state machine.
+struct TryOutcome {
+  enum class Kind { kOk, kFailed, kInvalid, kCancelled } kind = Kind::kFailed;
+  std::string failureReason;
+  std::string fallbackUsed;
+  int achievedTargetIi = 0;
+  bool haveResult = false;
+  HcaResult result;
+};
+
+TryOutcome runOneTry(const BatchJob& job, const ddg::Ddg& ddg,
+                     const machine::DspFabricModel& model,
+                     CheckpointManager* checkpoint, bool lastTry,
+                     const BatchOptions& batch) {
+  TryOutcome out;
+  HcaOptions options = batch.base;
+  options.deadlineMs = job.deadlineMs;
+  options.numThreads = job.threads;
+  options.targetIiSlack = job.targetIiSlack;
+  options.memoryBudgetBytes = job.memoryBudgetBytes;
+  options.externalCancel = batch.cancel;
+  options.checkpoint = checkpoint;
+  if (lastTry && job.degradeOnLastRetry) {
+    // Degrade-on-last-retry: the final try arms the full escalation ladder
+    // (widened beam, degraded bandwidth, flat ICA) instead of failing on
+    // the primary sweep alone.
+    options.failurePolicy = FailurePolicy::kDegrade;
+  }
+  try {
+    const HcaDriver driver(model, options);
+    out.result = driver.run(ddg);
+    out.haveResult = true;
+  } catch (const InvalidArgumentError& e) {
+    // Permanent: the same input fails the same way on every retry.
+    out.kind = TryOutcome::Kind::kInvalid;
+    out.failureReason = e.what();
+    return out;
+  } catch (const std::exception& e) {
+    // Isolation: an internal error in one job must not take the batch
+    // down. It is retriable — a later try runs a different policy.
+    out.kind = TryOutcome::Kind::kFailed;
+    out.failureReason = e.what();
+    return out;
+  }
+  if (out.result.legal) {
+    out.kind = TryOutcome::Kind::kOk;
+    out.fallbackUsed = out.result.fallbackUsed;
+    out.achievedTargetIi = out.result.stats.achievedTargetIi;
+    return out;
+  }
+  // kDegrade folds invalid input into a structured report instead of a
+  // throw; keep the permanence semantics identical across policies.
+  if (out.result.failure != nullptr &&
+      out.result.failure->cause == FailureCause::kInvalidInput) {
+    out.kind = TryOutcome::Kind::kInvalid;
+    out.failureReason = out.result.failureReason;
+    return out;
+  }
+  const bool cancelled = batch.cancel != nullptr && batch.cancel->cancelled();
+  out.kind = cancelled ? TryOutcome::Kind::kCancelled
+                       : TryOutcome::Kind::kFailed;
+  out.failureReason = out.result.failureReason.empty()
+                          ? "no legal mapping"
+                          : out.result.failureReason;
+  return out;
+}
+
+/// Cancellable backoff sleep: 10ms slices, aborted when the shutdown token
+/// trips (the pending retry is then pointless).
+void backoffSleep(std::int64_t delayMs, const BatchOptions& batch) {
+  if (batch.sleeper) {
+    batch.sleeper(delayMs);
+    return;
+  }
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(delayMs);
+  while (std::chrono::steady_clock::now() < until) {
+    if (batch.cancel != nullptr && batch.cancel->cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void notify(const BatchOptions& batch, const BatchJob& job, int tryNumber,
+            const char* event) {
+  if (batch.observer) batch.observer(job, tryNumber, event);
+}
+
+}  // namespace
+
+const char* to_string(BatchJobStatus status) {
+  switch (status) {
+    case BatchJobStatus::kOk: return "ok";
+    case BatchJobStatus::kFailed: return "failed";
+    case BatchJobStatus::kInvalid: return "invalid";
+    case BatchJobStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::vector<BatchJob> parseManifest(const std::string& text) {
+  JsonValue root;
+  std::string error;
+  HCA_REQUIRE(parseJson(text, &root, &error),
+              "batch manifest: bad JSON: " << error);
+  HCA_REQUIRE(root.isObject(), "batch manifest: top level must be an object");
+  const JsonValue& jobsValue = member(root, "jobs");
+  HCA_REQUIRE(jobsValue.isArray(), "batch manifest: 'jobs' must be an array");
+  HCA_REQUIRE(!jobsValue.array.empty(), "batch manifest: 'jobs' is empty");
+
+  std::vector<BatchJob> jobs;
+  std::set<std::string> names;
+  for (const JsonValue& j : jobsValue.array) {
+    HCA_REQUIRE(j.isObject(), "batch manifest: each job must be an object");
+    BatchJob job;
+    for (const auto& [key, value] : j.object) {
+      if (key == "name") {
+        job.name = asString(value, "name");
+      } else if (key == "kernel") {
+        job.kernel = asString(value, "kernel");
+      } else if (key == "ddg") {
+        job.ddgPath = asString(value, "ddg");
+      } else if (key == "deadline_ms") {
+        job.deadlineMs = asI32(value, "deadline_ms");
+      } else if (key == "max_retries") {
+        job.maxRetries = asI32(value, "max_retries");
+      } else if (key == "backoff_base_ms") {
+        job.backoffBaseMs = asI32(value, "backoff_base_ms");
+      } else if (key == "degrade_on_last_retry") {
+        job.degradeOnLastRetry = asBool(value, "degrade_on_last_retry");
+      } else if (key == "fail_first_attempts") {
+        job.failFirstAttempts = asI32(value, "fail_first_attempts");
+      } else if (key == "checkpoint") {
+        job.checkpointPath = asString(value, "checkpoint");
+      } else if (key == "memory_budget_mb") {
+        job.memoryBudgetBytes =
+            static_cast<std::int64_t>(asI32(value, "memory_budget_mb")) *
+            1024 * 1024;
+      } else if (key == "threads") {
+        job.threads = asI32(value, "threads");
+      } else if (key == "target_ii_slack") {
+        job.targetIiSlack = asI32(value, "target_ii_slack");
+      } else if (key == "faults") {
+        job.faults = asString(value, "faults");
+      } else {
+        HCA_REQUIRE(false, "batch manifest: unknown job member '" << key
+                                                                  << "'");
+      }
+    }
+    HCA_REQUIRE(safeName(job.name),
+                "batch manifest: job name '"
+                    << job.name
+                    << "' must be non-empty [A-Za-z0-9._-] (it names report "
+                       "files)");
+    HCA_REQUIRE(names.insert(job.name).second,
+                "batch manifest: duplicate job name '" << job.name << "'");
+    HCA_REQUIRE(job.kernel.empty() != job.ddgPath.empty(),
+                "batch manifest: job '" << job.name
+                                        << "' needs exactly one of 'kernel' "
+                                           "or 'ddg'");
+    HCA_REQUIRE(job.deadlineMs >= 0 && job.maxRetries >= 0 &&
+                    job.backoffBaseMs >= 1 && job.failFirstAttempts >= 0,
+                "batch manifest: job '" << job.name
+                                        << "' has a negative budget field");
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::int64_t backoffDelayMs(const std::string& jobName, int tryNumber,
+                            int backoffBaseMs) {
+  HCA_REQUIRE(tryNumber >= 2, "backoff precedes retries only (try >= 2)");
+  const int exponent = std::min(tryNumber - 2, 16);
+  const std::int64_t base =
+      std::min<std::int64_t>(static_cast<std::int64_t>(backoffBaseMs)
+                                 << exponent,
+                             30'000);
+  // Deterministic jitter: seeded from (job, try), so a retry schedule is
+  // reproducible in tests yet de-synchronized across jobs and processes.
+  Rng rng(fnv1a64(jobName) ^ (static_cast<std::uint64_t>(tryNumber) << 32));
+  const std::int64_t jitter = static_cast<std::int64_t>(
+      rng.below(static_cast<std::uint64_t>(std::max(1, backoffBaseMs))));
+  return base + jitter;
+}
+
+BatchSummary runBatch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options) {
+  BatchSummary summary;
+  for (const BatchJob& job : jobs) {
+    BatchJobResult jr;
+    jr.name = job.name;
+    const auto started = std::chrono::steady_clock::now();
+
+    const bool shuttingDown =
+        options.cancel != nullptr && options.cancel->cancelled();
+    if (shuttingDown) {
+      jr.status = BatchJobStatus::kCancelled;
+      jr.failureReason = "batch shutdown before the job started";
+      notify(options, job, 0, "cancelled");
+      summary.jobs.push_back(std::move(jr));
+      ++summary.cancelled;
+      continue;
+    }
+
+    // --- Load inputs. Anything wrong here is permanent (kInvalid). --------
+    ddg::Ddg ddg;
+    std::unique_ptr<machine::DspFabricModel> model;
+    std::unique_ptr<CheckpointManager> checkpoint;
+    std::string loadError;
+    try {
+      if (!job.kernel.empty()) {
+        const std::vector<ddg::Kernel> kernels = ddg::table1Kernels();
+        const auto it = std::find_if(
+            kernels.begin(), kernels.end(),
+            [&](const ddg::Kernel& k) { return k.name == job.kernel; });
+        HCA_REQUIRE(it != kernels.end(),
+                    "unknown built-in kernel '" << job.kernel << "'");
+        ddg = it->ddg;
+      } else {
+        ddg = ddg::fromText(readFile(job.ddgPath));
+      }
+      machine::DspFabricConfig config;
+      machine::FaultSet faults;
+      if (!job.faults.empty()) faults = machine::FaultSet::parse(job.faults);
+      model = std::make_unique<machine::DspFabricModel>(config, faults);
+      if (!job.checkpointPath.empty()) {
+        checkpoint = std::make_unique<CheckpointManager>(job.checkpointPath);
+        checkpoint->loadForResume();  // fresh start when the file is absent
+      }
+    } catch (const std::exception& e) {
+      loadError = e.what();
+    }
+    if (!loadError.empty()) {
+      jr.status = BatchJobStatus::kInvalid;
+      jr.failureReason = loadError;
+      notify(options, job, 0, "invalid");
+      jr.wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+      summary.jobs.push_back(std::move(jr));
+      ++summary.invalid;
+      continue;
+    }
+
+    // --- Retry loop. ------------------------------------------------------
+    const int maxTries = 1 + std::max(0, job.maxRetries);
+    TryOutcome outcome;
+    for (int tryNumber = 1; tryNumber <= maxTries; ++tryNumber) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        outcome.kind = TryOutcome::Kind::kCancelled;
+        outcome.failureReason = "batch shutdown during retry backoff";
+        break;
+      }
+      if (tryNumber >= 2) {
+        notify(options, job, tryNumber, "retry-wait");
+        backoffSleep(backoffDelayMs(job.name, tryNumber, job.backoffBaseMs),
+                     options);
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+          outcome.kind = TryOutcome::Kind::kCancelled;
+          outcome.failureReason = "batch shutdown during retry backoff";
+          break;
+        }
+      }
+      jr.triesUsed = tryNumber;
+      if (tryNumber <= job.failFirstAttempts) {
+        // Deterministic fault injection (tests, CI): this try fails
+        // outright, exercising the retry/backoff path without a flaky
+        // dependency on search behaviour.
+        notify(options, job, tryNumber, "injected-failure");
+        outcome.kind = TryOutcome::Kind::kFailed;
+        outcome.failureReason =
+            strCat("injected failure (fail_first_attempts=",
+                   job.failFirstAttempts, ")");
+        continue;
+      }
+      const bool lastTry = tryNumber == maxTries;
+      notify(options, job, tryNumber, "start");
+      jr.degraded = lastTry && job.degradeOnLastRetry;
+      outcome = runOneTry(job, ddg, *model, checkpoint.get(), lastTry,
+                          options);
+      if (outcome.kind == TryOutcome::Kind::kOk ||
+          outcome.kind == TryOutcome::Kind::kInvalid ||
+          outcome.kind == TryOutcome::Kind::kCancelled) {
+        break;
+      }
+      notify(options, job, tryNumber, "failed");
+    }
+
+    // --- Fold the final outcome into the summary. -------------------------
+    switch (outcome.kind) {
+      case TryOutcome::Kind::kOk:
+        jr.status = BatchJobStatus::kOk;
+        jr.fallbackUsed = outcome.fallbackUsed;
+        jr.achievedTargetIi = outcome.achievedTargetIi;
+        // A finished job has nothing to resume into.
+        if (checkpoint != nullptr) removeFileIfExists(checkpoint->path());
+        ++summary.ok;
+        notify(options, job, jr.triesUsed, "ok");
+        break;
+      case TryOutcome::Kind::kFailed:
+        jr.status = BatchJobStatus::kFailed;
+        jr.failureReason = outcome.failureReason;
+        ++summary.failed;
+        break;
+      case TryOutcome::Kind::kInvalid:
+        jr.status = BatchJobStatus::kInvalid;
+        jr.failureReason = outcome.failureReason;
+        ++summary.invalid;
+        notify(options, job, jr.triesUsed, "invalid");
+        break;
+      case TryOutcome::Kind::kCancelled:
+        jr.status = BatchJobStatus::kCancelled;
+        jr.failureReason = outcome.failureReason;
+        // Durability on shutdown: persist whatever the interrupted run
+        // recorded so `--resume` continues from this boundary.
+        if (checkpoint != nullptr) checkpoint->flush();
+        ++summary.cancelled;
+        notify(options, job, jr.triesUsed, "cancelled");
+        break;
+    }
+    jr.wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+
+    // Best-so-far run report, even for failed/cancelled jobs (an IoError
+    // here is an infrastructure failure and propagates to the caller —
+    // job isolation covers compile failures, not a broken report disk).
+    if (!options.reportDir.empty() && outcome.haveResult) {
+      atomicWriteFile(strCat(options.reportDir, "/", job.name,
+                             ".report.json"),
+                      runReportJson(outcome.result, model.get()) + "\n");
+    }
+    summary.jobs.push_back(std::move(jr));
+  }
+  return summary;
+}
+
+std::string batchSummaryJson(const BatchSummary& summary) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.beginObject();
+  json.key("ok").value(summary.ok);
+  json.key("failed").value(summary.failed);
+  json.key("invalid").value(summary.invalid);
+  json.key("cancelled").value(summary.cancelled);
+  json.key("all_ok").value(summary.allOk());
+  json.key("jobs").beginArray();
+  for (const BatchJobResult& jr : summary.jobs) {
+    json.beginObject();
+    json.key("name").value(jr.name);
+    json.key("status").value(to_string(jr.status));
+    json.key("tries_used").value(jr.triesUsed);
+    json.key("degraded").value(jr.degraded);
+    json.key("fallback_used").value(jr.fallbackUsed);
+    json.key("failure_reason").value(jr.failureReason);
+    json.key("achieved_target_ii").value(jr.achievedTargetIi);
+    json.key("wall_ms").value(jr.wallMs);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return os.str();
+}
+
+}  // namespace hca::core

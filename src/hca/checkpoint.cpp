@@ -1,0 +1,478 @@
+#include "hca/checkpoint.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "ddg/serialize.hpp"
+#include "see/serialize.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+namespace hca::core {
+
+namespace {
+
+constexpr const char kMagic[] = "HCACHK";
+constexpr int kVersion = 1;
+
+[[noreturn]] void fail(CheckpointError::Kind kind, const std::string& message) {
+  throw CheckpointError(kind, strCat("checkpoint: ", message));
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+// --- binary-key hex transport ----------------------------------------------
+
+std::string hexEncode(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+int hexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string hexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    fail(CheckpointError::Kind::kBadPayload, "odd-length hex cache key");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hexNibble(hex[i]);
+    const int lo = hexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      fail(CheckpointError::Kind::kBadPayload, "bad hex in cache key");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+// --- strict payload accessors ----------------------------------------------
+
+const JsonValue& member(const JsonValue& v, const char* name) {
+  if (!v.isObject()) {
+    fail(CheckpointError::Kind::kBadPayload,
+         strCat("expected an object around '", name, "'"));
+  }
+  const JsonValue* m = v.find(name);
+  if (m == nullptr) {
+    fail(CheckpointError::Kind::kBadPayload,
+         strCat("missing member '", name, "'"));
+  }
+  return *m;
+}
+
+std::int64_t asInt(const JsonValue& v, const char* what) {
+  if (v.kind != JsonValue::Kind::kNumber || std::floor(v.number) != v.number ||
+      std::abs(v.number) > 9007199254740992.0) {
+    fail(CheckpointError::Kind::kBadPayload,
+         strCat("'", what, "' must be an exact integer"));
+  }
+  return static_cast<std::int64_t>(v.number);
+}
+
+int asI32(const JsonValue& v, const char* what) {
+  const std::int64_t i = asInt(v, what);
+  if (i < INT32_MIN || i > INT32_MAX) {
+    fail(CheckpointError::Kind::kBadPayload,
+         strCat("'", what, "' out of int32 range"));
+  }
+  return static_cast<int>(i);
+}
+
+const std::string& asString(const JsonValue& v, const char* what) {
+  if (v.kind != JsonValue::Kind::kString) {
+    fail(CheckpointError::Kind::kBadPayload,
+         strCat("'", what, "' must be a string"));
+  }
+  return v.string;
+}
+
+const std::vector<JsonValue>& asArray(const JsonValue& v, const char* what) {
+  if (!v.isArray()) {
+    fail(CheckpointError::Kind::kBadPayload,
+         strCat("'", what, "' must be an array"));
+  }
+  return v.array;
+}
+
+// --- HcaStats ---------------------------------------------------------------
+
+// Same field names as the run report (hca/report.cpp), so the two formats
+// stay cross-readable by the same tooling.
+void writeStats(JsonWriter& json, const HcaStats& s) {
+  json.beginObject();
+  json.key("problemsSolved").value(s.problemsSolved);
+  json.key("backtrackAttempts").value(s.backtrackAttempts);
+  json.key("outerAttempts").value(s.outerAttempts);
+  json.key("achievedTargetIi").value(s.achievedTargetIi);
+  json.key("attemptsCancelled").value(s.attemptsCancelled);
+  json.key("statesExplored").value(s.statesExplored);
+  json.key("candidatesEvaluated").value(s.candidatesEvaluated);
+  json.key("routeInvocations").value(s.routeInvocations);
+  json.key("cacheHits").value(s.cacheHits);
+  json.key("cacheMisses").value(s.cacheMisses);
+  json.key("maxWirePressure").value(s.maxWirePressure);
+  json.key("seeCopiesAvoided").value(s.seeCopiesAvoided);
+  json.key("seeSnapshotsMaterialized").value(s.seeSnapshotsMaterialized);
+  json.key("seeArenaBytesPeak").value(s.seeArenaBytesPeak);
+  json.endObject();
+}
+
+HcaStats parseStats(const JsonValue& v) {
+  HcaStats s;
+  s.problemsSolved = asI32(member(v, "problemsSolved"), "problemsSolved");
+  s.backtrackAttempts =
+      asI32(member(v, "backtrackAttempts"), "backtrackAttempts");
+  s.outerAttempts = asI32(member(v, "outerAttempts"), "outerAttempts");
+  s.achievedTargetIi =
+      asI32(member(v, "achievedTargetIi"), "achievedTargetIi");
+  s.attemptsCancelled =
+      asI32(member(v, "attemptsCancelled"), "attemptsCancelled");
+  s.statesExplored = asInt(member(v, "statesExplored"), "statesExplored");
+  s.candidatesEvaluated =
+      asInt(member(v, "candidatesEvaluated"), "candidatesEvaluated");
+  s.routeInvocations =
+      asInt(member(v, "routeInvocations"), "routeInvocations");
+  s.cacheHits = asInt(member(v, "cacheHits"), "cacheHits");
+  s.cacheMisses = asInt(member(v, "cacheMisses"), "cacheMisses");
+  s.maxWirePressure = asI32(member(v, "maxWirePressure"), "maxWirePressure");
+  s.seeCopiesAvoided =
+      asInt(member(v, "seeCopiesAvoided"), "seeCopiesAvoided");
+  s.seeSnapshotsMaterialized = asInt(member(v, "seeSnapshotsMaterialized"),
+                                     "seeSnapshotsMaterialized");
+  s.seeArenaBytesPeak =
+      asInt(member(v, "seeArenaBytesPeak"), "seeArenaBytesPeak");
+  return s;
+}
+
+std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(CheckpointError::Kind kind) {
+  switch (kind) {
+    case CheckpointError::Kind::kBadMagic:
+      return "bad-magic";
+    case CheckpointError::Kind::kBadVersion:
+      return "bad-version";
+    case CheckpointError::Kind::kTruncated:
+      return "truncated";
+    case CheckpointError::Kind::kBadChecksum:
+      return "bad-checksum";
+    case CheckpointError::Kind::kBadPayload:
+      return "bad-payload";
+    case CheckpointError::Kind::kWrongRun:
+      return "wrong-run";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string serializeCheckpoint(const CheckpointData& data) {
+  std::ostringstream payload;
+  JsonWriter json(payload);
+  json.beginObject();
+  json.key("fingerprint").value(data.fingerprint);
+  json.key("iniMii").value(data.iniMii);
+  json.key("attempts").beginArray();
+  for (const CheckpointAttempt& a : data.attempts) {
+    json.beginObject();
+    json.key("phase").value(a.phase);
+    json.key("index").value(a.index);
+    json.key("target").value(a.target);
+    json.key("profile").value(a.profile);
+    json.key("failureReason").value(a.failureReason);
+    json.key("stats");
+    writeStats(json, a.stats);
+    json.endObject();
+  }
+  json.endArray();
+  json.key("caches").beginArray();
+  for (const auto& [scope, entries] : data.cacheByScope) {
+    json.beginObject();
+    json.key("scope").value(scope);
+    json.key("entries").beginArray();
+    for (const auto& [key, result] : entries) {
+      json.beginObject();
+      json.key("key").value(hexEncode(key));
+      json.key("result");
+      see::writeSeeResult(json, result);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+
+  const std::string body = payload.str();
+  return strCat(kMagic, " ", kVersion, " ", hex64(fnv1a64(body)), " ",
+                body.size(), "\n", body);
+}
+
+CheckpointData parseCheckpoint(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string::npos) {
+    fail(CheckpointError::Kind::kBadMagic, "missing header line");
+  }
+  const std::string header = text.substr(0, eol);
+  std::istringstream hs(header);
+  std::string magic;
+  int version = 0;
+  std::string checksumHex;
+  std::uint64_t payloadLen = 0;
+  if (!(hs >> magic) || magic != kMagic) {
+    fail(CheckpointError::Kind::kBadMagic,
+         strCat("not a checkpoint file (header '", header, "')"));
+  }
+  if (!(hs >> version) || !(hs >> checksumHex) || !(hs >> payloadLen)) {
+    fail(CheckpointError::Kind::kBadMagic,
+         strCat("malformed header '", header, "'"));
+  }
+  if (version != kVersion) {
+    fail(CheckpointError::Kind::kBadVersion,
+         strCat("unsupported version ", version, " (expected ", kVersion,
+                ")"));
+  }
+  const std::string body = text.substr(eol + 1);
+  if (body.size() != payloadLen) {
+    fail(CheckpointError::Kind::kTruncated,
+         strCat("payload is ", body.size(), " bytes, header promises ",
+                payloadLen));
+  }
+  if (checksumHex.size() != 16 || hex64(fnv1a64(body)) != checksumHex) {
+    fail(CheckpointError::Kind::kBadChecksum,
+         "payload does not match the header checksum");
+  }
+
+  JsonValue root;
+  std::string error;
+  if (!parseJson(body, &root, &error)) {
+    fail(CheckpointError::Kind::kBadPayload, strCat("bad JSON: ", error));
+  }
+
+  // Shape errors from the SEE-result parser arrive as InvalidArgumentError;
+  // rewrap so callers see one structured checkpoint error type.
+  try {
+    CheckpointData data;
+    data.fingerprint = asString(member(root, "fingerprint"), "fingerprint");
+    data.iniMii = asI32(member(root, "iniMii"), "iniMii");
+    for (const JsonValue& a : asArray(member(root, "attempts"), "attempts")) {
+      CheckpointAttempt attempt;
+      attempt.phase = asString(member(a, "phase"), "attempt.phase");
+      attempt.index = asI32(member(a, "index"), "attempt.index");
+      attempt.target = asI32(member(a, "target"), "attempt.target");
+      attempt.profile = asI32(member(a, "profile"), "attempt.profile");
+      attempt.failureReason =
+          asString(member(a, "failureReason"), "attempt.failureReason");
+      attempt.stats = parseStats(member(a, "stats"));
+      data.attempts.push_back(std::move(attempt));
+    }
+    for (const JsonValue& c : asArray(member(root, "caches"), "caches")) {
+      const std::string& scope = asString(member(c, "scope"), "cache.scope");
+      auto& entries = data.cacheByScope[scope];
+      for (const JsonValue& e :
+           asArray(member(c, "entries"), "cache.entries")) {
+        entries.emplace_back(
+            hexDecode(asString(member(e, "key"), "cache.key")),
+            see::parseSeeResult(member(e, "result")));
+      }
+    }
+    return data;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const InvalidArgumentError& e) {
+    fail(CheckpointError::Kind::kBadPayload, e.what());
+  }
+}
+
+std::string runFingerprint(const ddg::Ddg& ddg,
+                           const machine::DspFabricModel& model,
+                           const HcaOptions& o) {
+  std::ostringstream id;
+  id << ddg::toText(ddg) << '\n'
+     << model.config().toString() << '\n'
+     << model.faults().toString() << '\n';
+  // Doubles go in as bit patterns: the fingerprint must not depend on
+  // printer rounding.
+  const auto bits = [](double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    return hex64(b);
+  };
+  const see::SeeOptions& s = o.see;
+  id << "see:" << s.beamWidth << ',' << s.candidateKeep << ','
+     << s.maxOpsPerUnit << ',' << s.enableRouteAllocator << ','
+     << s.eagerRouting << ',' << s.retryLadder << ',' << s.maxRouteHops << ','
+     << s.maxBeamSteps << ',' << s.arenaBudgetBytes << ',' << s.chainGrouping
+     << ',' << bits(s.weights.iiEstimate) << ',' << bits(s.weights.copyCount)
+     << ',' << bits(s.weights.loadBalance) << ','
+     << bits(s.weights.criticalPath) << ',' << bits(s.weights.wiringSlack)
+     << ',' << s.weights.targetIi << '\n';
+  // s.legacySearch is excluded (byte-identical to the delta path), and so
+  // are the results-invisible driver options (deadline, threads, tracing,
+  // verification) — see the header contract.
+  id << "hca:" << o.leafParentMaxInNeighbors << ',' << o.maxAlternatives << ','
+     << o.backtrackBudget << ',' << o.targetIiSlack << ',' << o.searchProfiles
+     << ',' << o.degradedFallback << ',' << o.enableSubproblemCache << ','
+     << static_cast<int>(o.failurePolicy) << ',' << o.maxBeamSteps << ','
+     << o.memoryBudgetBytes << '\n';
+  return hex64(fnv1a64(id.str()));
+}
+
+CheckpointManager::CheckpointManager(std::string path, int everyMs)
+    : path_(std::move(path)), everyMs_(everyMs) {
+  HCA_REQUIRE(!path_.empty(), "checkpoint path must not be empty");
+}
+
+bool CheckpointManager::loadForResume() {
+  if (!fileExists(path_)) return false;
+  CheckpointData data = parseCheckpoint(readFile(path_));
+  MutexLock lock(mutex_);
+  fingerprint_ = data.fingerprint;
+  iniMii_ = data.iniMii;
+  for (CheckpointAttempt& attempt : data.attempts) {
+    const std::string key = strCat(attempt.phase, "\n", attempt.index);
+    // Re-persist restored attempts on the next write: a resumed run's
+    // checkpoint must stay a superset of the one it resumed from.
+    recorded_.push_back(attempt);
+    restored_.emplace(key, std::move(attempt));
+  }
+  for (auto& [scope, entries] : data.cacheByScope) {
+    CacheSnapshot snapshot;
+    snapshot.entries.reserve(entries.size());
+    for (auto& [key, result] : entries) {
+      snapshot.entries.emplace_back(
+          key, std::make_shared<const see::SeeResult>(result));
+    }
+    snapshots_.emplace(scope, std::move(snapshot));
+    restoredCaches_.emplace(scope, std::move(entries));
+  }
+  return true;
+}
+
+void CheckpointManager::bindRun(const std::string& fingerprint, int iniMii) {
+  MutexLock lock(mutex_);
+  if (!restored_.empty() || !restoredCaches_.empty()) {
+    if (fingerprint_ != fingerprint) {
+      fail(CheckpointError::Kind::kWrongRun,
+           strCat("file was written by run ", fingerprint_,
+                  ", this run is ", fingerprint,
+                  " (different DDG, machine, faults or options)"));
+    }
+    if (iniMii_ != iniMii) {
+      fail(CheckpointError::Kind::kWrongRun,
+           strCat("file records iniMII ", iniMii_, ", this run computed ",
+                  iniMii));
+    }
+  }
+  fingerprint_ = fingerprint;
+  iniMii_ = iniMii;
+  bound_ = true;
+}
+
+const CheckpointAttempt* CheckpointManager::restoredAttempt(
+    const std::string& phase, int index) const {
+  MutexLock lock(mutex_);
+  const auto it = restored_.find(strCat(phase, "\n", index));
+  return it == restored_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::pair<std::string, see::SeeResult>>*
+CheckpointManager::restoredCache(const std::string& scope) const {
+  MutexLock lock(mutex_);
+  const auto it = restoredCaches_.find(scope);
+  return it == restoredCaches_.end() ? nullptr : &it->second;
+}
+
+void CheckpointManager::noteAttempt(CheckpointAttempt attempt,
+                                    const std::string& cacheScope,
+                                    const SubproblemCache* cache) {
+  int total = 0;
+  {
+    MutexLock lock(mutex_);
+    HCA_CHECK(bound_, "CheckpointManager::noteAttempt before bindRun");
+    recorded_.push_back(std::move(attempt));
+    if (cache != nullptr) {
+      // Snapshot at the attempt boundary (cheap: shared_ptr copies). The
+      // snapshot replaces the previous one, so the persisted cache always
+      // corresponds to the last recorded attempt.
+      CacheSnapshot snapshot;
+      cache->forEach([&snapshot](const std::string& key,
+                                 const std::shared_ptr<const see::SeeResult>&
+                                     result) {
+        snapshot.entries.emplace_back(key, result);
+      });
+      snapshots_[cacheScope] = std::move(snapshot);
+    }
+    dirty_ = true;
+    total = static_cast<int>(recorded_.size());
+    const std::int64_t now = nowMs();
+    if (everyMs_ <= 0 || lastWriteMs_ < 0 || now - lastWriteMs_ >= everyMs_) {
+      writeLocked();
+    }
+  }
+  if (onAttemptRecorded) onAttemptRecorded(total);
+}
+
+void CheckpointManager::flush() {
+  MutexLock lock(mutex_);
+  if (dirty_) writeLocked();
+}
+
+int CheckpointManager::attemptsRecorded() const {
+  MutexLock lock(mutex_);
+  return static_cast<int>(recorded_.size());
+}
+
+void CheckpointManager::writeLocked() {
+  CheckpointData data;
+  data.fingerprint = fingerprint_;
+  data.iniMii = iniMii_;
+  data.attempts = recorded_;
+  for (const auto& [scope, snapshot] : snapshots_) {
+    auto& entries = data.cacheByScope[scope];
+    entries.reserve(snapshot.entries.size());
+    for (const auto& [key, result] : snapshot.entries) {
+      entries.emplace_back(key, *result);
+    }
+  }
+  atomicWriteFile(path_, serializeCheckpoint(data));
+  lastWriteMs_ = nowMs();
+  dirty_ = false;
+}
+
+}  // namespace hca::core

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "hca/driver.hpp"
+#include "hca/records.hpp"
+#include "hca/subproblem_cache.hpp"
+#include "support/check.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+/// Crash-safe checkpoint/resume of the outer hierarchical search.
+///
+/// The outer portfolio sweep is a sequence of independent, deterministic
+/// (target II, profile) attempts; the unit of saved work is one *completed,
+/// failed* attempt. A checkpoint records, per attempt: its phase-qualified
+/// identity (ladder rung + index), its failure reason and its HcaStats — plus
+/// a snapshot of the sub-problem cache taken at the same attempt boundary.
+/// On resume the driver skips every restored attempt (merging its recorded
+/// stats instead of re-searching) and pre-warms the cache with the snapshot,
+/// so the first re-run attempt observes *exactly* the cache state it would
+/// have seen in an uninterrupted run. That is the identity guarantee: the
+/// resumed run's FinalMapping and HcaStats are byte-identical to an
+/// uninterrupted run with the same inputs (wall-clock, per-attempt metrics
+/// and trace spans excepted — they describe the actual execution).
+///
+/// Two things are deliberately *never* checkpointed:
+///  - attempts cut short by a deadline or shutdown signal (their partial
+///    stats would poison the identity guarantee; they simply re-run), and
+///  - legal attempts (a legal attempt completes the run — there is nothing
+///    left to resume into).
+///
+/// File format: a one-line header `HCACHK <version> <fnv1a64-hex> <bytes>\n`
+/// followed by a JSON payload of exactly `<bytes>` bytes. The checksum is
+/// FNV-1a 64 over the payload; the length catches truncation, the checksum
+/// catches corruption, the version catches format drift, and a run identity
+/// fingerprint inside the payload catches "resumed against different
+/// inputs". Files are written via support/io.hpp's atomic path (temp +
+/// fsync + rename), so a crash mid-write leaves the previous checkpoint
+/// intact.
+namespace hca::core {
+
+/// Structured checkpoint failure. Derives from InvalidArgumentError so the
+/// kDegrade policy and the CLI fold it into the invalid-input exit path —
+/// a bad checkpoint file is bad input, never an internal error.
+class CheckpointError : public InvalidArgumentError {
+ public:
+  enum class Kind {
+    kBadMagic,     ///< not a checkpoint file at all
+    kBadVersion,   ///< a future/unknown format version
+    kTruncated,    ///< payload shorter than the header promises
+    kBadChecksum,  ///< payload bytes do not hash to the header checksum
+    kBadPayload,   ///< JSON parse/shape error inside a verified payload
+    kWrongRun,     ///< identity fingerprint does not match this run
+  };
+
+  CheckpointError(Kind kind, const std::string& message)
+      : InvalidArgumentError(message), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+[[nodiscard]] const char* to_string(CheckpointError::Kind kind);
+
+/// FNV-1a 64-bit (the repo's standard content hash; also used by the SEE
+/// frontier signatures). Exposed for the corruption tests.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+/// One completed, failed outer attempt.
+struct CheckpointAttempt {
+  /// Ladder-rung qualified sweep label ("sweep", "beam-backoff",
+  /// "degraded-bandwidth/sweep", ...). Rungs reuse attempt indices 0..N,
+  /// so the phase disambiguates them.
+  std::string phase;
+  /// Index of the attempt within its sweep's (target asc, profile asc)
+  /// enumeration order.
+  int index = 0;
+  int target = 0;
+  int profile = 0;
+  std::string failureReason;
+  HcaStats stats;
+};
+
+/// The full persisted state.
+struct CheckpointData {
+  /// Run identity: fnv1a64 over the DDG text form, the machine config and
+  /// fault set, and every result-affecting HcaOption (hex string).
+  std::string fingerprint;
+  int iniMii = 0;
+  std::vector<CheckpointAttempt> attempts;
+  /// Sub-problem cache snapshots, one per cache-owning ladder scope (""
+  /// for the root ladder, "degraded-bandwidth/" for the nested one).
+  /// Entries are in SubproblemCache::forEach order; re-inserting in that
+  /// order reproduces the per-shard insertion order.
+  std::map<std::string,
+           std::vector<std::pair<std::string, see::SeeResult>>>
+      cacheByScope;
+};
+
+/// Serializes to header + payload (the exact bytes of the file).
+[[nodiscard]] std::string serializeCheckpoint(const CheckpointData& data);
+
+/// Strict inverse; throws CheckpointError on any corruption.
+[[nodiscard]] CheckpointData parseCheckpoint(const std::string& text);
+
+/// The run identity fingerprint (see CheckpointData::fingerprint).
+/// Results-invisible options — deadlineMs, numThreads, allowOversubscribe,
+/// tracing, verification — are excluded: interrupting a run and resuming it
+/// with a longer deadline or different thread count is the point.
+[[nodiscard]] std::string runFingerprint(const ddg::Ddg& ddg,
+                                         const machine::DspFabricModel& model,
+                                         const HcaOptions& options);
+
+/// The driver-facing manager: owns the checkpoint file path, the restored
+/// state (when resuming) and the write throttle. Thread-safe — the parallel
+/// sweep's attempts call noteAttempt() concurrently.
+class CheckpointManager {
+ public:
+  /// `everyMs` <= 0 writes on every recorded attempt; otherwise writes are
+  /// throttled to at most one per `everyMs` milliseconds (flush() and the
+  /// final write ignore the throttle).
+  CheckpointManager(std::string path, int everyMs = 0);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Loads `path()` for resume. Returns false when the file does not exist
+  /// (fresh start); throws CheckpointError on corruption or IoError on a
+  /// read failure.
+  bool loadForResume();
+
+  /// Called by the driver once per run (runChecked) before the ladder
+  /// starts. Verifies the restored state (if any) belongs to this exact
+  /// run — throws CheckpointError(kWrongRun) otherwise — and arms the
+  /// manager for recording.
+  void bindRun(const std::string& fingerprint, int iniMii);
+
+  /// The restored attempt at (phase, index), or nullptr when that attempt
+  /// must (re-)run.
+  [[nodiscard]] const CheckpointAttempt* restoredAttempt(
+      const std::string& phase, int index) const;
+
+  /// The restored cache snapshot for a ladder scope, or nullptr.
+  [[nodiscard]] const std::vector<std::pair<std::string, see::SeeResult>>*
+  restoredCache(const std::string& scope) const;
+
+  /// Records one completed, failed attempt and snapshots `cache` (may be
+  /// null) under `cacheScope`. Writes the checkpoint file unless throttled.
+  void noteAttempt(CheckpointAttempt attempt, const std::string& cacheScope,
+                   const SubproblemCache* cache);
+
+  /// Writes the current state now (no-op when nothing was ever recorded
+  /// and nothing was restored). Called on graceful shutdown.
+  void flush();
+
+  [[nodiscard]] int attemptsRecorded() const;
+
+  /// Test seam: invoked (outside the lock) after every recorded attempt
+  /// with the total number recorded so far. The kill-at-checkpoint tests
+  /// use it to cancel the run at a precise attempt boundary.
+  std::function<void(int)> onAttemptRecorded;
+
+ private:
+  struct CacheSnapshot {
+    std::vector<std::pair<std::string, std::shared_ptr<const see::SeeResult>>>
+        entries;
+  };
+
+  void writeLocked() HCA_REQUIRES(mutex_);
+
+  const std::string path_;
+  const int everyMs_;
+
+  mutable Mutex mutex_;
+  bool bound_ HCA_GUARDED_BY(mutex_) = false;
+  std::string fingerprint_ HCA_GUARDED_BY(mutex_);
+  int iniMii_ HCA_GUARDED_BY(mutex_) = 0;
+  /// Restored state (resume); keyed by "phase\n<index>".
+  std::map<std::string, CheckpointAttempt> restored_ HCA_GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<std::pair<std::string, see::SeeResult>>>
+      restoredCaches_ HCA_GUARDED_BY(mutex_);
+  /// Attempts recorded this run (includes re-persisted restored ones).
+  std::vector<CheckpointAttempt> recorded_ HCA_GUARDED_BY(mutex_);
+  std::map<std::string, CacheSnapshot> snapshots_ HCA_GUARDED_BY(mutex_);
+  std::int64_t lastWriteMs_ HCA_GUARDED_BY(mutex_) = -1;
+  bool dirty_ HCA_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace hca::core

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "baseline/flat_ica.hpp"
+#include "hca/checkpoint.hpp"
 #include "mapper/mapper.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -124,7 +125,21 @@ see::SeeOptions HcaDriver::profileOptions(int target, int profile) const {
       seeOptions.beamWidth = seeOptions.beamWidth * 2;
       break;
   }
+  applyMemoryBudget(seeOptions);
   return seeOptions;
+}
+
+void HcaDriver::applyMemoryBudget(see::SeeOptions& see) const {
+  if (options_.memoryBudgetBytes <= 0) return;
+  // Half the run budget is the cache's (see runLadder); the other half
+  // bounds each SEE solve's snapshot arenas. Per-attempt, not divided by
+  // thread count: a budget that depended on parallelism would break the
+  // serial/parallel identity guarantee.
+  const std::int64_t arenaShare = std::max<std::int64_t>(
+      1, options_.memoryBudgetBytes / 2);
+  see.arenaBudgetBytes = see.arenaBudgetBytes > 0
+                             ? std::min(see.arenaBudgetBytes, arenaShare)
+                             : arenaShare;
 }
 
 HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
@@ -206,19 +221,39 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
 HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
                                     const std::vector<DdgNodeId>& rootWs,
                                     int iniMii, SubproblemCache* cache,
-                                    const CancellationToken* deadline) const {
+                                    const CancellationToken* deadline,
+                                    const std::string& phase,
+                                    const std::string& cacheScope) const {
+  CheckpointManager* ckpt = options_.checkpoint;
+  const int numProfiles = std::max(1, options_.searchProfiles);
   HcaStats sweepStats;
   MetricsRegistry sweepMetrics;
   HcaResult best;
   bool expired = false;
+  // Failure bookkeeping of the *last* attempt in sweep order, whether it
+  // ran here or was restored from a checkpoint.
+  std::string lastFailureReason;
+  int lastMaxWire = 0;
   for (int target = iniMii;
        target <= iniMii + std::max(0, options_.targetIiSlack) && !expired;
        ++target) {
-    for (int profile = 0; profile < std::max(1, options_.searchProfiles);
-         ++profile) {
+    for (int profile = 0; profile < numProfiles; ++profile) {
       if (deadline != nullptr && deadline->cancelled()) {
         expired = true;
         break;
+      }
+      const int index = (target - iniMii) * numProfiles + profile;
+      if (ckpt != nullptr) {
+        if (const CheckpointAttempt* r = ckpt->restoredAttempt(phase, index)) {
+          // This attempt already completed (and failed) in a previous run;
+          // the SEE is deterministic and the cache was pre-warmed to the
+          // same state, so re-running it would reproduce exactly these
+          // counters. Merge and move on.
+          sweepStats.merge(r->stats);
+          lastFailureReason = r->failureReason;
+          lastMaxWire = r->stats.maxWirePressure;
+          continue;
+        }
       }
       HcaResult result =
           runAttempt(ddg, rootWs, target, profile, cache, deadline);
@@ -229,24 +264,39 @@ HcaResult HcaDriver::runSerialSweep(const ddg::Ddg& ddg,
       }
       sweepStats.merge(result.stats);
       sweepMetrics.merge(result.metrics);
-      if (deadline != nullptr && deadline->cancelled()) {
+      const bool cancelled = deadline != nullptr && deadline->cancelled();
+      if (cancelled) {
         // The attempt was aborted mid-search, not genuinely infeasible.
         ++sweepStats.attemptsCancelled;
+      } else if (ckpt != nullptr) {
+        // Only genuinely completed failures are durable: a cancelled
+        // attempt's partial stats would poison the resume identity — it
+        // simply re-runs.
+        CheckpointAttempt done;
+        done.phase = phase;
+        done.index = index;
+        done.target = target;
+        done.profile = profile;
+        done.failureReason = result.failureReason;
+        done.stats = result.stats;
+        ckpt->noteAttempt(std::move(done), cacheScope, cache);
       }
+      lastFailureReason = result.failureReason;
+      lastMaxWire = result.stats.maxWirePressure;
       best = std::move(result);
     }
   }
   // No attempt succeeded: the last attempt's failure with the sweep's
   // aggregate counters (achievedTargetIi = 0 means "none").
-  const int lastMaxWire = best.stats.maxWirePressure;
   best.stats = sweepStats;
   best.stats.maxWirePressure = lastMaxWire;
   best.stats.achievedTargetIi = 0;
   best.metrics = std::move(sweepMetrics);
-  if (best.failureReason.empty()) {
-    // The deadline fired before the first attempt even started.
-    best.failureReason = "deadline expired before any outer attempt completed";
-  }
+  best.failureReason =
+      !lastFailureReason.empty()
+          ? lastFailureReason
+          // The deadline fired before the first attempt even started.
+          : "deadline expired before any outer attempt completed";
   return best;
 }
 
@@ -254,7 +304,10 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
                                       const std::vector<DdgNodeId>& rootWs,
                                       int iniMii, SubproblemCache* cache,
                                       int numThreads,
-                                      const CancellationToken* deadline) const {
+                                      const CancellationToken* deadline,
+                                      const std::string& phase,
+                                      const std::string& cacheScope) const {
+  CheckpointManager* ckpt = options_.checkpoint;
   const int numProfiles = std::max(1, options_.searchProfiles);
   const int numTargets = 1 + std::max(0, options_.targetIiSlack);
   const int numAttempts = numTargets * numProfiles;
@@ -263,6 +316,8 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
     HcaResult result;
     bool completed = false;  // runAttempt returned
     bool skipped = false;    // soft-cancelled before it started
+    /// Completed failure restored from a checkpoint (not re-run).
+    const CheckpointAttempt* restored = nullptr;
     std::exception_ptr error;
   };
   std::vector<AttemptSlot> slots(static_cast<std::size_t>(numAttempts));
@@ -282,6 +337,12 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
     pool.submit([&, i] {
       AttemptSlot& slot = slots[static_cast<std::size_t>(i)];
       CancellationToken& token = tokens[static_cast<std::size_t>(i)];
+      if (ckpt != nullptr) {
+        if (const CheckpointAttempt* r = ckpt->restoredAttempt(phase, i)) {
+          slot.restored = r;
+          return;
+        }
+      }
       if (token.cancelled() ||
           bestLegal.load(std::memory_order_acquire) < i) {
         slot.skipped = true;
@@ -301,6 +362,18 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
           for (int j = i + 1; j < numAttempts; ++j) {
             tokens[static_cast<std::size_t>(j)].cancel();
           }
+        } else if (ckpt != nullptr && !token.cancelled()) {
+          // A genuinely completed failure is durable progress. Recording
+          // order follows completion order; the manager's lock serializes
+          // the file writes.
+          CheckpointAttempt done;
+          done.phase = phase;
+          done.index = i;
+          done.target = iniMii + i / numProfiles;
+          done.profile = i % numProfiles;
+          done.failureReason = result.failureReason;
+          done.stats = result.stats;
+          ckpt->noteAttempt(std::move(done), cacheScope, cache);
         }
         slot.result = std::move(result);
         slot.completed = true;
@@ -333,6 +406,10 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
   for (int i = 0; i < numAttempts; ++i) {
     AttemptSlot& slot = slots[static_cast<std::size_t>(i)];
     if (i == winner) continue;
+    if (slot.restored != nullptr) {
+      aggregate.merge(slot.restored->stats);
+      continue;
+    }
     if (slot.skipped) {
       ++aggregate.attemptsCancelled;
       continue;
@@ -367,18 +444,26 @@ HcaResult HcaDriver::runParallelSweep(const ddg::Ddg& ddg,
   // counters.
   int lastCompleted = -1;
   for (int i = numAttempts - 1; i >= 0; --i) {
-    if (slots[static_cast<std::size_t>(i)].completed) {
+    if (slots[static_cast<std::size_t>(i)].completed ||
+        slots[static_cast<std::size_t>(i)].restored != nullptr) {
       lastCompleted = i;
       break;
     }
   }
   HcaResult best;
+  int lastMaxWire = 0;
   if (lastCompleted >= 0) {
-    best = std::move(slots[static_cast<std::size_t>(lastCompleted)].result);
+    AttemptSlot& last = slots[static_cast<std::size_t>(lastCompleted)];
+    if (last.restored != nullptr) {
+      best.failureReason = last.restored->failureReason;
+      lastMaxWire = last.restored->stats.maxWirePressure;
+    } else {
+      best = std::move(last.result);
+      lastMaxWire = best.stats.maxWirePressure;
+    }
   } else {
     best.failureReason = "deadline expired before any outer attempt completed";
   }
-  const int lastMaxWire = best.stats.maxWirePressure;
   best.stats = aggregate;
   best.stats.maxWirePressure = lastMaxWire;
   best.stats.achievedTargetIi = 0;
@@ -444,6 +529,18 @@ HcaResult HcaDriver::runChecked(const ddg::Ddg& ddg) const {
                               std::chrono::milliseconds(options_.deadlineMs));
     deadline = &deadlineToken;
   }
+  if (options_.externalCancel != nullptr) {
+    // SIGINT/SIGTERM (or a batch driver's shutdown) unwinds exactly like a
+    // deadline expiry: the run stops at the next poll with best-so-far.
+    deadlineToken.chainTo(options_.externalCancel);
+    deadline = &deadlineToken;
+  }
+  if (options_.checkpoint != nullptr) {
+    // Hard identity gate: resuming against a different DDG, machine,
+    // fault set or result-affecting option set throws kWrongRun.
+    options_.checkpoint->bindRun(runFingerprint(ddg, model_, options_),
+                                 iniMii);
+  }
   if (span.active()) span.arg("iniMii", std::to_string(iniMii));
   return runLadder(ddg, rootWs, iniMii, deadline);
 }
@@ -459,10 +556,31 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
   std::vector<std::string> escalations;
 
   // One cache per run: the DDG (the part of a sub-problem the cache key
-  // does not serialize) is fixed for its lifetime.
-  SubproblemCache cache;
+  // does not serialize) is fixed for its lifetime. Under a memory budget
+  // half the run's bytes go to the cache, split evenly across its shards.
+  constexpr int kCacheShards = 16;
+  const std::int64_t maxBytesPerShard =
+      options_.memoryBudgetBytes > 0
+          ? std::max<std::int64_t>(1,
+                                   options_.memoryBudgetBytes / 2 /
+                                       kCacheShards)
+          : 0;
+  SubproblemCache cache(kCacheShards, /*maxEntriesPerShard=*/0,
+                        maxBytesPerShard);
   SubproblemCache* cachePtr =
       options_.enableSubproblemCache ? &cache : nullptr;
+
+  // Resume: pre-warm the cache with the checkpoint's snapshot. The first
+  // re-run attempt then observes exactly the cache state it would have had
+  // in an uninterrupted run, so hit/miss counters stay byte-identical.
+  const std::string& scope = options_.checkpointScope;
+  if (options_.checkpoint != nullptr && cachePtr != nullptr) {
+    if (const auto* entries = options_.checkpoint->restoredCache(scope)) {
+      for (const auto& [key, seeResult] : *entries) {
+        cachePtr->insert(key, seeResult);
+      }
+    }
+  }
 
   // Folds the cache's per-shard counters into the returned result, both as
   // run totals and as across-shard distributions (a hot shard shows up as
@@ -496,10 +614,12 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
   HcaResult best;
   {
     TraceSpan rung(tracer_, "hca", "rung:primary-sweep");
+    const std::string phase = scope + "sweep";
     best = threads <= 1
-               ? runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline)
+               ? runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline,
+                                phase, scope)
                : runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads,
-                                  deadline);
+                                  deadline, phase, scope);
   }
   best.metrics.add("ladder.rung.primary", 1);
   if (best.legal) {
@@ -517,11 +637,16 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
     wider.see.beamWidth *= 2;
     wider.see.candidateKeep += 4;
     const HcaDriver widened(model_, wider);
+    // The rung shares this ladder's cache, so its attempts snapshot under
+    // this ladder's scope — but under their own phase label (rungs reuse
+    // attempt indices 0..N).
+    const std::string phase = scope + "beam-backoff";
     HcaResult retry =
         threads <= 1
-            ? widened.runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline)
+            ? widened.runSerialSweep(ddg, rootWs, iniMii, cachePtr, deadline,
+                                     phase, scope)
             : widened.runParallelSweep(ddg, rootWs, iniMii, cachePtr, threads,
-                                       deadline);
+                                       deadline, phase, scope);
     if (retry.legal) {
       retry.stats.merge(best.stats);
       retry.metrics.merge(best.metrics);
@@ -556,6 +681,9 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
       degradedOptions.degradedFallback = false;
       degradedOptions.failurePolicy = FailurePolicy::kStrict;
       degradedOptions.targetIiSlack = std::max(options_.targetIiSlack, 6);
+      // The nested ladder owns a fresh cache; scope its attempts and cache
+      // snapshot so they never collide with this ladder's in the file.
+      degradedOptions.checkpointScope = scope + "degraded-bandwidth/";
       const HcaDriver degraded(std::move(degradedModel), degradedOptions);
       HcaResult result = degraded.runLadder(ddg, rootWs, iniMii, deadline);
       if (result.legal) {
@@ -581,6 +709,7 @@ HcaResult HcaDriver::runLadder(const ddg::Ddg& ddg,
     if (options_.maxBeamSteps > 0) {
       flatOptions.maxBeamSteps = options_.maxBeamSteps;
     }
+    applyMemoryBudget(flatOptions);
     baseline::HierarchyCollect collect;
     const baseline::FlatIcaResult flat =
         baseline::runFlatIca(ddg, model_, flatOptions, deadline, &collect);

@@ -26,6 +26,8 @@
 /// outer level) travel down as relay values and are parked on a concrete CN.
 namespace hca::core {
 
+class CheckpointManager;  // hca/checkpoint.hpp
+
 /// What the driver does when a run cannot produce a legal mapping.
 enum class FailurePolicy {
   /// Historical contract: invalid input throws, an unsolvable problem
@@ -142,6 +144,34 @@ struct HcaOptions {
   /// Restricts verifyEach to these check ids (empty = every registered
   /// check). Unknown ids throw InvalidArgumentError at the first use.
   std::vector<std::string> verifyChecks;
+  /// Crash-safe checkpoint/resume (hca/checkpoint.hpp). When non-null, the
+  /// sweeps record every completed failed outer attempt (plus the
+  /// sub-problem cache) into this manager and skip attempts it restored
+  /// from a previous run's file — the resumed run's result and HcaStats
+  /// are byte-identical to an uninterrupted run. Not owned; must outlive
+  /// the run.
+  CheckpointManager* checkpoint = nullptr;
+  /// External cancellation (SIGINT/SIGTERM, a batch driver's shutdown).
+  /// Chained underneath the run's deadline token, so tripping it unwinds
+  /// the search exactly like a deadline expiry: every in-flight SEE search
+  /// stops at its next poll and the run returns best-so-far. Not owned;
+  /// may be null. Deliberately excluded from the checkpoint fingerprint —
+  /// it never changes results, only when the run stops.
+  const CancellationToken* externalCancel = nullptr;
+  /// Soft memory ceiling for the run in bytes; 0 = unlimited. Half the
+  /// budget bounds the sub-problem cache (oldest entries are shed, trading
+  /// hit rate for footprint), half becomes each SEE solve's
+  /// SeeOptions::arenaBudgetBytes — an attempt that would blow it reports
+  /// "memory budget exceeded" and the escalation ladder re-plans (the
+  /// degraded-bandwidth rung shrinks per-problem state) instead of the
+  /// process OOMing. Deterministic: the ceiling never depends on thread
+  /// count or wall-clock, so serial/parallel parity is preserved.
+  std::int64_t memoryBudgetBytes = 0;
+  /// Checkpoint phase prefix ("" for the root ladder). Internal: set by
+  /// the degraded-bandwidth rung on its nested driver so the two ladders'
+  /// attempt indices and cache snapshots never collide in the checkpoint
+  /// file. Leave empty.
+  std::string checkpointScope;
 };
 
 struct RelayPlacement {
@@ -236,6 +266,10 @@ class HcaDriver {
   /// SEE options of one (target II, heuristic profile) outer attempt.
   [[nodiscard]] see::SeeOptions profileOptions(int target, int profile) const;
 
+  /// Folds `memoryBudgetBytes` (when set) into a profile's SEE options:
+  /// half the run budget becomes the per-solve arena ceiling.
+  void applyMemoryBudget(see::SeeOptions& see) const;
+
   /// Runs one complete outer attempt (a full hierarchical solve). On
   /// success the result is validated and its stats finalized.
   [[nodiscard]] HcaResult runAttempt(const ddg::Ddg& ddg,
@@ -246,22 +280,28 @@ class HcaDriver {
 
   /// The legacy serial sweep: attempts in (target asc, profile asc) order,
   /// first legal result wins. `deadline` (may be null) aborts the sweep
-  /// between and inside attempts.
+  /// between and inside attempts. `phase` is this sweep's checkpoint label
+  /// and `cacheScope` the ladder scope owning `cache` (both ignored when
+  /// no checkpoint manager is configured).
   [[nodiscard]] HcaResult runSerialSweep(const ddg::Ddg& ddg,
                                          const std::vector<DdgNodeId>& rootWs,
                                          int iniMii, SubproblemCache* cache,
-                                         const CancellationToken* deadline)
-      const;
+                                         const CancellationToken* deadline,
+                                         const std::string& phase,
+                                         const std::string& cacheScope) const;
 
   /// The parallel portfolio: every attempt is a pool task; a shared
   /// best-so-far index soft-cancels attempts that can no longer win, and
   /// the lowest-index legal attempt is returned — deterministically the
   /// same result as the serial sweep. Per-attempt tokens chain to
-  /// `deadline` (may be null).
+  /// `deadline` (may be null). Checkpoint parameters as in runSerialSweep;
+  /// attempts are recorded in completion order (the manager's lock
+  /// serializes the writes).
   [[nodiscard]] HcaResult runParallelSweep(
       const ddg::Ddg& ddg, const std::vector<DdgNodeId>& rootWs, int iniMii,
       SubproblemCache* cache, int numThreads,
-      const CancellationToken* deadline) const;
+      const CancellationToken* deadline, const std::string& phase,
+      const std::string& cacheScope) const;
 
   /// run() minus the input validation / report wrapping: computes iniMii,
   /// arms the deadline and walks the ladder.

@@ -38,6 +38,12 @@ void appendWires(std::string& out,
   }
 }
 
+void appendI64(std::string& out, std::int64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(v));
+}
+
 void appendOptions(std::string& out, const see::SeeOptions& o) {
   // o.legacySearch is deliberately excluded: both search paths produce
   // byte-identical results (the delta-identity tests enforce it), so the
@@ -50,6 +56,9 @@ void appendOptions(std::string& out, const see::SeeOptions& o) {
   appendI32(out, o.retryLadder ? 1 : 0);
   appendI32(out, o.maxRouteHops);
   appendI32(out, o.maxBeamSteps);
+  // The arena ceiling aborts a search mid-flight, so a result computed
+  // under one budget must never be replayed under another.
+  appendI64(out, o.arenaBudgetBytes);
   appendI32(out, o.chainGrouping ? 1 : 0);
   appendDouble(out, o.weights.iiEstimate);
   appendDouble(out, o.weights.copyCount);
@@ -113,10 +122,23 @@ std::string subproblemKey(
   return key;
 }
 
-SubproblemCache::SubproblemCache(int numShards, int maxEntriesPerShard)
+SubproblemCache::SubproblemCache(int numShards, int maxEntriesPerShard,
+                                 std::int64_t maxBytesPerShard)
     : maxEntriesPerShard_(maxEntriesPerShard),
+      maxBytesPerShard_(maxBytesPerShard),
       shards_(static_cast<std::size_t>(numShards)) {
   HCA_REQUIRE(numShards >= 1, "cache needs at least one shard");
+}
+
+std::int64_t SubproblemCache::approxEntryBytes(const std::string& key,
+                                               const see::SeeResult& result) {
+  std::int64_t bytes = static_cast<std::int64_t>(
+      sizeof(see::SeeResult) + key.size() + result.failureReason.size());
+  bytes += static_cast<std::int64_t>(result.solution.approxBytes());
+  for (const see::PartialSolution& alt : result.alternatives) {
+    bytes += static_cast<std::int64_t>(alt.approxBytes());
+  }
+  return bytes;
 }
 
 SubproblemCache::Shard& SubproblemCache::shardOf(const std::string& key) const {
@@ -150,14 +172,43 @@ std::shared_ptr<const see::SeeResult> SubproblemCache::insert(
     while (!shard.insertionOrder.empty()) {
       const std::string victim = std::move(shard.insertionOrder.front());
       shard.insertionOrder.erase(shard.insertionOrder.begin());
-      if (shard.map.erase(victim) > 0) {
+      const auto vit = shard.map.find(victim);
+      if (vit != shard.map.end()) {
+        shard.bytes -= approxEntryBytes(victim, *vit->second);
+        shard.map.erase(vit);
         ++shard.evictions;
         break;
       }
     }
   }
   const auto [it, inserted] = shard.map.emplace(key, std::move(entry));
-  if (inserted) shard.insertionOrder.push_back(key);
+  if (inserted) {
+    shard.insertionOrder.push_back(key);
+    shard.bytes += approxEntryBytes(key, *it->second);
+    // Byte-budget shedding: drop oldest-inserted residents (never the entry
+    // just stored — the caller is about to replay it) until back under the
+    // ceiling. Evicted sub-problems are re-solved on their next miss, so
+    // the budget degrades hit rate, never correctness.
+    if (maxBytesPerShard_ > 0) {
+      std::size_t cursor = 0;
+      while (shard.bytes > maxBytesPerShard_ &&
+             cursor < shard.insertionOrder.size()) {
+        const std::string& victim = shard.insertionOrder[cursor];
+        if (victim == key) {
+          ++cursor;
+          continue;
+        }
+        const auto vit = shard.map.find(victim);
+        if (vit != shard.map.end()) {
+          shard.bytes -= approxEntryBytes(victim, *vit->second);
+          shard.map.erase(vit);
+          ++shard.evictions;
+        }
+        shard.insertionOrder.erase(shard.insertionOrder.begin() +
+                                   static_cast<std::ptrdiff_t>(cursor));
+      }
+    }
+  }
   return it->second;  // first writer wins
 }
 
@@ -166,6 +217,15 @@ std::int64_t SubproblemCache::entries() const {
   for (const Shard& shard : shards_) {
     MutexLock lock(shard.mutex);
     total += static_cast<std::int64_t>(shard.map.size());
+  }
+  return total;
+}
+
+std::int64_t SubproblemCache::bytesUsed() const {
+  std::int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    total += shard.bytes;
   }
   return total;
 }
@@ -180,9 +240,23 @@ std::vector<SubproblemCache::ShardStats> SubproblemCache::shardStats() const {
     s.misses = shard.misses;
     s.evictions = shard.evictions;
     s.entries = static_cast<std::int64_t>(shard.map.size());
+    s.bytes = shard.bytes;
     out.push_back(s);
   }
   return out;
+}
+
+void SubproblemCache::forEach(
+    const std::function<void(const std::string& key,
+                             const std::shared_ptr<const see::SeeResult>&
+                                 result)>& fn) const {
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    for (const std::string& key : shard.insertionOrder) {
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) fn(key, it->second);
+    }
+  }
 }
 
 }  // namespace hca::core

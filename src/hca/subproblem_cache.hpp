@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -55,6 +56,7 @@ class SubproblemCache {
     std::int64_t misses = 0;
     std::int64_t evictions = 0;
     std::int64_t entries = 0;
+    std::int64_t bytes = 0;  ///< approximate resident footprint
   };
 
   /// `maxEntriesPerShard` <= 0 = unbounded (the default — one run's
@@ -62,7 +64,14 @@ class SubproblemCache {
   /// shard evicts one resident entry (oldest-inserted first) and counts it
   /// in ShardStats::evictions; correctness is unaffected because evicted
   /// sub-problems are simply re-solved on the next miss.
-  explicit SubproblemCache(int numShards = 16, int maxEntriesPerShard = 0);
+  ///
+  /// `maxBytesPerShard` <= 0 = no byte ceiling. When set, every insert
+  /// updates the shard's approximate byte tally (key plus an estimate of
+  /// the SeeResult's vectors) and sheds oldest-inserted entries until the
+  /// shard is back under its ceiling — the cache half of the driver's
+  /// `HcaOptions::memoryBudgetBytes` contract: degrade hit rate, never OOM.
+  explicit SubproblemCache(int numShards = 16, int maxEntriesPerShard = 0,
+                           std::int64_t maxBytesPerShard = 0);
 
   SubproblemCache(const SubproblemCache&) = delete;
   SubproblemCache& operator=(const SubproblemCache&) = delete;
@@ -80,8 +89,27 @@ class SubproblemCache {
 
   [[nodiscard]] std::int64_t entries() const;
 
+  /// Approximate resident bytes across all shards.
+  [[nodiscard]] std::int64_t bytesUsed() const;
+
   /// Snapshot of the per-shard counters, in shard order.
   [[nodiscard]] std::vector<ShardStats> shardStats() const;
+
+  /// Visits every resident entry: shards in index order, entries within a
+  /// shard in insertion order (each shard's lock is held for its pass).
+  /// The deterministic order matters to the checkpoint layer — restoring
+  /// entries in visit order reproduces the per-shard insertion order, so a
+  /// resumed run's eviction decisions match the original's. `fn` must not
+  /// reenter the cache.
+  void forEach(const std::function<void(
+                   const std::string& key,
+                   const std::shared_ptr<const see::SeeResult>& result)>& fn)
+      const;
+
+  /// Approximate heap footprint of one cache entry (key + result), the
+  /// unit of the byte accounting above.
+  [[nodiscard]] static std::int64_t approxEntryBytes(
+      const std::string& key, const see::SeeResult& result);
 
  private:
   struct Shard {
@@ -93,11 +121,13 @@ class SubproblemCache {
     std::int64_t hits HCA_GUARDED_BY(mutex) = 0;
     std::int64_t misses HCA_GUARDED_BY(mutex) = 0;
     std::int64_t evictions HCA_GUARDED_BY(mutex) = 0;
+    std::int64_t bytes HCA_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shardOf(const std::string& key) const;
 
   const int maxEntriesPerShard_;
+  const std::int64_t maxBytesPerShard_;
   mutable std::vector<Shard> shards_;
 };
 

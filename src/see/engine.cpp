@@ -195,6 +195,19 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
       finishStats();
       return result;
     }
+    if (options.arenaBudgetBytes > 0 &&
+        static_cast<std::int64_t>(arenaA.peakBytesUsed() +
+                                  arenaB.peakBytesUsed()) >
+            options.arenaBudgetBytes) {
+      result.legal = false;
+      result.failedItem = group.members.front();
+      result.failureReason =
+          strCat("memory budget exceeded (", options.arenaBudgetBytes,
+                 " arena bytes)");
+      frontier.front()->toPartial(prepared, &result.solution);
+      finishStats();
+      return result;
+    }
     next.clear();
     parentOf.clear();
     int parentIndex = -1;

@@ -89,6 +89,9 @@ class PartialSolution {
   /// Stable hash of the assignment vector (frontier deduplication).
   [[nodiscard]] std::uint64_t signature() const;
 
+  /// Approximate heap footprint in bytes (sub-problem cache accounting).
+  [[nodiscard]] std::size_t approxBytes() const;
+
   // --- Sol interface (solution_ops.hpp) --------------------------------
   [[nodiscard]] std::uint64_t inNbrMask(ClusterId c) const {
     return inNbrMask_[c.index()];
@@ -116,6 +119,10 @@ class PartialSolution {
 
  private:
   friend class FlatSolution;
+  /// Checkpoint (de)serialization (see/serialize.cpp) reconstructs the
+  /// private state field-for-field; it lives outside the class so the
+  /// search hot path never sees the JSON machinery.
+  friend struct SolutionSerializer;
 
   std::vector<ClusterId> nodeCluster_;   // per DDG node
   std::vector<ClusterId> relayCluster_;  // per relay value (problem order)

@@ -90,6 +90,16 @@ struct SeeOptions {
   /// searching on. <= 0 = unlimited. This is the adversarial-DDG guard:
   /// combined with a deadline token it bounds SEE wall-clock.
   int maxBeamSteps = 0;
+  /// Soft ceiling on the combined high-water mark of the two search arenas
+  /// (snapshot double-buffer) per SEE solve, in bytes; <= 0 = unlimited.
+  /// When exceeded the engine stops expanding and reports the search
+  /// illegal with a "memory budget exceeded" reason — the driver's
+  /// escalation ladder then re-plans (degraded bandwidth shrinks the
+  /// per-problem state) instead of the process OOMing. Part of the
+  /// sub-problem cache key: a result computed under one budget must never
+  /// be replayed under another. The legacy materialized path has no arenas
+  /// and ignores the ceiling (use the default delta path with budgets).
+  std::int64_t arenaBudgetBytes = 0;
   /// Chain grouping: merge single-consumer dependence chains into one
   /// priority-list entry so they are placed together (the paper's SEE
   /// "picks a new DDG node (or a set of nodes) at each step"). Groups are

@@ -1,0 +1,110 @@
+#include "support/io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/str.hpp"
+
+namespace hca {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
+  throw IoError(strCat(what, " '", path, "': ", std::strerror(errno)));
+}
+
+/// Directory part of `path` ("." when there is none) — where the temporary
+/// sibling lives and which must be fsynced for the rename to be durable.
+std::string dirOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  // Some filesystems refuse O_RDONLY on directories; the rename itself is
+  // still atomic, only its durability ordering is weakened — not worth
+  // failing the write over.
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = strCat(path, ".tmp.", ::getpid());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throwErrno("cannot create temporary", tmp);
+
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int savedErrno = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = savedErrno;
+      throwErrno("cannot write", tmp);
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // fsync before the rename: the rename must never become visible while
+  // the file contents are still in flight (that is exactly the torn state
+  // this function exists to rule out).
+  if (::fsync(fd) != 0) {
+    const int savedErrno = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = savedErrno;
+    throwErrno("cannot fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    const int savedErrno = errno;
+    ::unlink(tmp.c_str());
+    errno = savedErrno;
+    throwErrno("cannot close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int savedErrno = errno;
+    ::unlink(tmp.c_str());
+    errno = savedErrno;
+    throwErrno("cannot rename into", path);
+  }
+  fsyncDir(dirOf(path));
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throwErrno("cannot open", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throwErrno("cannot read", path);
+  return buffer.str();
+}
+
+bool fileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void removeFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    throwErrno("cannot remove", path);
+  }
+}
+
+}  // namespace hca

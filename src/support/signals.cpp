@@ -1,0 +1,44 @@
+#include "support/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+
+#include <unistd.h>
+
+namespace hca {
+
+namespace {
+
+CancellationToken g_shutdownToken;
+std::atomic<int> g_shutdownSignal{0};
+
+extern "C" void shutdownHandler(int sig) {
+  // Second signal: the cooperative unwind is not fast enough for the
+  // operator — bail out with the conventional 128+sig status. _exit is
+  // async-signal-safe; exit() is not.
+  int expected = 0;
+  if (!g_shutdownSignal.compare_exchange_strong(expected, sig)) {
+    _exit(128 + sig);
+  }
+  // CancellationToken::cancel is a lock-free atomic store — signal-safe.
+  g_shutdownToken.cancel();
+}
+
+}  // namespace
+
+const CancellationToken& shutdownToken() { return g_shutdownToken; }
+
+void installShutdownHandlers() {
+  struct sigaction action {};
+  action.sa_handler = shutdownHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+int shutdownSignal() {
+  return g_shutdownSignal.load(std::memory_order_acquire);
+}
+
+}  // namespace hca

@@ -14,6 +14,11 @@
 #                 repetitions). This is a smoke test: it fails on crash,
 #                 assertion, or sanitizer abort inside the benchmarked
 #                 paths, never on timing.
+#   5. robust   — kill-and-resume smoke (SIGTERM mid-search, then --resume
+#                 must complete legally) and a 3-job batch manifest with
+#                 one deliberately failing job (retry/backoff/isolation
+#                 must run, the summary must be non-zero-exit and still
+#                 report the two good jobs ok)
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -48,5 +53,72 @@ cmake --build "${root}/build-perf" -j "${jobs}" --target bench_micro
 (cd "${root}/build-perf/bench" &&
   ./bench_micro --benchmark_min_time=0.01 --benchmark_repetitions=1)
 echo "ci: perf smoke passed (timings informational; BENCH_micro.json written)"
+
+echo "=== ci: robustness smoke (kill/resume + batch isolation) ==="
+hcac="${root}/build/tools/hcac"
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+# Kill-and-resume: SIGTERM a checkpointing run mid-search, then resume it.
+# The interrupted run must exit through the graceful path (not a crash) and
+# leave a loadable checkpoint; the resumed run must complete legally. The
+# kill delay scales up until at least one attempt boundary was reached.
+for delay in 2 5 10 30; do
+  set +e
+  timeout --preserve-status --signal=TERM "${delay}" \
+    "${hcac}" --kernel h264deblocking --n 3 --m 3 --k 3 \
+    --checkpoint-out "${work}/resume.ckpt" >"${work}/interrupted.log" 2>&1
+  interrupted_rc=$?
+  set -e
+  if [[ "${interrupted_rc}" -ne 4 ]]; then
+    echo "ci: interrupted run exited ${interrupted_rc}, expected graceful 4"
+    cat "${work}/interrupted.log"
+    exit 1
+  fi
+  [[ -s "${work}/resume.ckpt" ]] && break
+done
+[[ -s "${work}/resume.ckpt" ]] || { echo "ci: no checkpoint written"; exit 1; }
+"${hcac}" --kernel h264deblocking --n 3 --m 3 --k 3 \
+  --checkpoint-out "${work}/resume.ckpt" --resume >"${work}/resumed.log" 2>&1
+grep -q "resuming from" "${work}/resumed.log" || {
+  echo "ci: resumed run did not load the checkpoint"
+  cat "${work}/resumed.log"; exit 1; }
+echo "ci: kill-and-resume smoke passed"
+
+# Batch isolation: three jobs, the middle one fails every try by injection.
+# The batch must exit non-zero, retry the bad job with backoff, and still
+# compile the two good jobs.
+cat >"${work}/manifest.json" <<'MANIFEST'
+{"jobs": [
+  {"name": "fir", "kernel": "fir2dim"},
+  {"name": "doomed", "kernel": "idcthor", "max_retries": 2,
+   "backoff_base_ms": 1, "fail_first_attempts": 3,
+   "degrade_on_last_retry": false},
+  {"name": "idct", "kernel": "idcthor"}
+]}
+MANIFEST
+mkdir -p "${work}/reports"
+set +e
+"${hcac}" --batch "${work}/manifest.json" --report-dir "${work}/reports" \
+  --report-out "${work}/summary.json" >"${work}/batch.log" 2>&1
+batch_rc=$?
+set -e
+if [[ "${batch_rc}" -ne 4 ]]; then
+  echo "ci: batch with a failing job exited ${batch_rc}, expected 4"
+  cat "${work}/batch.log"
+  exit 1
+fi
+grep -q '"ok":2' "${work}/summary.json" || {
+  echo "ci: batch summary does not report 2 ok jobs"
+  cat "${work}/summary.json"; exit 1; }
+grep -q '"failed":1' "${work}/summary.json" || {
+  echo "ci: batch summary does not report the failing job"
+  cat "${work}/summary.json"; exit 1; }
+grep -q '"tries_used":3' "${work}/summary.json" || {
+  echo "ci: the failing job was not retried to exhaustion"
+  cat "${work}/summary.json"; exit 1; }
+[[ -s "${work}/reports/fir.report.json" && -s "${work}/reports/idct.report.json" ]] || {
+  echo "ci: per-job reports missing"; exit 1; }
+echo "ci: batch isolation smoke passed"
 
 echo "=== ci: all stages passed ==="

@@ -9,9 +9,17 @@
 //   hcac --file loop.ddg --n 4 --m 4 --k 4 --dot-assignment out.dot
 //   hcac --kernel fir2dim --emit-reconfig
 //   hcac --kernel fir2dim --faults "cn:3 cn:17" --failure-policy degrade
+//   hcac --kernel h264deblocking --checkpoint-out run.ckpt --resume
+//   hcac --batch manifest.json --report-dir reports/
 //
 // Exit codes: 0 success, 1 schedule/simulation failure, 2 invalid input,
-// 3 internal error, 4 no legal mapping.
+// 3 internal error, 4 no legal mapping (or jobs failed in --batch mode),
+// 5 I/O failure writing an output artifact.
+//
+// SIGINT/SIGTERM trip the run's cancellation token: the search unwinds at
+// its next poll, best-so-far artifacts (checkpoint, report, trace) are
+// still written, and the process exits through the normal code paths. A
+// second signal exits immediately.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +32,8 @@
 #include "ddg/serialize.hpp"
 #include "machine/fault.hpp"
 #include "verify/coherency.hpp"
+#include "hca/batch.hpp"
+#include "hca/checkpoint.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/postprocess.hpp"
@@ -34,6 +44,8 @@
 #include "sim/dma.hpp"
 #include "sim/simulator.hpp"
 #include "support/check.hpp"
+#include "support/io.hpp"
+#include "support/signals.hpp"
 #include "support/str.hpp"
 #include "verify/verify.hpp"
 
@@ -75,6 +87,28 @@ void usage() {
       "                       trace_event JSON (chrome://tracing, perfetto)\n"
       "  --report-out PATH    write the structured run report as JSON\n"
       "  --stats              print the metrics registry after the run\n"
+      "  --checkpoint-out PATH  crash-safe checkpoint file: the outer sweep\n"
+      "                       records every completed failed attempt (plus\n"
+      "                       the sub-problem cache) so an interrupted run\n"
+      "                       can be resumed without repeating work\n"
+      "  --checkpoint-every-ms INT  throttle checkpoint writes to at most\n"
+      "                       one per interval (default 0 = every attempt)\n"
+      "  --resume             resume from --checkpoint-out; a missing file\n"
+      "                       starts fresh, a corrupt or foreign one is\n"
+      "                       invalid input (exit 2). The resumed run's\n"
+      "                       result and stats are byte-identical to an\n"
+      "                       uninterrupted run\n"
+      "  --memory-budget-mb INT  soft memory ceiling: bounds the sub-\n"
+      "                       problem cache and the SEE arenas; an attempt\n"
+      "                       that would blow it fails cleanly and the\n"
+      "                       ladder re-plans (0 = unlimited)\n"
+      "  --batch PATH         run a manifest of compile jobs with per-job\n"
+      "                       isolation, deadlines, retry with backoff and\n"
+      "                       checkpoints (see hca/batch.hpp for the JSON\n"
+      "                       schema); prints a summary JSON, exit 0 only\n"
+      "                       when every job produced a legal mapping\n"
+      "  --report-dir DIR     batch mode: write one run report per job\n"
+      "                       into DIR (atomic, best-so-far on failure)\n"
       "  (every VALUE flag also accepts --flag=VALUE)\n");
 }
 
@@ -90,6 +124,40 @@ int parseIntFlag(const std::string& flag, const std::string& text) {
     throw InvalidArgumentError(
         "flag " + flag + " needs an integer, got '" + text + "'");
   }
+}
+
+/// `hcac --batch`: parse the manifest, run the jobs under the shutdown
+/// token, print (and optionally write) the summary JSON.
+int runBatchTool(const std::string& manifestPath, const std::string& reportDir,
+                 const std::string& reportOut,
+                 const core::HcaOptions& baseOptions) {
+  // A missing/unreadable manifest is bad input (exit 2), not an artifact
+  // write failure (exit 5).
+  HCA_REQUIRE(fileExists(manifestPath),
+              "batch manifest '" << manifestPath << "' does not exist");
+  const auto jobs = core::parseManifest(readFile(manifestPath));
+  core::BatchOptions batchOptions;
+  batchOptions.cancel = &shutdownToken();
+  batchOptions.reportDir = reportDir;
+  batchOptions.base = baseOptions;
+  batchOptions.observer = [](const core::BatchJob& job, int tryNumber,
+                             const std::string& event) {
+    std::printf("batch: %-20s try %d: %s\n", job.name.c_str(), tryNumber,
+                event.c_str());
+    std::fflush(stdout);
+  };
+  const core::BatchSummary summary = core::runBatch(jobs, batchOptions);
+  const std::string json = core::batchSummaryJson(summary);
+  std::printf("%s\n", json.c_str());
+  if (!reportOut.empty()) {
+    atomicWriteFile(reportOut, json + "\n");
+    std::printf("batch summary written to %s\n", reportOut.c_str());
+  }
+  if (shutdownSignal() != 0) {
+    std::fprintf(stderr, "hcac: batch interrupted by signal %d\n",
+                 shutdownSignal());
+  }
+  return summary.allOk() ? 0 : 4;
 }
 
 int runTool(int argc, char** argv) {
@@ -111,6 +179,12 @@ int runTool(int argc, char** argv) {
   bool printStats = false;
   bool verifyEach = false;
   std::vector<std::string> verifyChecks;
+  std::string checkpointOut;
+  int checkpointEveryMs = 0;
+  bool resume = false;
+  int memoryBudgetMb = 0;
+  std::string batchManifest;
+  std::string reportDir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -157,6 +231,14 @@ int runTool(int argc, char** argv) {
     else if (arg == "--trace-out") traceOut = value();
     else if (arg == "--report-out") reportOut = value();
     else if (arg == "--stats") printStats = true;
+    else if (arg == "--checkpoint-out") checkpointOut = value();
+    else if (arg == "--checkpoint-every-ms")
+      checkpointEveryMs = parseIntFlag(arg, value());
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--memory-budget-mb")
+      memoryBudgetMb = parseIntFlag(arg, value());
+    else if (arg == "--batch") batchManifest = value();
+    else if (arg == "--report-dir") reportDir = value();
     else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -165,6 +247,25 @@ int runTool(int argc, char** argv) {
   HCA_REQUIRE(failurePolicy == "strict" || failurePolicy == "degrade",
               "--failure-policy must be 'strict' or 'degrade', got '"
                   << failurePolicy << "'");
+  HCA_REQUIRE(!resume || !checkpointOut.empty(),
+              "--resume needs --checkpoint-out (the file to resume from)");
+
+  installShutdownHandlers();
+
+  if (!batchManifest.empty()) {
+    HCA_REQUIRE(kernelName.empty() && filePath.empty(),
+                "--batch is exclusive with --kernel/--file (jobs name their "
+                "own inputs)");
+    core::HcaOptions base;
+    if (failurePolicy == "degrade") {
+      base.failurePolicy = core::FailurePolicy::kDegrade;
+    }
+    base.maxBeamSteps = maxBeamSteps;
+    base.see.legacySearch = legacySee;
+    base.verifyEach = verifyEach;
+    base.verifyChecks = verifyChecks;
+    return runBatchTool(batchManifest, reportDir, reportOut, base);
+  }
   if (kernelName.empty() == filePath.empty()) {
     usage();
     return 2;
@@ -223,30 +324,57 @@ int runTool(int argc, char** argv) {
   hcaOptions.see.legacySearch = legacySee;
   hcaOptions.verifyEach = verifyEach;
   hcaOptions.verifyChecks = verifyChecks;
+  hcaOptions.memoryBudgetBytes =
+      static_cast<std::int64_t>(memoryBudgetMb) * 1024 * 1024;
+  hcaOptions.externalCancel = &shutdownToken();
+  std::unique_ptr<core::CheckpointManager> checkpoint;
+  if (!checkpointOut.empty()) {
+    checkpoint = std::make_unique<core::CheckpointManager>(checkpointOut,
+                                                           checkpointEveryMs);
+    if (resume && checkpoint->loadForResume()) {
+      // Corruption / wrong-run throws CheckpointError -> exit 2.
+      std::printf("resuming from %s (%d recorded attempts)\n",
+                  checkpointOut.c_str(), checkpoint->attemptsRecorded());
+    }
+    hcaOptions.checkpoint = checkpoint.get();
+  }
   Tracer tracer(/*enabled=*/!traceOut.empty());
   if (!traceOut.empty()) hcaOptions.tracer = &tracer;
   const core::HcaDriver driver(model, hcaOptions);
   const auto result = driver.run(ddg);
 
+  if (checkpoint != nullptr) {
+    if (result.legal) {
+      // A finished run has nothing to resume into.
+      removeFileIfExists(checkpoint->path());
+    } else {
+      // Persist the final state past the write throttle, so `--resume`
+      // (after a signal, deadline or plain failure) skips all completed
+      // attempts.
+      checkpoint->flush();
+      std::printf("checkpoint written to %s (%d recorded attempts)\n",
+                  checkpointOut.c_str(), checkpoint->attemptsRecorded());
+    }
+  }
+  if (shutdownSignal() != 0) {
+    std::fprintf(stderr,
+                 "hcac: interrupted by signal %d — reporting best-so-far\n",
+                 shutdownSignal());
+  }
+
   // Observability artifacts are written for every *completed* run — legal
   // or not, the span tree and the metrics explain what the search did.
+  // All of them go through the atomic write path: a crash mid-write never
+  // leaves a truncated artifact, and an I/O failure is exit 5 (IoError).
   if (!traceOut.empty()) {
-    std::ofstream out(traceOut);
-    if (!out) {
-      std::fprintf(stderr, "cannot write '%s'\n", traceOut.c_str());
-      return 2;
-    }
+    std::ostringstream out;
     tracer.writeChromeJson(out);
+    atomicWriteFile(traceOut, out.str());
     std::printf("trace written to %s (%zu spans)\n", traceOut.c_str(),
                 tracer.spanCount());
   }
   if (!reportOut.empty()) {
-    std::ofstream out(reportOut);
-    if (!out) {
-      std::fprintf(stderr, "cannot write '%s'\n", reportOut.c_str());
-      return 2;
-    }
-    out << core::runReportJson(result, &model) << "\n";
+    atomicWriteFile(reportOut, core::runReportJson(result, &model) + "\n");
     std::printf("report written to %s\n", reportOut.c_str());
   }
   if (printStats) {
@@ -376,6 +504,9 @@ int runTool(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return runTool(argc, argv);
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "hcac: i/o failure: %s\n", e.what());
+    return 5;
   } catch (const InvalidArgumentError& e) {
     std::fprintf(stderr, "hcac: invalid input: %s\n", e.what());
     return 2;
