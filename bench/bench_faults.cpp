@@ -8,6 +8,7 @@
 // i.e. how much performance the coprocessor loses per dead cluster.
 
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <sstream>
 
@@ -15,6 +16,7 @@
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/report.hpp"
+#include "support/context.hpp"
 #include "support/fault_inject.hpp"
 #include "support/io.hpp"
 #include "support/json.hpp"
@@ -81,7 +83,12 @@ void runKernel(const ddg::Kernel& kernel, int index, JsonWriter& json) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool strictBuild = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict-build") == 0) strictBuild = true;
+  }
+  if (warnIfDebugBuild("bench_faults") && strictBuild) return 1;
   std::printf(
       "Fault degradation (final MII per number of dead CNs out of 64;\n"
       "'*' = a fallback rung produced the mapping, 'failed' = structured\n"
@@ -94,6 +101,8 @@ int main() {
   JsonWriter json(jsonOut);
   json.beginObject();
   json.key("bench").value("faults");
+  json.key("context");
+  RunContext::current().writeJson(json);
   json.key("rows").beginArray();
   int index = 0;
   for (auto& kernel : ddg::table1Kernels()) runKernel(kernel, index++, json);

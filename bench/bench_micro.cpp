@@ -23,6 +23,7 @@
 #include "sched/modulo.hpp"
 #include "see/engine.hpp"
 #include "support/arena.hpp"
+#include "support/context.hpp"
 
 namespace {
 
@@ -211,13 +212,34 @@ BENCHMARK(BM_ModuloScheduler);
 }  // namespace
 
 // Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_micro.json
-// so every run leaves a machine-readable record next to the binary.
+// so every run leaves a machine-readable record next to the binary, and
+// stamps the library's build provenance into the output context (the
+// committed BENCH_micro.json was once generated from a debug build and
+// nothing noticed). `--strict-build` makes a debug-grade build a hard
+// error instead of a warning — CI regenerating a committed baseline
+// passes it.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
   bool hasOut = false;
-  for (int i = 1; i < argc; ++i) {
+  bool strictBuild = false;
+  for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) hasOut = true;
+    if (std::strcmp(argv[i], "--strict-build") == 0) {
+      strictBuild = true;
+      continue;  // ours, not google-benchmark's
+    }
+    args.push_back(argv[i]);
   }
+  const bool debugBuild = hca::warnIfDebugBuild("bench_micro");
+  if (debugBuild && strictBuild) return 1;
+  const hca::RunContext context = hca::RunContext::current();
+  benchmark::AddCustomContext("hca_git_sha", context.gitSha);
+  benchmark::AddCustomContext("hca_cmake_build_type", context.buildType);
+  // Named apart from google-benchmark's own "library_build_type" (which
+  // reports the *benchmark* library's build and cannot be overridden).
+  benchmark::AddCustomContext("hca_library_build_type",
+                              context.ndebug ? "release" : "debug");
   std::string outFlag = "--benchmark_out=BENCH_micro.json";
   std::string fmtFlag = "--benchmark_out_format=json";
   if (!hasOut) {

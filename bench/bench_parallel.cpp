@@ -5,14 +5,23 @@
 // sub-problem cache hit rates. Results are appended to BENCH_parallel.json
 // (machine-readable) so the perf trajectory is tracked across PRs.
 //
-// Usage: bench_parallel [--quick]
-//   --quick  skip h264deblocking (its fully failing 35-attempt sweep plus
-//            fallback dominates the runtime)
+// Requested counts above hardware_concurrency clamp to the same effective
+// worker count; re-measuring them would just duplicate an existing row
+// (on a 1-core host every count collapses to 1). Such rows are not re-run:
+// they copy the measured row's numbers and carry "clamped": true, so
+// downstream tracking can tell a measurement from an alias of one.
+//
+// Usage: bench_parallel [--quick] [--strict-build]
+//   --quick         skip h264deblocking (its fully failing 35-attempt sweep
+//                   plus fallback dominates the runtime)
+//   --strict-build  exit 1 instead of warning when this is a debug-grade
+//                   (non-NDEBUG) build
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +30,7 @@
 
 #include "ddg/kernels.hpp"
 #include "hca/driver.hpp"
+#include "support/context.hpp"
 #include "support/io.hpp"
 
 using namespace hca;
@@ -38,6 +48,9 @@ struct Row {
   int attemptsCancelled = 0;
   std::int64_t cacheHits = 0;
   std::int64_t cacheMisses = 0;
+  /// True when this row was not measured: its effectiveThreads duplicates
+  /// an already-measured configuration and the numbers are copied from it.
+  bool clamped = false;
 
   [[nodiscard]] double hitRate() const {
     const auto total = cacheHits + cacheMisses;
@@ -58,9 +71,12 @@ double wallMsOf(const std::function<void()>& fn) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool strictBuild = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--strict-build") strictBuild = true;
   }
+  if (warnIfDebugBuild("bench_parallel") && strictBuild) return 1;
 
   machine::DspFabricConfig config;
   config.n = config.m = config.k = 8;
@@ -87,6 +103,8 @@ int main(int argc, char** argv) {
   for (auto& kernel : kernels) {
     if (quick && kernel.name == "h264deblocking") continue;
     double serialMs = 0.0;
+    // effectiveThreads -> index into `rows` of the row that measured it.
+    std::map<int, std::size_t> measured;
     for (const int threads : threadCounts) {
       core::HcaOptions options;  // defaults ARE the worst-case sweep: slack 6, 5 profiles
       options.numThreads = threads;
@@ -96,6 +114,25 @@ int main(int argc, char** argv) {
       row.numThreads = threads;
       row.effectiveThreads =
           ThreadPool::effectiveThreads(threads, options.allowOversubscribe);
+      const auto dup = measured.find(row.effectiveThreads);
+      if (dup != measured.end()) {
+        // Same effective configuration as an earlier row — re-running it
+        // would measure the identical thing under a different label.
+        const Row& src = rows[dup->second];
+        row.wallMs = src.wallMs;
+        row.legal = src.legal;
+        row.achievedTargetIi = src.achievedTargetIi;
+        row.outerAttempts = src.outerAttempts;
+        row.attemptsCancelled = src.attemptsCancelled;
+        row.cacheHits = src.cacheHits;
+        row.cacheMisses = src.cacheMisses;
+        row.clamped = true;
+        rows.push_back(row);
+        std::printf("%-16s %8d %4d %10s %6s %9s %8s %10s %9s  (clamped, = %dt row)\n",
+                    row.kernel.c_str(), row.numThreads, row.effectiveThreads,
+                    "-", "-", "-", "-", "-", "-", src.numThreads);
+        continue;
+      }
       core::HcaResult result;
       row.wallMs = wallMsOf([&] {
         const core::HcaDriver driver(model, options);
@@ -107,6 +144,7 @@ int main(int argc, char** argv) {
       row.attemptsCancelled = result.stats.attemptsCancelled;
       row.cacheHits = result.stats.cacheHits;
       row.cacheMisses = result.stats.cacheMisses;
+      measured[row.effectiveThreads] = rows.size();
       rows.push_back(row);
       if (threads == 1) serialMs = row.wallMs;
 
@@ -127,6 +165,7 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"parallel_portfolio\",\n"
        << "  \"machine\": \"" << config.toString() << "\",\n"
+       << "  \"context\": " << RunContext::current().toJson() << ",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
        << "  \"targetIiSlack\": " << core::HcaOptions().targetIiSlack << ",\n"
        << "  \"searchProfiles\": " << core::HcaOptions().searchProfiles << ",\n"
@@ -143,7 +182,8 @@ int main(int argc, char** argv) {
          << ", \"attemptsCancelled\": " << row.attemptsCancelled
          << ", \"cacheHits\": " << row.cacheHits
          << ", \"cacheMisses\": " << row.cacheMisses
-         << ", \"cacheHitRate\": " << row.hitRate() << "}"
+         << ", \"cacheHitRate\": " << row.hitRate()
+         << ", \"clamped\": " << (row.clamped ? "true" : "false") << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

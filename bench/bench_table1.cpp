@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "ddg/kernels.hpp"
@@ -30,12 +31,20 @@
 #include "hca/report.hpp"
 #include "sched/modulo.hpp"
 #include "sim/simulator.hpp"
+#include "support/context.hpp"
 #include "support/io.hpp"
 #include "support/json.hpp"
 
 using namespace hca;
 
-int main() {
+int main(int argc, char** argv) {
+  bool strictBuild = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict-build") == 0) strictBuild = true;
+  }
+  if (warnIfDebugBuild("bench_table1") && strictBuild) return 1;
+  const RunContext context = RunContext::current();
+
   machine::DspFabricConfig config;
   config.n = config.m = config.k = 8;  // the paper's best configuration
   const machine::DspFabricModel model(config);
@@ -68,6 +77,8 @@ int main() {
   json.key("bench").value("table1");
   json.key("machine").value(config.toString());
   json.key("threads").value(threads);
+  json.key("context");
+  context.writeJson(json);
   json.key("rows").beginArray();
 
   for (auto& kernel : ddg::table1Kernels()) {
@@ -138,8 +149,13 @@ int main() {
           std::max(miiRec, miiRes), "no", "-", kernel.paper.finalMii, "-",
           "-", seconds, cachePct, legacyCol, speedupCol);
       json.key("iniMii").value(std::max(miiRec, miiRes));
+      core::ReportMeta meta;
+      meta.workload = kernel.name;
+      meta.machine = config.toString();
+      meta.threads = threads;
+      meta.context = context;
       json.key("report");
-      core::writeRunReport(json, result, &model);
+      core::writeRunReport(json, result, &model, &meta);
       json.endObject();
       continue;
     }
@@ -170,8 +186,13 @@ int main() {
     json.key("finalMii").value(mii.finalMii);
     json.key("schedII").value(sched.ok ? sched.schedule.ii : -1);
     json.key("simOK").value(simVerdict);
+    core::ReportMeta meta;
+    meta.workload = kernel.name;
+    meta.machine = config.toString();
+    meta.threads = threads;
+    meta.context = context;
     json.key("report");
-    core::writeRunReport(json, result, &model);
+    core::writeRunReport(json, result, &model, &meta);
     json.endObject();
   }
   json.endArray();

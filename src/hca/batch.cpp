@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <exception>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -10,11 +13,13 @@
 #include "ddg/kernels.hpp"
 #include "ddg/serialize.hpp"
 #include "hca/checkpoint.hpp"
+#include "hca/progress.hpp"
 #include "hca/report.hpp"
 #include "machine/fault.hpp"
 #include "support/check.hpp"
 #include "support/io.hpp"
 #include "support/json.hpp"
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
 
@@ -149,6 +154,184 @@ void notify(const BatchOptions& batch, const BatchJob& job, int tryNumber,
   if (batch.observer) batch.observer(job, tryNumber, event);
 }
 
+/// Live progress for one runBatch invocation: owns the heartbeat JSONL log
+/// (when configured), the cumulative counters the heartbeat reports, and
+/// the periodic heartbeat/TTY thread. All public methods are no-ops when
+/// neither --progress-out nor the TTY summary is enabled, so the plain
+/// batch path stays allocation- and thread-free.
+class ProgressTracker {
+ public:
+  ProgressTracker(const BatchOptions& options, int jobsTotal)
+      : options_(options),
+        jobsTotal_(jobsTotal),
+        started_(std::chrono::steady_clock::now()) {
+    if (!options.progressPath.empty()) {
+      log_ = std::make_unique<ProgressLog>(options.progressPath);
+    }
+    if (!enabled()) return;
+    ProgressEvent event;
+    {
+      MutexLock lock(mu_);
+      event = baseLocked();
+    }
+    event.event = "batch-start";
+    event.resumed = log_ != nullptr && log_->resumedLog();
+    emit(event, /*tty=*/false);
+    heartbeat_ = std::thread([this] { heartbeatLoop(); });
+  }
+
+  ~ProgressTracker() { stop(); }
+
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return log_ != nullptr || options_.progressTty;
+  }
+
+  /// Emits the batch-end marker and joins the heartbeat thread.
+  void stop() {
+    {
+      MutexLock lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (heartbeat_.joinable()) heartbeat_.join();
+    if (!enabled()) return;
+    ProgressEvent event;
+    {
+      MutexLock lock(mu_);
+      event = baseLocked();
+    }
+    event.event = "batch-end";
+    emit(event, options_.progressTty);
+  }
+
+  /// One job state transition (start / retry-wait / injected-failure /
+  /// try-failed). `phase` becomes the heartbeat's current-phase label.
+  void jobState(const BatchJob& job, const char* state, int tryNumber,
+                const std::string& phase) {
+    if (!enabled()) return;
+    ProgressEvent event;
+    {
+      MutexLock lock(mu_);
+      currentJob_ = job.name;
+      currentTry_ = tryNumber;
+      phase_ = phase;
+      event = baseLocked();
+    }
+    event.event = "job-state";
+    event.job = job.name;
+    event.state = state;
+    event.tryNumber = tryNumber;
+    emit(event, /*tty=*/false);
+  }
+
+  /// Terminal transition: folds the job into the cumulative counters (and
+  /// the completed-duration pool the ETA is computed from) and emits the
+  /// "done" line.
+  void jobDone(const BatchJob& job, BatchJobStatus status, int tryNumber,
+               std::int64_t wallMs) {
+    if (!enabled()) return;
+    ProgressEvent event;
+    {
+      MutexLock lock(mu_);
+      ++jobsDone_;
+      if (status == BatchJobStatus::kOk) ++jobsOk_;
+      if (status == BatchJobStatus::kFailed ||
+          status == BatchJobStatus::kInvalid) {
+        ++jobsFailed_;
+      }
+      completedWallMs_ += wallMs;
+      currentJob_.clear();
+      currentTry_ = 0;
+      phase_ = "idle";
+      event = baseLocked();
+    }
+    event.event = "job-state";
+    event.job = job.name;
+    event.state = "done";
+    event.outcome = to_string(status);
+    event.tryNumber = tryNumber;
+    emit(event, /*tty=*/false);
+  }
+
+ private:
+  /// Common fields of the next line, from the counters. Caller holds mu_.
+  ProgressEvent baseLocked() HCA_REQUIRES(mu_) {
+    ProgressEvent event;
+    event.job = currentJob_;
+    event.tryNumber = currentTry_;
+    event.phase = phase_;
+    event.jobsTotal = jobsTotal_;
+    event.jobsDone = jobsDone_;
+    event.jobsOk = jobsOk_;
+    event.jobsFailed = jobsFailed_;
+    event.elapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+    // ETA: mean completed-job duration times the jobs still to run. Honest
+    // about what it is — an extrapolation that only exists once at least
+    // one job finished in *this* process.
+    if (jobsDone_ > 0 && jobsDone_ < jobsTotal_) {
+      event.etaMs = completedWallMs_ / jobsDone_ *
+                    (jobsTotal_ - jobsDone_);
+    }
+    return event;
+  }
+
+  void emit(const ProgressEvent& event, bool tty) {
+    if (log_ != nullptr) log_->write(event);
+    if (!tty) return;
+    char eta[32];
+    if (event.etaMs >= 0) {
+      std::snprintf(eta, sizeof(eta), "%.1fs",
+                    static_cast<double>(event.etaMs) / 1000.0);
+    } else {
+      std::snprintf(eta, sizeof(eta), "?");
+    }
+    std::printf("batch progress: [%d/%d] ok=%d failed=%d%s%s%s%s "
+                "elapsed=%.1fs eta=%s\n",
+                event.jobsDone, event.jobsTotal, event.jobsOk,
+                event.jobsFailed, event.job.empty() ? "" : " job=",
+                event.job.c_str(), event.phase.empty() ? "" : " ",
+                event.phase.c_str(),
+                static_cast<double>(event.elapsedMs) / 1000.0, eta);
+    std::fflush(stdout);
+  }
+
+  void heartbeatLoop() {
+    MutexLock lock(mu_);
+    while (!stopped_) {
+      cv_.wait_for(lock,
+                   std::chrono::milliseconds(std::max(1, options_.heartbeatMs)));
+      if (stopped_) break;
+      ProgressEvent event = baseLocked();
+      event.event = "heartbeat";
+      // ProgressLog has its own lock and never calls back into the
+      // tracker, so emitting under mu_ cannot deadlock.
+      emit(event, options_.progressTty);
+    }
+  }
+
+  const BatchOptions& options_;
+  const int jobsTotal_;
+  const std::chrono::steady_clock::time_point started_;
+  std::unique_ptr<ProgressLog> log_;
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  bool stopped_ HCA_GUARDED_BY(mu_) = false;
+  int jobsDone_ HCA_GUARDED_BY(mu_) = 0;
+  int jobsOk_ HCA_GUARDED_BY(mu_) = 0;
+  int jobsFailed_ HCA_GUARDED_BY(mu_) = 0;
+  std::int64_t completedWallMs_ HCA_GUARDED_BY(mu_) = 0;
+  std::string currentJob_ HCA_GUARDED_BY(mu_);
+  int currentTry_ HCA_GUARDED_BY(mu_) = 0;
+  std::string phase_ HCA_GUARDED_BY(mu_);
+  std::thread heartbeat_;
+};
+
 }  // namespace
 
 const char* to_string(BatchJobStatus status) {
@@ -249,6 +432,7 @@ std::int64_t backoffDelayMs(const std::string& jobName, int tryNumber,
 BatchSummary runBatch(const std::vector<BatchJob>& jobs,
                       const BatchOptions& options) {
   BatchSummary summary;
+  ProgressTracker progress(options, static_cast<int>(jobs.size()));
   for (const BatchJob& job : jobs) {
     BatchJobResult jr;
     jr.name = job.name;
@@ -260,6 +444,7 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
       jr.status = BatchJobStatus::kCancelled;
       jr.failureReason = "batch shutdown before the job started";
       notify(options, job, 0, "cancelled");
+      progress.jobDone(job, BatchJobStatus::kCancelled, 0, 0);
       summary.jobs.push_back(std::move(jr));
       ++summary.cancelled;
       continue;
@@ -300,6 +485,7 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
       jr.wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
                       std::chrono::steady_clock::now() - started)
                       .count();
+      progress.jobDone(job, BatchJobStatus::kInvalid, 0, jr.wallMs);
       summary.jobs.push_back(std::move(jr));
       ++summary.invalid;
       continue;
@@ -316,6 +502,9 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
       }
       if (tryNumber >= 2) {
         notify(options, job, tryNumber, "retry-wait");
+        progress.jobState(job, "retry-wait", tryNumber,
+                          strCat("retry-wait before try ", tryNumber, "/",
+                                 maxTries));
         backoffSleep(backoffDelayMs(job.name, tryNumber, job.backoffBaseMs),
                      options);
         if (options.cancel != nullptr && options.cancel->cancelled()) {
@@ -330,6 +519,9 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
         // outright, exercising the retry/backoff path without a flaky
         // dependency on search behaviour.
         notify(options, job, tryNumber, "injected-failure");
+        progress.jobState(job, "injected-failure", tryNumber,
+                          strCat("injected failure on try ", tryNumber, "/",
+                                 maxTries));
         outcome.kind = TryOutcome::Kind::kFailed;
         outcome.failureReason =
             strCat("injected failure (fail_first_attempts=",
@@ -339,6 +531,9 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
       const bool lastTry = tryNumber == maxTries;
       notify(options, job, tryNumber, "start");
       jr.degraded = lastTry && job.degradeOnLastRetry;
+      progress.jobState(job, "start", tryNumber,
+                        strCat("compiling (try ", tryNumber, "/", maxTries,
+                               jr.degraded ? ", degraded)" : ")"));
       outcome = runOneTry(job, ddg, *model, checkpoint.get(), lastTry,
                           options);
       if (outcome.kind == TryOutcome::Kind::kOk ||
@@ -347,6 +542,8 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
         break;
       }
       notify(options, job, tryNumber, "failed");
+      progress.jobState(job, "try-failed", tryNumber,
+                        strCat("try ", tryNumber, "/", maxTries, " failed"));
     }
 
     // --- Fold the final outcome into the summary. -------------------------
@@ -384,17 +581,25 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
     jr.wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
                     std::chrono::steady_clock::now() - started)
                     .count();
+    progress.jobDone(job, jr.status, jr.triesUsed, jr.wallMs);
 
     // Best-so-far run report, even for failed/cancelled jobs (an IoError
     // here is an infrastructure failure and propagates to the caller —
     // job isolation covers compile failures, not a broken report disk).
     if (!options.reportDir.empty() && outcome.haveResult) {
+      ReportMeta meta;
+      meta.workload = job.kernel.empty() ? job.ddgPath : job.kernel;
+      meta.machine = model->config().toString();
+      meta.threads = job.threads;
+      meta.context = RunContext::current(options.runId);
       atomicWriteFile(strCat(options.reportDir, "/", job.name,
                              ".report.json"),
-                      runReportJson(outcome.result, model.get()) + "\n");
+                      runReportJson(outcome.result, model.get(), &meta) +
+                          "\n");
     }
     summary.jobs.push_back(std::move(jr));
   }
+  progress.stop();
   return summary;
 }
 

@@ -99,10 +99,27 @@ struct BatchSummary {
 struct BatchOptions {
   /// Shutdown token (may be null). See the header comment.
   const CancellationToken* cancel = nullptr;
+  /// When non-empty, a heartbeat JSONL progress log (hca/progress.hpp) is
+  /// appended to this path: every job state transition, a periodic
+  /// heartbeat while a job runs, and batch start/end markers, each line
+  /// flushed before the driver proceeds. Append-only across restarts: a
+  /// killed-and-resumed batch continues the same file with a strictly
+  /// increasing `seq`, so monitors see one honest cumulative log.
+  std::string progressPath;
+  /// When true, the heartbeat thread also prints a one-line progress
+  /// summary (jobs done/ok/failed, current job + phase, ETA) to stdout.
+  bool progressTty = false;
+  /// Heartbeat period for the progress log / TTY summary.
+  int heartbeatMs = 1000;
   /// When non-empty, a best-so-far run report (hca/report.hpp) is written
   /// atomically to `<dir>/<job>.report.json` after every job — including
-  /// failed and cancelled ones.
+  /// failed and cancelled ones. Each report carries a cross-run meta block
+  /// (workload = the job's kernel/ddg, machine, context), so it feeds
+  /// `hcac --compare` directly.
   std::string reportDir;
+  /// Run identifier stamped into each per-job report's context block
+  /// (`hcac --run-id`); empty = unset.
+  std::string runId;
   /// Base HcaOptions every job starts from (per-job manifest fields are
   /// layered on top).
   HcaOptions base;

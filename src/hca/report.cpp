@@ -60,16 +60,26 @@ void writeFailure(JsonWriter& json, const HcaFailureReport& failure) {
 }  // namespace
 
 std::string runReportJson(const HcaResult& result,
-                          const machine::DspFabricModel* model) {
+                          const machine::DspFabricModel* model,
+                          const ReportMeta* meta) {
   std::ostringstream os;
   JsonWriter json(os);
-  writeRunReport(json, result, model);
+  writeRunReport(json, result, model, meta);
   return os.str();
 }
 
 void writeRunReport(JsonWriter& json, const HcaResult& result,
-                    const machine::DspFabricModel* model) {
+                    const machine::DspFabricModel* model,
+                    const ReportMeta* meta) {
   json.beginObject();
+
+  if (meta != nullptr) {
+    json.key("workload").value(meta->workload);
+    json.key("machine").value(meta->machine);
+    json.key("threads").value(meta->threads);
+    json.key("context");
+    meta->context.writeJson(json);
+  }
 
   json.key("legal").value(result.legal);
   json.key("fallbackUsed").value(result.fallbackUsed);
@@ -148,6 +158,45 @@ void writeRunReport(JsonWriter& json, const HcaResult& result,
   json.endObject();
 
   json.endObject();
+}
+
+std::map<std::string, std::int64_t> deterministicCounters(
+    const HcaStats& stats) {
+  // attemptsCancelled is deliberately absent: it counts attempts cut short
+  // by deadlines or portfolio soft-cancellation, both wall-clock effects.
+  return {
+      {"problemsSolved", stats.problemsSolved},
+      {"backtrackAttempts", stats.backtrackAttempts},
+      {"outerAttempts", stats.outerAttempts},
+      {"achievedTargetIi", stats.achievedTargetIi},
+      {"statesExplored", stats.statesExplored},
+      {"candidatesEvaluated", stats.candidatesEvaluated},
+      {"routeInvocations", stats.routeInvocations},
+      {"cacheHits", stats.cacheHits},
+      {"cacheMisses", stats.cacheMisses},
+      {"maxWirePressure", stats.maxWirePressure},
+      {"seeCopiesAvoided", stats.seeCopiesAvoided},
+      {"seeSnapshotsMaterialized", stats.seeSnapshotsMaterialized},
+      {"seeArenaBytesPeak", stats.seeArenaBytesPeak},
+  };
+}
+
+double runWallUs(const HcaResult& result) {
+  const Histogram* wall = result.metrics.findHistogram("attempt.wall_us");
+  return wall != nullptr && wall->stats().count() > 0 ? wall->stats().sum()
+                                                      : 0.0;
+}
+
+HistoryRecord historyRecordFor(const HcaResult& result,
+                               const ReportMeta& meta) {
+  HistoryRecord record;
+  record.context = meta.context;
+  record.workload = meta.workload;
+  record.machine = meta.machine;
+  record.legal = result.legal;
+  record.wallUs = runWallUs(result);
+  record.counters = deterministicCounters(result.stats);
+  return record;
 }
 
 void printRunStats(std::ostream& os, const HcaResult& result) {

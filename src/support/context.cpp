@@ -1,0 +1,122 @@
+#include "support/context.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+#ifndef HCA_GIT_SHA
+#define HCA_GIT_SHA "unknown"
+#endif
+#ifndef HCA_CMAKE_BUILD_TYPE
+#define HCA_CMAKE_BUILD_TYPE ""
+#endif
+
+namespace hca {
+
+namespace {
+
+std::string currentHostname() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+int i32Member(const JsonValue& v, const char* name) {
+  const JsonValue* m = v.find(name);
+  HCA_REQUIRE(m != nullptr && m->kind == JsonValue::Kind::kNumber,
+              "context: missing/non-number member '" << name << "'");
+  return static_cast<int>(m->number);
+}
+
+const std::string& strMember(const JsonValue& v, const char* name) {
+  const JsonValue* m = v.find(name);
+  HCA_REQUIRE(m != nullptr && m->kind == JsonValue::Kind::kString,
+              "context: missing/non-string member '" << name << "'");
+  return m->string;
+}
+
+bool boolMember(const JsonValue& v, const char* name) {
+  const JsonValue* m = v.find(name);
+  HCA_REQUIRE(m != nullptr && m->kind == JsonValue::Kind::kBool,
+              "context: missing/non-bool member '" << name << "'");
+  return m->boolean;
+}
+
+}  // namespace
+
+RunContext RunContext::current(std::string runId) {
+  RunContext ctx;
+  ctx.gitSha = HCA_GIT_SHA;
+  ctx.buildType = HCA_CMAKE_BUILD_TYPE;
+#ifdef NDEBUG
+  ctx.ndebug = true;
+#else
+  ctx.ndebug = false;
+#endif
+  ctx.hostname = currentHostname();
+  ctx.hardwareConcurrency =
+      static_cast<int>(std::thread::hardware_concurrency());
+  ctx.runId = std::move(runId);
+  return ctx;
+}
+
+void RunContext::writeJson(JsonWriter& json) const {
+  json.beginObject();
+  json.key("schema_version").value(schemaVersion);
+  json.key("git_sha").value(gitSha);
+  json.key("build_type").value(buildType);
+  json.key("ndebug").value(ndebug);
+  json.key("hostname").value(hostname);
+  json.key("hardware_concurrency").value(hardwareConcurrency);
+  json.key("run_id").value(runId);
+  json.endObject();
+}
+
+std::string RunContext::toJson() const {
+  std::ostringstream os;
+  JsonWriter json(os);
+  writeJson(json);
+  return os.str();
+}
+
+RunContext RunContext::fromJson(const JsonValue& value) {
+  HCA_REQUIRE(value.isObject(), "context: not an object");
+  for (const auto& [key, member] : value.object) {
+    (void)member;
+    const bool known =
+        key == "schema_version" || key == "git_sha" || key == "build_type" ||
+        key == "ndebug" || key == "hostname" ||
+        key == "hardware_concurrency" || key == "run_id";
+    HCA_REQUIRE(known, "context: unknown member '" << key << "'");
+  }
+  RunContext ctx;
+  ctx.schemaVersion = i32Member(value, "schema_version");
+  ctx.gitSha = strMember(value, "git_sha");
+  ctx.buildType = strMember(value, "build_type");
+  ctx.ndebug = boolMember(value, "ndebug");
+  ctx.hostname = strMember(value, "hostname");
+  ctx.hardwareConcurrency = i32Member(value, "hardware_concurrency");
+  ctx.runId = strMember(value, "run_id");
+  return ctx;
+}
+
+bool warnIfDebugBuild(const char* tool) {
+  const RunContext ctx = RunContext::current();
+  if (ctx.isOptimizedBuild()) return false;
+  std::fprintf(
+      stderr,
+      "\n"
+      "*** %s: DEBUG BUILD — timing numbers are NOT comparable. ***\n"
+      "*** Configure with -DCMAKE_BUILD_TYPE=Release before trusting ***\n"
+      "*** or committing any measurement (build_type='%s').          ***\n"
+      "\n",
+      tool, ctx.buildType.c_str());
+  return true;
+}
+
+}  // namespace hca

@@ -1,0 +1,181 @@
+#include "support/history.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+namespace hca {
+
+namespace {
+
+HistoryRecord recordFromJson(const JsonValue& value, std::size_t lineNo) {
+  HCA_REQUIRE(value.isObject(),
+              "history line " << lineNo << ": not a JSON object");
+  HistoryRecord record;
+  bool haveContext = false, haveWorkload = false, haveMachine = false,
+       haveLegal = false, haveWall = false, haveCounters = false;
+  for (const auto& [key, member] : value.object) {
+    if (key == "context") {
+      record.context = RunContext::fromJson(member);
+      haveContext = true;
+    } else if (key == "workload") {
+      HCA_REQUIRE(member.kind == JsonValue::Kind::kString,
+                  "history line " << lineNo << ": 'workload' must be a string");
+      record.workload = member.string;
+      haveWorkload = true;
+    } else if (key == "machine") {
+      HCA_REQUIRE(member.kind == JsonValue::Kind::kString,
+                  "history line " << lineNo << ": 'machine' must be a string");
+      record.machine = member.string;
+      haveMachine = true;
+    } else if (key == "legal") {
+      HCA_REQUIRE(member.kind == JsonValue::Kind::kBool,
+                  "history line " << lineNo << ": 'legal' must be a bool");
+      record.legal = member.boolean;
+      haveLegal = true;
+    } else if (key == "wall_us") {
+      HCA_REQUIRE(member.kind == JsonValue::Kind::kNumber,
+                  "history line " << lineNo << ": 'wall_us' must be a number");
+      record.wallUs = member.number;
+      haveWall = true;
+    } else if (key == "counters") {
+      HCA_REQUIRE(member.isObject(),
+                  "history line " << lineNo << ": 'counters' must be an object");
+      for (const auto& [name, counter] : member.object) {
+        HCA_REQUIRE(counter.kind == JsonValue::Kind::kNumber,
+                    "history line " << lineNo << ": counter '" << name
+                                    << "' must be a number");
+        record.counters[name] = static_cast<std::int64_t>(counter.number);
+      }
+      haveCounters = true;
+    } else {
+      HCA_REQUIRE(false,
+                  "history line " << lineNo << ": unknown member '" << key
+                                  << "'");
+    }
+  }
+  HCA_REQUIRE(haveContext && haveWorkload && haveMachine && haveLegal &&
+                  haveWall && haveCounters,
+              "history line " << lineNo << ": incomplete record");
+  HCA_REQUIRE(record.context.schemaVersion == RunContext::kSchemaVersion,
+              "history line " << lineNo << ": schema version "
+                              << record.context.schemaVersion
+                              << " (this build reads "
+                              << RunContext::kSchemaVersion << ")");
+  return record;
+}
+
+}  // namespace
+
+std::string historyLineJson(const HistoryRecord& record) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.beginObject();
+  json.key("context");
+  record.context.writeJson(json);
+  json.key("workload").value(record.workload);
+  json.key("machine").value(record.machine);
+  json.key("legal").value(record.legal);
+  json.key("wall_us").value(record.wallUs);
+  json.key("counters").beginObject();
+  for (const auto& [name, counter] : record.counters) {
+    json.key(name).value(counter);
+  }
+  json.endObject();
+  json.endObject();
+  return os.str();
+}
+
+void appendHistoryLine(const std::string& path, const std::string& line) {
+  // Plain O_APPEND semantics, not atomicWriteFile: history is append-only
+  // by design, and replacing the file would race a concurrent appender.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    throw IoError(strCat("history: cannot open '", path,
+                         "' for append: ", std::strerror(errno)));
+  }
+  const std::string withNewline = line + "\n";
+  const bool ok =
+      std::fwrite(withNewline.data(), 1, withNewline.size(), f) ==
+          withNewline.size() &&
+      std::fflush(f) == 0;
+  const int savedErrno = errno;
+  std::fclose(f);
+  if (!ok) {
+    throw IoError(strCat("history: short write to '", path,
+                         "': ", std::strerror(savedErrno)));
+  }
+}
+
+std::vector<HistoryRecord> parseHistory(const std::string& text) {
+  std::vector<HistoryRecord> records;
+  std::size_t lineNo = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    ++lineNo;
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue value;
+    std::string error;
+    HCA_REQUIRE(parseJson(line, &value, &error),
+                "history line " << lineNo << ": bad JSON: " << error);
+    records.push_back(recordFromJson(value, lineNo));
+  }
+  return records;
+}
+
+std::vector<HistoryRecord> loadHistory(const std::string& path) {
+  if (!fileExists(path)) return {};
+  return parseHistory(readFile(path));
+}
+
+std::vector<HistoryRecord> selectHistory(
+    const std::vector<HistoryRecord>& records, const std::string& workload,
+    const std::string& machine) {
+  std::vector<HistoryRecord> out;
+  for (const HistoryRecord& record : records) {
+    if (record.workload != workload) continue;
+    if (!machine.empty() && record.machine != machine) continue;
+    out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<double> wallSeries(const std::vector<HistoryRecord>& records,
+                               const std::string& workload,
+                               const std::string& machine) {
+  std::vector<double> out;
+  for (const HistoryRecord& record :
+       selectHistory(records, workload, machine)) {
+    // Failed runs are typically deadline-bound; mixing them into the series
+    // would inflate any variance threshold computed from it.
+    if (record.legal) out.push_back(record.wallUs);
+  }
+  return out;
+}
+
+std::vector<double> counterSeries(const std::vector<HistoryRecord>& records,
+                                  const std::string& workload,
+                                  const std::string& counter,
+                                  const std::string& machine) {
+  std::vector<double> out;
+  for (const HistoryRecord& record :
+       selectHistory(records, workload, machine)) {
+    const auto it = record.counters.find(counter);
+    if (it != record.counters.end()) {
+      out.push_back(static_cast<double>(it->second));
+    }
+  }
+  return out;
+}
+
+}  // namespace hca

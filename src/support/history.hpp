@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/context.hpp"
+
+/// Append-only baseline history for cross-run performance tracking.
+///
+/// A history file is JSONL: one self-contained JSON object per line, one
+/// line per completed run (`hcac --history-out FILE` appends; nothing ever
+/// rewrites earlier lines, so concurrent writers at worst interleave whole
+/// lines and a crash at worst loses the line being written). Each record
+/// carries the run's provenance context, the workload/machine identity, the
+/// run's wall-clock and the deterministic counter set of the run report —
+/// enough for `hcac --compare` to compute variance-aware wall-clock
+/// thresholds (mean + k·stddev over matching records) and for offline
+/// tooling to extract per-kernel series.
+///
+/// Loading is strict: every line must parse as a complete record with a
+/// known schema version; the first bad line fails the whole load with its
+/// line number (a silently skipped record would corrupt every statistic
+/// computed from the file).
+namespace hca {
+
+struct HistoryRecord {
+  RunContext context;
+  /// Workload identity: the kernel name or DDG file path.
+  std::string workload;
+  /// Machine identity: DspFabricConfig::toString() of the run.
+  std::string machine;
+  bool legal = false;
+  /// Total wall-clock over all outer attempts, microseconds (the sum of
+  /// the run's `attempt.wall_us` histogram).
+  double wallUs = 0.0;
+  /// The deterministic counters of the run report's "stats" block, by
+  /// report key (e.g. "outerAttempts", "cacheHits").
+  std::map<std::string, std::int64_t> counters;
+};
+
+/// Serializes one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string historyLineJson(const HistoryRecord& record);
+
+/// Appends `line` + '\n' to `path`, creating the file when absent. The
+/// write is flushed before returning. Throws IoError on failure.
+void appendHistoryLine(const std::string& path, const std::string& line);
+
+/// Strict-parses a whole history document (the contents of a JSONL file).
+/// Blank lines are permitted (a crash can leave a trailing one); anything
+/// else that is not a complete record throws InvalidArgumentError naming
+/// the 1-based line number.
+[[nodiscard]] std::vector<HistoryRecord> parseHistory(const std::string& text);
+
+/// `parseHistory(readFile(path))`; a missing file is an empty history.
+[[nodiscard]] std::vector<HistoryRecord> loadHistory(const std::string& path);
+
+/// The records matching one (workload, machine) configuration, in file
+/// order. `machine` empty = any machine.
+[[nodiscard]] std::vector<HistoryRecord> selectHistory(
+    const std::vector<HistoryRecord>& records, const std::string& workload,
+    const std::string& machine = "");
+
+/// Per-kernel series extraction: the wall-clock values (microseconds) of
+/// the matching *legal* records, in file order (failed runs are typically
+/// deadline-bound and would poison a variance threshold).
+[[nodiscard]] std::vector<double> wallSeries(
+    const std::vector<HistoryRecord>& records, const std::string& workload,
+    const std::string& machine = "");
+
+/// The values of one deterministic counter over the matching records.
+/// Records lacking the counter contribute nothing.
+[[nodiscard]] std::vector<double> counterSeries(
+    const std::vector<HistoryRecord>& records, const std::string& workload,
+    const std::string& counter, const std::string& machine = "");
+
+}  // namespace hca

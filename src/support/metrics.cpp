@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "support/json.hpp"
+#include "support/str.hpp"
 
 namespace hca {
 
@@ -20,6 +23,40 @@ int bucketOf(double x) {
 
 /// Upper edge of bucket `i` (2^i; bucket 0 ends at 1).
 double bucketUpper(int i) { return std::ldexp(1.0, i); }
+
+/// Splits a registry name into (family, level label): "see.expansions.L1"
+/// -> ("see_expansions", "1"); names without a .L<n> suffix get an empty
+/// label. Characters outside [a-zA-Z0-9_:] become '_'.
+std::pair<std::string, std::string> openMetricsFamily(
+    const std::string& name) {
+  std::string base = name;
+  std::string level;
+  const std::size_t dot = name.rfind(".L");
+  if (dot != std::string::npos && dot + 2 < name.size() &&
+      name.find_first_not_of("0123456789", dot + 2) == std::string::npos) {
+    base = name.substr(0, dot);
+    level = name.substr(dot + 2);
+  }
+  for (char& c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return {base, level};
+}
+
+std::string labelSuffix(const std::string& level) {
+  return level.empty() ? "" : "{level=\"" + level + "\"}";
+}
+
+/// OpenMetrics number formatting: finite shortest-round-trip doubles; the
+/// exposition format has no NaN/inf sample values we need here (empty
+/// histograms export count=0 and omit quantiles).
+void writeOmDouble(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
 
 }  // namespace
 
@@ -109,6 +146,53 @@ void MetricsRegistry::writeJson(JsonWriter& json) const {
   }
   json.endObject();
   json.endObject();
+}
+
+void MetricsRegistry::writeOpenMetrics(std::ostream& os,
+                                       const std::string& prefix) const {
+  // Group per-level series under one family: OpenMetrics requires all
+  // samples of a family to be contiguous under a single # TYPE line.
+  std::map<std::string, std::vector<std::pair<std::string, std::int64_t>>>
+      counterFamilies;
+  for (const auto& [name, value] : counters_) {
+    const auto [base, level] = openMetricsFamily(name);
+    counterFamilies[prefix + "_" + base].emplace_back(level, value);
+  }
+  for (const auto& [family, samples] : counterFamilies) {
+    os << "# TYPE " << family << " counter\n";
+    for (const auto& [level, value] : samples) {
+      os << family << "_total" << labelSuffix(level) << " " << value << "\n";
+    }
+  }
+
+  std::map<std::string, std::vector<std::pair<std::string, const Histogram*>>>
+      histogramFamilies;
+  for (const auto& [name, histogram] : histograms_) {
+    const auto [base, level] = openMetricsFamily(name);
+    histogramFamilies[prefix + "_" + base].emplace_back(level, &histogram);
+  }
+  for (const auto& [family, samples] : histogramFamilies) {
+    os << "# TYPE " << family << " summary\n";
+    for (const auto& [level, histogram] : samples) {
+      const RunningStats& s = histogram->stats();
+      os << family << "_count" << labelSuffix(level) << " " << s.count()
+         << "\n";
+      os << family << "_sum" << labelSuffix(level) << " ";
+      writeOmDouble(os, s.count() > 0 ? s.sum() : 0.0);
+      os << "\n";
+      if (s.count() == 0) continue;  // quantiles of nothing are NaN
+      for (const double q : {0.5, 0.9, 0.99}) {
+        os << family;
+        os << (level.empty() ? strCat("{quantile=\"", q, "\"}")
+                             : strCat("{level=\"", level, "\",quantile=\"", q,
+                                      "\"}"));
+        os << " ";
+        writeOmDouble(os, histogram->quantile(q));
+        os << "\n";
+      }
+    }
+  }
+  os << "# EOF\n";
 }
 
 void MetricsRegistry::printTable(std::ostream& os) const {

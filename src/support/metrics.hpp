@@ -83,6 +83,16 @@ class MetricsRegistry {
   /// histogram with count/mean/quantiles (the `hcac --stats` table).
   void printTable(std::ostream& os) const;
 
+  /// OpenMetrics text exposition (`hcac --metrics-out`), scrapeable by
+  /// Prometheus-style collectors. Counters become `<prefix>_<name>_total`
+  /// counter families, histograms become summary families (count, sum,
+  /// quantile samples). A `.L<level>` name suffix is lifted into a
+  /// `level="<n>"` label so per-level series share one family; every other
+  /// non-[a-zA-Z0-9_:] character is mapped to '_'. Ends with the
+  /// spec-required `# EOF` line.
+  void writeOpenMetrics(std::ostream& os,
+                        const std::string& prefix = "hca") const;
+
  private:
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, Histogram> histograms_;

@@ -183,6 +183,42 @@ TEST(MetricsTest, HistogramMergeMatchesCombinedStream) {
 TEST(MetricsTest, EmptyHistogramQuantileIsNaN) {
   Histogram h;
   EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+}
+
+TEST(MetricsTest, SingleSampleQuantileIsTheSample) {
+  Histogram h;
+  h.add(42.0);
+  // With one observation every quantile is that observation — the estimate
+  // is clamped to the exact observed [min, max].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(MetricsTest, AllEqualSamplesCollapseEveryQuantile) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.5);
+}
+
+TEST(MetricsTest, ExtremeQuantilesClampToObservedRange) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  // q=0 / q=1 never extrapolate past the exact min/max, regardless of the
+  // power-of-two bucket the extreme samples landed in.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // Every interior quantile stays inside the range too.
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_GE(h.quantile(q), 1.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 100.0) << "q=" << q;
+  }
 }
 
 TEST(MetricsTest, JsonRoundTrips) {
@@ -201,6 +237,51 @@ TEST(MetricsTest, JsonRoundTrips) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->find("count")->number, 2.0);
   EXPECT_EQ(hist->find("mean")->number, 4.0);
+}
+
+// Minimal OpenMetrics text parse: "name{labels} value" / "name value"
+// sample lines into a map, ignoring '#' comment lines. Enough to verify
+// the exposition round-trips the registry's numbers.
+std::map<std::string, double> parseOpenMetricsSamples(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "bad sample line: " << line;
+    samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  return samples;
+}
+
+TEST(MetricsTest, OpenMetricsExpositionRoundTrips) {
+  MetricsRegistry m;
+  m.add("see.expansions.L0", 100);
+  m.add("see.expansions.L1", 23);
+  m.add("hca.backtracks", 7);
+  for (int i = 1; i <= 4; ++i) m.observe("attempt.wall_us", i * 10.0);
+
+  std::ostringstream os;
+  m.writeOpenMetrics(os);
+  const std::string text = os.str();
+
+  // Spec shape: TYPE lines for every family, EOF terminator last.
+  EXPECT_NE(text.find("# TYPE hca_see_expansions counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hca_attempt_wall_us summary"),
+            std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+  const auto samples = parseOpenMetricsSamples(text);
+  // .L<level> suffixes are lifted into level labels of one family.
+  EXPECT_EQ(samples.at("hca_see_expansions_total{level=\"0\"}"), 100.0);
+  EXPECT_EQ(samples.at("hca_see_expansions_total{level=\"1\"}"), 23.0);
+  EXPECT_EQ(samples.at("hca_hca_backtracks_total"), 7.0);
+  // Summary count/sum reproduce the histogram's exact moments.
+  EXPECT_EQ(samples.at("hca_attempt_wall_us_count"), 4.0);
+  EXPECT_EQ(samples.at("hca_attempt_wall_us_sum"), 100.0);
+  EXPECT_EQ(samples.count("hca_attempt_wall_us{quantile=\"0.5\"}"), 1u);
 }
 
 TEST(MetricsTest, PrintTableListsEveryName) {

@@ -19,6 +19,11 @@
 #                 one deliberately failing job (retry/backoff/isolation
 #                 must run, the summary must be non-zero-exit and still
 #                 report the two good jobs ok)
+#   6. regress  — two-commit regression smoke: compile one Table 1 kernel
+#                 twice with --report-out/--history-out, then
+#                 `hcac --compare` must exit 0 (the search is
+#                 deterministic), and a perturbed counter must flip it to
+#                 exit 1 naming the regressed series
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -120,5 +125,42 @@ grep -q '"tries_used":3' "${work}/summary.json" || {
 [[ -s "${work}/reports/fir.report.json" && -s "${work}/reports/idct.report.json" ]] || {
   echo "ci: per-job reports missing"; exit 1; }
 echo "ci: batch isolation smoke passed"
+
+echo "=== ci: regression gate smoke (hcac --compare) ==="
+# Two runs of the same deterministic compile must diff clean: every
+# deterministic counter identical, exit 0. This is the gate a change's CI
+# run uses against a baseline report from the target branch.
+"${hcac}" --kernel fir2dim --report-out "${work}/base.json" \
+  --history-out "${work}/history.jsonl" --run-id ci-base \
+  >"${work}/compare.log" 2>&1
+"${hcac}" --kernel fir2dim --report-out "${work}/new.json" \
+  --history-out "${work}/history.jsonl" --run-id ci-new \
+  >>"${work}/compare.log" 2>&1
+"${hcac}" --compare "${work}/base.json" "${work}/new.json" \
+  --history "${work}/history.jsonl" --diff-out "${work}/verdict.json" \
+  >>"${work}/compare.log" 2>&1 || {
+    echo "ci: self-compare of a deterministic compile reported a regression"
+    cat "${work}/compare.log" "${work}/verdict.json"; exit 1; }
+grep -q '"regression":false' "${work}/verdict.json" || {
+  echo "ci: verdict JSON does not record a clean comparison"
+  cat "${work}/verdict.json"; exit 1; }
+# Sanity-check the gate actually gates: a perturbed deterministic counter
+# must exit 1 and name the regressed series.
+sed 's/"outerAttempts":[0-9]*/"outerAttempts":999999/' \
+  "${work}/new.json" >"${work}/perturbed.json"
+set +e
+"${hcac}" --compare "${work}/base.json" "${work}/perturbed.json" \
+  >"${work}/perturbed.log" 2>&1
+perturbed_rc=$?
+set -e
+if [[ "${perturbed_rc}" -ne 1 ]]; then
+  echo "ci: perturbed compare exited ${perturbed_rc}, expected 1"
+  cat "${work}/perturbed.log"
+  exit 1
+fi
+grep -q "stats.outerAttempts" "${work}/perturbed.log" || {
+  echo "ci: perturbed compare did not name the regressed series"
+  cat "${work}/perturbed.log"; exit 1; }
+echo "ci: regression gate smoke passed"
 
 echo "=== ci: all stages passed ==="

@@ -34,6 +34,7 @@
 #include "verify/coherency.hpp"
 #include "hca/batch.hpp"
 #include "hca/checkpoint.hpp"
+#include "hca/diff.hpp"
 #include "hca/driver.hpp"
 #include "hca/mii.hpp"
 #include "hca/postprocess.hpp"
@@ -44,9 +45,12 @@
 #include "sim/dma.hpp"
 #include "sim/simulator.hpp"
 #include "support/check.hpp"
+#include "support/context.hpp"
+#include "support/history.hpp"
 #include "support/io.hpp"
 #include "support/signals.hpp"
 #include "support/str.hpp"
+#include "support/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 using namespace hca;
@@ -109,6 +113,31 @@ void usage() {
       "                       when every job produced a legal mapping\n"
       "  --report-dir DIR     batch mode: write one run report per job\n"
       "                       into DIR (atomic, best-so-far on failure)\n"
+      "  --progress-out FILE  batch mode: append a JSONL progress heartbeat\n"
+      "                       (job state transitions, periodic heartbeat,\n"
+      "                       ETA; see hca/progress.hpp). Append-only across\n"
+      "                       kill-and-resume: seq keeps increasing\n"
+      "  --progress-tty       batch mode: also print a one-line progress\n"
+      "                       summary per heartbeat\n"
+      "  --heartbeat-ms INT   progress heartbeat period (default 1000)\n"
+      "  --run-id ID          stamp ID into every report/history context\n"
+      "                       block (e.g. a CI job id); never derived from\n"
+      "                       the clock\n"
+      "  --history-out FILE   append this run's baseline-history line\n"
+      "                       (workload, machine, context, wall-clock,\n"
+      "                       deterministic counters) to the JSONL FILE\n"
+      "  --metrics-out FILE   write the run's metrics registry in\n"
+      "                       OpenMetrics text format\n"
+      "  --compare OLD NEW    diff two run reports (same workload/machine):\n"
+      "                       deterministic counters compare exactly,\n"
+      "                       wall-clock gates against a variance-aware\n"
+      "                       threshold from --history. Exit 0 = no\n"
+      "                       regression, 1 = regression, 2 = reports not\n"
+      "                       comparable\n"
+      "  --history FILE       compare mode: baseline history for the\n"
+      "                       wall-clock threshold (mean + k*stddev)\n"
+      "  --wall-sigma K       compare mode: threshold width k (default 3)\n"
+      "  --diff-out FILE      compare mode: write the machine verdict JSON\n"
       "  (every VALUE flag also accepts --flag=VALUE)\n");
 }
 
@@ -126,17 +155,56 @@ int parseIntFlag(const std::string& flag, const std::string& text) {
   }
 }
 
+/// Double flag parsing with the same exit-2 contract as parseIntFlag.
+double parseDoubleFlag(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    HCA_REQUIRE(pos == text.size(), "trailing garbage");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(
+        "flag " + flag + " needs a number, got '" + text + "'");
+  }
+}
+
+/// `hcac --compare OLD NEW`: diff two run reports, print the human table,
+/// optionally write the machine verdict. Exit 0 = no regression, 1 =
+/// regression; non-comparable reports throw (exit 2).
+int runCompareTool(const std::string& oldPath, const std::string& newPath,
+                   const std::string& historyPath, double wallSigma,
+                   const std::string& diffOut) {
+  HCA_REQUIRE(fileExists(oldPath),
+              "report '" << oldPath << "' does not exist");
+  HCA_REQUIRE(fileExists(newPath),
+              "report '" << newPath << "' does not exist");
+  core::DiffOptions options;
+  options.wallSigma = wallSigma;
+  if (!historyPath.empty()) options.history = loadHistory(historyPath);
+  const core::ReportDiff diff =
+      core::diffReportTexts(readFile(oldPath), readFile(newPath), options);
+  std::ostringstream table;
+  core::printReportDiff(table, diff);
+  std::printf("%s", table.str().c_str());
+  if (!diffOut.empty()) {
+    atomicWriteFile(diffOut, core::reportDiffJson(diff) + "\n");
+    std::printf("diff verdict written to %s\n", diffOut.c_str());
+  }
+  return diff.regression() ? 1 : 0;
+}
+
 /// `hcac --batch`: parse the manifest, run the jobs under the shutdown
 /// token, print (and optionally write) the summary JSON.
 int runBatchTool(const std::string& manifestPath, const std::string& reportDir,
                  const std::string& reportOut,
+                 const core::BatchOptions& batchTemplate,
                  const core::HcaOptions& baseOptions) {
   // A missing/unreadable manifest is bad input (exit 2), not an artifact
   // write failure (exit 5).
   HCA_REQUIRE(fileExists(manifestPath),
               "batch manifest '" << manifestPath << "' does not exist");
   const auto jobs = core::parseManifest(readFile(manifestPath));
-  core::BatchOptions batchOptions;
+  core::BatchOptions batchOptions = batchTemplate;
   batchOptions.cancel = &shutdownToken();
   batchOptions.reportDir = reportDir;
   batchOptions.base = baseOptions;
@@ -185,6 +253,16 @@ int runTool(int argc, char** argv) {
   int memoryBudgetMb = 0;
   std::string batchManifest;
   std::string reportDir;
+  std::string progressOut;
+  bool progressTty = false;
+  int heartbeatMs = 1000;
+  std::string runId;
+  std::string historyOut;
+  std::string metricsOut;
+  std::string compareOld, compareNew;
+  std::string historyIn;
+  double wallSigma = 3.0;
+  std::string diffOut;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -239,6 +317,22 @@ int runTool(int argc, char** argv) {
       memoryBudgetMb = parseIntFlag(arg, value());
     else if (arg == "--batch") batchManifest = value();
     else if (arg == "--report-dir") reportDir = value();
+    else if (arg == "--progress-out") progressOut = value();
+    else if (arg == "--progress-tty") progressTty = true;
+    else if (arg == "--heartbeat-ms") heartbeatMs = parseIntFlag(arg, value());
+    else if (arg == "--run-id") runId = value();
+    else if (arg == "--history-out") historyOut = value();
+    else if (arg == "--metrics-out") metricsOut = value();
+    else if (arg == "--compare") {
+      compareOld = value();
+      if (i + 1 >= argc) {
+        throw InvalidArgumentError("--compare needs two report paths");
+      }
+      compareNew = argv[++i];
+    }
+    else if (arg == "--history") historyIn = value();
+    else if (arg == "--wall-sigma") wallSigma = parseDoubleFlag(arg, value());
+    else if (arg == "--diff-out") diffOut = value();
     else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -249,6 +343,15 @@ int runTool(int argc, char** argv) {
                   << failurePolicy << "'");
   HCA_REQUIRE(!resume || !checkpointOut.empty(),
               "--resume needs --checkpoint-out (the file to resume from)");
+
+  if (!compareOld.empty()) {
+    HCA_REQUIRE(kernelName.empty() && filePath.empty() &&
+                    batchManifest.empty(),
+                "--compare is exclusive with --kernel/--file/--batch (it "
+                "reads two existing reports)");
+    return runCompareTool(compareOld, compareNew, historyIn, wallSigma,
+                          diffOut);
+  }
 
   installShutdownHandlers();
 
@@ -264,7 +367,13 @@ int runTool(int argc, char** argv) {
     base.see.legacySearch = legacySee;
     base.verifyEach = verifyEach;
     base.verifyChecks = verifyChecks;
-    return runBatchTool(batchManifest, reportDir, reportOut, base);
+    core::BatchOptions batchTemplate;
+    batchTemplate.progressPath = progressOut;
+    batchTemplate.progressTty = progressTty;
+    batchTemplate.heartbeatMs = heartbeatMs;
+    batchTemplate.runId = runId;
+    return runBatchTool(batchManifest, reportDir, reportOut, batchTemplate,
+                        base);
   }
   if (kernelName.empty() == filePath.empty()) {
     usage();
@@ -373,9 +482,26 @@ int runTool(int argc, char** argv) {
     std::printf("trace written to %s (%zu spans)\n", traceOut.c_str(),
                 tracer.spanCount());
   }
+  core::ReportMeta meta;
+  meta.workload = kernelName.empty() ? filePath : kernelName;
+  meta.machine = config.toString();
+  meta.threads = ThreadPool::effectiveThreads(numThreads, oversubscribe);
+  meta.context = RunContext::current(runId);
   if (!reportOut.empty()) {
-    atomicWriteFile(reportOut, core::runReportJson(result, &model) + "\n");
+    atomicWriteFile(reportOut,
+                    core::runReportJson(result, &model, &meta) + "\n");
     std::printf("report written to %s\n", reportOut.c_str());
+  }
+  if (!historyOut.empty()) {
+    appendHistoryLine(historyOut,
+                      historyLineJson(core::historyRecordFor(result, meta)));
+    std::printf("history line appended to %s\n", historyOut.c_str());
+  }
+  if (!metricsOut.empty()) {
+    std::ostringstream om;
+    result.metrics.writeOpenMetrics(om);
+    atomicWriteFile(metricsOut, om.str());
+    std::printf("metrics written to %s (OpenMetrics)\n", metricsOut.c_str());
   }
   if (printStats) {
     std::ostringstream statsText;
