@@ -17,7 +17,7 @@
 #include "hca/mii.hpp"
 #include "hca/report.hpp"
 #include "support/context.hpp"
-#include "support/fault_inject.hpp"
+#include "machine/fault_inject.hpp"
 #include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"

@@ -1,0 +1,74 @@
+#include "analysis/baseline.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace hca::analysis {
+
+Baseline parseBaseline(const std::string& json) {
+  JsonValue parsed;
+  std::string error;
+  HCA_REQUIRE(parseJson(json, &parsed, &error),
+              "lint baseline: " << error);
+  HCA_REQUIRE(parsed.isObject(), "lint baseline: expected a JSON object");
+  const JsonValue* version = parsed.find("version");
+  HCA_REQUIRE(version != nullptr && version->kind == JsonValue::Kind::kNumber,
+              "lint baseline: missing numeric 'version'");
+  HCA_REQUIRE(version->number == 1.0,
+              "lint baseline: unsupported version " << version->number);
+  const JsonValue* suppressions = parsed.find("suppressions");
+  HCA_REQUIRE(suppressions != nullptr && suppressions->isArray(),
+              "lint baseline: missing array 'suppressions'");
+  Baseline baseline;
+  for (const JsonValue& entry : suppressions->array) {
+    HCA_REQUIRE(entry.kind == JsonValue::Kind::kString,
+                "lint baseline: suppressions must be strings");
+    baseline.suppressions.insert(entry.string);
+  }
+  return baseline;
+}
+
+std::string formatBaseline(const Baseline& baseline) {
+  std::ostringstream os;
+  JsonWriter writer(os);
+  writer.beginObject();
+  writer.key("version").value(1);
+  writer.key("suppressions").beginArray();
+  for (const std::string& key : baseline.suppressions) {
+    writer.value(key);
+  }
+  writer.endArray();
+  writer.endObject();
+  os << "\n";
+  return os.str();
+}
+
+Baseline baselineFromDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  Baseline baseline;
+  for (const Diagnostic& d : diagnostics) {
+    baseline.suppressions.insert(d.suppressionKey);
+  }
+  return baseline;
+}
+
+BaselineSplit splitAgainstBaseline(const Baseline& baseline,
+                                   const std::vector<Diagnostic>& diagnostics) {
+  BaselineSplit split;
+  std::set<std::string> used;
+  for (const Diagnostic& d : diagnostics) {
+    if (baseline.suppressions.count(d.suppressionKey) != 0) {
+      used.insert(d.suppressionKey);
+      split.baselined.push_back(d);
+    } else {
+      split.fresh.push_back(d);
+    }
+  }
+  for (const std::string& key : baseline.suppressions) {
+    if (used.count(key) == 0) split.stale.push_back(key);
+  }
+  return split;
+}
+
+}  // namespace hca::analysis

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+
+/// The checked-in lint baseline (tools/lint_baseline.json).
+///
+/// The baseline turns the CI gate into a deltas-only check: a diagnostic
+/// whose suppression key is listed is *known debt*, everything else is new
+/// and fails the build. Keys are `rule:file:entity` (no line numbers), so
+/// the baseline survives unrelated edits; entries that no longer match any
+/// diagnostic are stale and pruned by `hca_lint --update-baseline`.
+namespace hca::analysis {
+
+struct Baseline {
+  /// Sorted, de-duplicated suppression keys.
+  std::set<std::string> suppressions;
+};
+
+/// Result of filtering diagnostics through a baseline.
+struct BaselineSplit {
+  std::vector<Diagnostic> fresh;      ///< not in the baseline — gate fails
+  std::vector<Diagnostic> baselined;  ///< known debt — reported, not fatal
+  std::vector<std::string> stale;     ///< baseline keys that matched nothing
+};
+
+/// Parses a baseline document: {"version": 1, "suppressions": ["...", ...]}.
+/// Throws hca::Error on malformed input or unsupported version.
+[[nodiscard]] Baseline parseBaseline(const std::string& json);
+
+/// Serializes a baseline (sorted keys, version 1, trailing newline).
+[[nodiscard]] std::string formatBaseline(const Baseline& baseline);
+
+/// Builds the baseline that would make `diagnostics` pass.
+[[nodiscard]] Baseline baselineFromDiagnostics(
+    const std::vector<Diagnostic>& diagnostics);
+
+/// Splits diagnostics into fresh vs. baselined and reports stale keys.
+[[nodiscard]] BaselineSplit splitAgainstBaseline(
+    const Baseline& baseline, const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace hca::analysis

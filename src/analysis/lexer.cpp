@@ -1,0 +1,282 @@
+#include "analysis/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace hca::analysis {
+namespace {
+
+[[nodiscard]] bool isIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool isIdentChar(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Cursor over the source buffer that tracks the 1-based line number.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& source) : source_(source) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    const std::size_t at = pos_ + ahead;
+    return at < source_.size() ? source_[at] : '\0';
+  }
+  char advance() noexcept {
+    const char c = source_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::string slice(std::size_t from) const {
+    return source_.substr(from, pos_ - from);
+  }
+
+ private:
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// True when `text` is an identifier that prefixes a raw string literal
+/// (R, LR, uR, u8R, UR) — the lexer must switch to raw-string rules for
+/// the `"` that immediately follows.
+[[nodiscard]] bool isRawStringPrefix(const std::string& text) noexcept {
+  return text == "R" || text == "LR" || text == "uR" || text == "u8R" ||
+         text == "UR";
+}
+
+/// Consumes a raw string literal starting at the opening `"`. Raw strings
+/// have no escapes: the terminator is `)delim"` and nothing else.
+void lexRawString(Cursor& cursor) {
+  cursor.advance();  // opening quote
+  std::string delim;
+  while (!cursor.done() && cursor.peek() != '(') {
+    delim.push_back(cursor.advance());
+  }
+  if (!cursor.done()) cursor.advance();  // '('
+  const std::string terminator = ")" + delim + "\"";
+  std::string tail;
+  while (!cursor.done()) {
+    tail.push_back(cursor.advance());
+    if (tail.size() > terminator.size()) {
+      tail.erase(tail.begin());
+    }
+    if (tail == terminator) return;
+  }
+}
+
+/// Consumes an ordinary string or char literal past the opening delimiter,
+/// honouring backslash escapes. Stops at the closing delimiter, an
+/// unescaped newline (ill-formed, but a linter should not run away), or
+/// end of file.
+void lexQuoted(Cursor& cursor, char delim) {
+  while (!cursor.done()) {
+    const char c = cursor.peek();
+    if (c == '\\') {
+      cursor.advance();
+      if (!cursor.done()) cursor.advance();
+      continue;
+    }
+    if (c == '\n') return;
+    cursor.advance();
+    if (c == delim) return;
+  }
+}
+
+/// Scans comment text for `hca-lint: <key>(<reason>)` markers. The comment
+/// may hold several (a /* */ block spanning lines), so the scan restarts
+/// after each hit and tracks the line offset within the comment.
+void extractSuppressions(const std::string& comment, int firstLine,
+                         std::vector<SuppressionMarker>& out) {
+  static const std::string kTag = "hca-lint:";
+  std::size_t searchFrom = 0;
+  while (true) {
+    const std::size_t tag = comment.find(kTag, searchFrom);
+    if (tag == std::string::npos) return;
+    int line = firstLine;
+    for (std::size_t i = 0; i < tag; ++i) {
+      if (comment[i] == '\n') ++line;
+    }
+    std::size_t at = tag + kTag.size();
+    while (at < comment.size() && comment[at] == ' ') ++at;
+    std::string key;
+    while (at < comment.size() &&
+           (std::islower(static_cast<unsigned char>(comment[at])) != 0 ||
+            comment[at] == '-')) {
+      key.push_back(comment[at++]);
+    }
+    searchFrom = at;
+    if (key.empty() || at >= comment.size() || comment[at] != '(') continue;
+    const std::size_t close = comment.find(')', at + 1);
+    if (close == std::string::npos) continue;
+    std::string reason = comment.substr(at + 1, close - at - 1);
+    searchFrom = close + 1;
+    if (reason.empty()) continue;
+    out.push_back(SuppressionMarker{key, std::move(reason), line});
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile result;
+  Cursor cursor(source);
+  // Set while lexing a `#include` line so the next <...> token (or string)
+  // is captured as a header name instead of punctuation/literal.
+  bool expectHeaderName = false;
+  int includeLine = 0;
+
+  while (!cursor.done()) {
+    const char c = cursor.peek();
+    const int line = cursor.line();
+    const std::size_t start = cursor.pos();
+
+    if (c == '\n') {
+      expectHeaderName = false;
+      cursor.advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cursor.advance();
+      continue;
+    }
+
+    // Comments first: they may contain anything, including quote characters.
+    if (c == '/' && cursor.peek(1) == '/') {
+      while (!cursor.done() && cursor.peek() != '\n') cursor.advance();
+      const std::string text = cursor.slice(start);
+      extractSuppressions(text, line, result.suppressions);
+      result.comments.push_back(Token{TokenKind::kComment, text, line});
+      continue;
+    }
+    if (c == '/' && cursor.peek(1) == '*') {
+      cursor.advance();
+      cursor.advance();
+      while (!cursor.done() &&
+             !(cursor.peek() == '*' && cursor.peek(1) == '/')) {
+        cursor.advance();
+      }
+      if (!cursor.done()) {
+        cursor.advance();
+        cursor.advance();
+      }
+      const std::string text = cursor.slice(start);
+      extractSuppressions(text, line, result.suppressions);
+      result.comments.push_back(Token{TokenKind::kComment, text, line});
+      continue;
+    }
+
+    // Preprocessor: only #include needs structure; note it and keep lexing
+    // so the rest of the line still tokenizes normally.
+    if (c == '#') {
+      cursor.advance();
+      while (!cursor.done() && cursor.peek() == ' ') cursor.advance();
+      const std::size_t wordStart = cursor.pos();
+      while (!cursor.done() && isIdentChar(cursor.peek())) cursor.advance();
+      const std::string directive = cursor.slice(wordStart);
+      if (directive == "include") {
+        expectHeaderName = true;
+        includeLine = line;
+      }
+      result.tokens.push_back(Token{TokenKind::kPunct, "#" + directive, line});
+      continue;
+    }
+
+    if (expectHeaderName && c == '<') {
+      cursor.advance();
+      const std::size_t nameStart = cursor.pos();
+      while (!cursor.done() && cursor.peek() != '>' && cursor.peek() != '\n') {
+        cursor.advance();
+      }
+      const std::string name = cursor.slice(nameStart);
+      if (!cursor.done() && cursor.peek() == '>') cursor.advance();
+      result.includes.push_back(IncludeDirective{name, true, includeLine});
+      result.tokens.push_back(Token{TokenKind::kHeaderName, name, line});
+      expectHeaderName = false;
+      continue;
+    }
+    if (expectHeaderName && c == '"') {
+      cursor.advance();
+      const std::size_t nameStart = cursor.pos();
+      while (!cursor.done() && cursor.peek() != '"' && cursor.peek() != '\n') {
+        cursor.advance();
+      }
+      const std::string name = cursor.slice(nameStart);
+      if (!cursor.done() && cursor.peek() == '"') cursor.advance();
+      result.includes.push_back(IncludeDirective{name, false, includeLine});
+      result.tokens.push_back(Token{TokenKind::kHeaderName, name, line});
+      expectHeaderName = false;
+      continue;
+    }
+
+    if (c == '"') {
+      cursor.advance();
+      lexQuoted(cursor, '"');
+      result.tokens.push_back(
+          Token{TokenKind::kString, cursor.slice(start), line});
+      continue;
+    }
+    if (c == '\'') {
+      cursor.advance();
+      lexQuoted(cursor, '\'');
+      result.tokens.push_back(
+          Token{TokenKind::kCharacter, cursor.slice(start), line});
+      continue;
+    }
+
+    if (isIdentStart(c)) {
+      while (!cursor.done() && isIdentChar(cursor.peek())) cursor.advance();
+      std::string text = cursor.slice(start);
+      if (isRawStringPrefix(text) && cursor.peek() == '"') {
+        lexRawString(cursor);
+        result.tokens.push_back(
+            Token{TokenKind::kString, cursor.slice(start), line});
+        continue;
+      }
+      // Plain string prefixes (u8"...", L"...") — fold into the literal.
+      if ((text == "u8" || text == "u" || text == "U" || text == "L") &&
+          (cursor.peek() == '"' || cursor.peek() == '\'')) {
+        const char delim = cursor.advance();
+        lexQuoted(cursor, delim);
+        result.tokens.push_back(Token{delim == '"' ? TokenKind::kString
+                                                   : TokenKind::kCharacter,
+                                      cursor.slice(start), line});
+        continue;
+      }
+      result.tokens.push_back(
+          Token{TokenKind::kIdentifier, std::move(text), line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // pp-number: digits, identifier chars, '.', and exponent signs.
+      while (!cursor.done()) {
+        const char n = cursor.peek();
+        if (isIdentChar(n) || n == '.') {
+          const char consumed = cursor.advance();
+          if ((consumed == 'e' || consumed == 'E' || consumed == 'p' ||
+               consumed == 'P') &&
+              (cursor.peek() == '+' || cursor.peek() == '-')) {
+            cursor.advance();
+          }
+          continue;
+        }
+        break;
+      }
+      result.tokens.push_back(
+          Token{TokenKind::kNumber, cursor.slice(start), line});
+      continue;
+    }
+
+    cursor.advance();
+    result.tokens.push_back(
+        Token{TokenKind::kPunct, std::string(1, c), line});
+  }
+  return result;
+}
+
+}  // namespace hca::analysis

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// A small C++-aware lexer for `hca-lint` (src/analysis). It is not a
+/// compiler front end: it produces the token stream the lint rules need —
+/// identifiers, punctuation, literals, `#include` directives and comments —
+/// while getting the parts that break naive grep *right*: `//` and `/*..*/`
+/// comments, string/char literals with escapes, raw string literals
+/// (`R"delim(..)delim"`, including prefixed `LR/uR/u8R/UR` forms) and
+/// line numbers across all of them. A `steady_clock` inside a comment or a
+/// string literal is therefore never a token, so rules built on this lexer
+/// cannot be fooled the way text search can.
+namespace hca::analysis {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the rules match on text)
+  kNumber,
+  kString,      ///< string literal, escapes and raw forms included
+  kCharacter,   ///< character literal
+  kPunct,       ///< one token per punctuation character ("::" is two)
+  kComment,     ///< whole comment, // or /* */ (text includes delimiters)
+  kHeaderName,  ///< <...> or "..." immediately after `#include`
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// One `#include` directive, extracted during lexing.
+struct IncludeDirective {
+  std::string path;    ///< header name without delimiters
+  bool angled = false; ///< <...> (system) vs "..." (user)
+  int line = 0;
+};
+
+/// One `// hca-lint: <key>(<reason>)` suppression marker. Markers with an
+/// empty reason are not returned — a suppression must say *why*.
+struct SuppressionMarker {
+  std::string key;     ///< e.g. "ordered-ok"
+  std::string reason;
+  int line = 0;        ///< line the marker text appears on
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;  ///< comments excluded
+  std::vector<Token> comments;
+  std::vector<IncludeDirective> includes;
+  std::vector<SuppressionMarker> suppressions;
+};
+
+/// Lexes one source buffer. Never throws on malformed input: an unterminated
+/// literal or comment is lexed to end-of-file, which is the robust behaviour
+/// for a linter (the compiler will reject the file anyway).
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+}  // namespace hca::analysis

@@ -1,0 +1,67 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+namespace hca::analysis {
+namespace {
+
+void writeDiagnostic(JsonWriter& writer, const Diagnostic& d) {
+  writer.beginObject();
+  writer.key("rule").value(d.rule);
+  writer.key("file").value(d.file);
+  writer.key("line").value(d.line);
+  writer.key("entity").value(d.entity);
+  writer.key("message").value(d.message);
+  writer.key("key").value(d.suppressionKey);
+  writer.endObject();
+}
+
+}  // namespace
+
+std::string formatDiagnosticsTable(const std::string& title,
+                                   const std::vector<Diagnostic>& diagnostics) {
+  if (diagnostics.empty()) return {};
+  std::size_t locWidth = 0;
+  std::size_t ruleWidth = 0;
+  std::vector<std::string> locs;
+  locs.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) {
+    locs.push_back(strCat(d.file, ":", d.line));
+    locWidth = std::max(locWidth, locs.back().size());
+    ruleWidth = std::max(ruleWidth, d.rule.size());
+  }
+  std::ostringstream os;
+  os << title << " (" << diagnostics.size() << "):\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << "  " << locs[i] << std::string(locWidth - locs[i].size() + 2, ' ')
+       << d.rule << std::string(ruleWidth - d.rule.size() + 2, ' ')
+       << d.message << "\n";
+  }
+  return os.str();
+}
+
+std::string formatReportJson(const BaselineSplit& split) {
+  std::ostringstream os;
+  JsonWriter writer(os);
+  writer.beginObject();
+  writer.key("version").value(1);
+  writer.key("fresh").beginArray();
+  for (const Diagnostic& d : split.fresh) writeDiagnostic(writer, d);
+  writer.endArray();
+  writer.key("baselined").beginArray();
+  for (const Diagnostic& d : split.baselined) writeDiagnostic(writer, d);
+  writer.endArray();
+  writer.key("stale").beginArray();
+  for (const std::string& key : split.stale) writer.value(key);
+  writer.endArray();
+  writer.endObject();
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace hca::analysis

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/rules.hpp"
+
+/// Output formatting for `hca-lint`: the human-readable table the driver
+/// prints and the machine-readable JSON document CI uploads as an artifact.
+namespace hca::analysis {
+
+/// Renders diagnostics as an aligned `file:line  rule  entity  message`
+/// table. `title` becomes the section header; empty input renders nothing.
+[[nodiscard]] std::string formatDiagnosticsTable(
+    const std::string& title, const std::vector<Diagnostic>& diagnostics);
+
+/// Renders the full lint result as JSON:
+///   {"version": 1, "fresh": [...], "baselined": [...], "stale": [...]}
+/// where each diagnostic is {rule, file, line, entity, message, key}.
+[[nodiscard]] std::string formatReportJson(const BaselineSplit& split);
+
+}  // namespace hca::analysis

@@ -1,0 +1,475 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "support/str.hpp"
+
+namespace hca::analysis {
+namespace {
+
+[[nodiscard]] bool startsWith(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+
+[[nodiscard]] std::string makeKey(const std::string& rule,
+                                  const std::string& file,
+                                  const std::string& entity) {
+  return strCat(rule, ":", file, ":", entity);
+}
+
+[[nodiscard]] Diagnostic makeDiagnostic(std::string rule, std::string file,
+                                        int line, std::string entity,
+                                        std::string message) {
+  Diagnostic d;
+  d.suppressionKey = makeKey(rule, file, entity);
+  d.rule = std::move(rule);
+  d.file = std::move(file);
+  d.line = line;
+  d.entity = std::move(entity);
+  d.message = std::move(message);
+  return d;
+}
+
+/// True when tokens[i] is `X` in a `std :: X` sequence.
+[[nodiscard]] bool isStdQualified(const std::vector<Token>& tokens,
+                                  std::size_t i) {
+  return i >= 3 && tokens[i - 1].text == ":" && tokens[i - 2].text == ":" &&
+         tokens[i - 3].text == "std";
+}
+
+[[nodiscard]] bool nextTokenIs(const std::vector<Token>& tokens,
+                               std::size_t i, const std::string& text) {
+  return i + 1 < tokens.size() && tokens[i + 1].text == text;
+}
+
+// ---------------------------------------------------------------------------
+// determinism-clock
+
+/// Files allowed to read real clocks / entropy. support/trace.* holds the
+/// sanctioned wrappers, support/stats.hpp aggregates their samples, and
+/// bench/ exists to measure wall time.
+[[nodiscard]] bool clockAllowlisted(const std::string& file) {
+  return file == "src/support/trace.hpp" || file == "src/support/trace.cpp" ||
+         file == "src/support/stats.hpp" || startsWith(file, "bench/");
+}
+
+}  // namespace
+
+std::vector<Diagnostic> runDeterminismClockRule(const SourceModel& model) {
+  // Banned wherever the identifier appears (type use, alias, `::now()`),
+  // qualified or not: the only legitimate homes are the allowlisted
+  // wrappers, and comments/strings are never tokens.
+  static const std::set<std::string> kBannedTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "random_device"};
+  // Banned only as calls (identifier followed by '('): these are common
+  // words ("time", "clock") that appear as member names elsewhere.
+  static const std::set<std::string> kBannedCalls = {
+      "rand",          "srand",        "time",  "clock",
+      "timespec_get",  "gettimeofday", "clock_gettime"};
+
+  std::vector<Diagnostic> out;
+  for (const SourceFile& file : model.files()) {
+    if (file.module.rank < 0 || clockAllowlisted(file.relPath)) continue;
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      const bool bannedType = kBannedTypes.count(tok.text) != 0;
+      const bool bannedCall = kBannedCalls.count(tok.text) != 0 &&
+                              nextTokenIs(tokens, i, "(") &&
+                              // `foo.time(` / `foo->time(` are member calls
+                              // on our own types, not libc.
+                              (i == 0 || (tokens[i - 1].text != "." &&
+                                          tokens[i - 1].text != ">"));
+      if (!bannedType && !bannedCall) continue;
+      out.push_back(makeDiagnostic(
+          "determinism-clock", file.relPath, tok.line, tok.text,
+          strCat("raw clock/entropy source '", tok.text,
+                 "' outside support/trace.*; use hca::monotonicNow() / "
+                 "wallClockNow() (support/trace.hpp) so results stay "
+                 "deterministic")));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// determinism-ordered
+
+namespace {
+
+/// Result-affecting modules: iteration order here can change the algorithm's
+/// answer, so iterating a hash container needs an ordered-ok justification.
+[[nodiscard]] bool orderSensitiveModule(const std::string& module) {
+  return module == "see" || module == "hca" || module == "mapper" ||
+         module == "verify";
+}
+
+/// Skips a balanced `<...>` template argument list starting at the `<` at
+/// tokens[i]; returns the index one past the closing `>`. Tolerates `>>`.
+[[nodiscard]] std::size_t skipTemplateArgs(const std::vector<Token>& tokens,
+                                           std::size_t i) {
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i].text == "<") ++depth;
+    if (tokens[i].text == ">" && --depth == 0) return i + 1;
+    if (tokens[i].text == ";") break;  // unbalanced — bail out
+  }
+  return i;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> runDeterminismOrderedRule(const SourceModel& model) {
+  // Pass 1 (global): names declared with an unordered container type,
+  //   std::unordered_map<K, V> name   /   unordered_set<T>& name
+  // collected across the whole repo so a member declared in a header
+  // (see/problem.hpp) is recognized when iterated in a .cpp elsewhere.
+  std::set<std::string> unorderedNames;
+  for (const SourceFile& file : model.files()) {
+    if (file.module.rank < 0) continue;
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].text != "unordered_map" &&
+          tokens[i].text != "unordered_set" &&
+          tokens[i].text != "unordered_multimap" &&
+          tokens[i].text != "unordered_multiset") {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].text == "<") {
+        j = skipTemplateArgs(tokens, j);
+      }
+      while (j < tokens.size() &&
+             (tokens[j].text == "&" || tokens[j].text == "*" ||
+              tokens[j].text == "const")) {
+        ++j;
+      }
+      if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+        unorderedNames.insert(tokens[j].text);
+      }
+    }
+  }
+
+  std::vector<Diagnostic> out;
+  for (const SourceFile& file : model.files()) {
+    if (!orderSensitiveModule(file.module.name)) continue;
+    const std::vector<Token>& tokens = file.lexed.tokens;
+
+    // Pass 2: range-for statements whose range expression names an
+    // unordered container (declared variable or inline unordered type).
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].text != "for" || tokens[i + 1].text != "(") continue;
+      // Find the top-level ':' of a range-for, stopping at ';' (classic for).
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        const std::string& t = tokens[j].text;
+        if (t == "(") ++depth;
+        if (t == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (depth == 1 && t == ";") break;
+        if (depth == 1 && t == ":" && colon == 0 &&
+            // exclude '::' qualifiers in the declaration
+            tokens[j - 1].text != ":" &&
+            (j + 1 >= tokens.size() || tokens[j + 1].text != ":")) {
+          colon = j;
+        }
+      }
+      if (colon == 0 || close == 0) continue;
+      std::string offender;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (tokens[j].kind != TokenKind::kIdentifier) continue;
+        if (unorderedNames.count(tokens[j].text) != 0 ||
+            startsWith(tokens[j].text, "unordered_")) {
+          offender = tokens[j].text;
+          break;
+        }
+      }
+      if (offender.empty()) continue;
+      out.push_back(makeDiagnostic(
+          "determinism-ordered", file.relPath, tokens[i].line, offender,
+          strCat("iteration over unordered container '", offender, "' in ",
+                 file.module.name,
+                 "/ — order is hash-dependent; sort first or annotate "
+                 "'// hca-lint: ordered-ok(<why order cannot matter>)'")));
+    }
+
+    // Pass 3: explicit iterator walks — name.begin() / name.cbegin() on a
+    // known unordered container.
+    for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+      if (unorderedNames.count(tokens[i].text) == 0) continue;
+      if (tokens[i + 1].text != ".") continue;
+      const std::string& member = tokens[i + 2].text;
+      if ((member == "begin" || member == "cbegin") &&
+          tokens[i + 3].text == "(") {
+        out.push_back(makeDiagnostic(
+            "determinism-ordered", file.relPath, tokens[i].line,
+            tokens[i].text,
+            strCat("iterator walk over unordered container '", tokens[i].text,
+                   "' in ", file.module.name,
+                   "/ — order is hash-dependent; sort first or annotate "
+                   "'// hca-lint: ordered-ok(<why order cannot matter>)'")));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// layering
+
+std::vector<Diagnostic> runLayeringRule(const SourceModel& model) {
+  std::vector<Diagnostic> out;
+
+  // Back-edges: an include may only point at an equal or lower rank.
+  for (const SourceFile& file : model.files()) {
+    if (file.module.rank < 0) continue;
+    for (const auto& [target, directive] : file.repoIncludes) {
+      const ModuleInfo targetModule = classifyModule(target);
+      if (targetModule.rank < 0) continue;
+      if (targetModule.rank <= file.module.rank) continue;
+      out.push_back(makeDiagnostic(
+          "layering", file.relPath, directive.line, target,
+          strCat("back-edge in module DAG: ", file.module.name, " (rank ",
+                 file.module.rank, ") must not include ", targetModule.name,
+                 " (rank ", targetModule.rank,
+                 ") — the DAG is support -> graph -> ddg/machine -> "
+                 "see/mapper/sched/baseline/sim -> hca -> verify -> "
+                 "analysis -> tools/bench/tests")));
+    }
+  }
+
+  // Include cycles, reported with the full file path. Iterative DFS with
+  // colouring; each cycle is reported once, anchored at its lexicographically
+  // smallest file so the diagnostic (and baseline key) is stable.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reportedAnchors;
+
+  // Recursive lambda via explicit stack to avoid deep native recursion.
+  struct Frame {
+    const SourceFile* file;
+    std::size_t next = 0;
+  };
+  for (const SourceFile& rootFile : model.files()) {
+    if (colour[rootFile.relPath] != 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{&rootFile});
+    colour[rootFile.relPath] = 1;
+    stack.push_back(rootFile.relPath);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next >= frame.file->repoIncludes.size()) {
+        colour[frame.file->relPath] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const auto& [target, directive] = frame.file->repoIncludes[frame.next++];
+      const SourceFile* targetFile = model.find(target);
+      if (targetFile == nullptr) continue;
+      const int c = colour[target];
+      if (c == 0) {
+        colour[target] = 1;
+        stack.push_back(target);
+        frames.push_back(Frame{targetFile});
+      } else if (c == 1) {
+        // Grey hit: the cycle is stack[pos..end] + target.
+        const auto pos = std::find(stack.begin(), stack.end(), target);
+        std::vector<std::string> cycle(pos, stack.end());
+        cycle.push_back(target);
+        const std::string anchor =
+            *std::min_element(cycle.begin(), cycle.end());
+        if (reportedAnchors.insert(anchor).second) {
+          out.push_back(makeDiagnostic(
+              "layering", frame.file->relPath, directive.line, target,
+              strCat("include cycle: ", strJoin(cycle, " -> "))));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// locking
+
+std::vector<Diagnostic> runLockingRule(const SourceModel& model) {
+  static const std::set<std::string> kRawLockTypes = {
+      "mutex",
+      "timed_mutex",
+      "recursive_mutex",
+      "recursive_timed_mutex",
+      "shared_mutex",
+      "shared_timed_mutex",
+      "lock_guard",
+      "unique_lock",
+      "shared_lock",
+      "scoped_lock",
+      "condition_variable",
+      "condition_variable_any",
+  };
+
+  std::vector<Diagnostic> out;
+  for (const SourceFile& file : model.files()) {
+    if (file.module.rank < 0) continue;
+    const bool inSupport = startsWith(file.relPath, "src/support/");
+    const std::vector<Token>& tokens = file.lexed.tokens;
+
+    // Raw std lock primitives outside support/ — the wrappers in
+    // support/mutex.hpp carry the clang thread-safety capabilities.
+    if (!inSupport) {
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::kIdentifier) continue;
+        if (kRawLockTypes.count(tokens[i].text) == 0) continue;
+        if (!isStdQualified(tokens, i)) continue;
+        out.push_back(makeDiagnostic(
+            "locking", file.relPath, tokens[i].line,
+            strCat("std::", tokens[i].text),
+            strCat("raw std::", tokens[i].text,
+                   " outside support/ — use hca::Mutex / hca::MutexLock "
+                   "(support/mutex.hpp) so thread-safety analysis sees it")));
+      }
+    }
+
+    // Mutex members must have at least one HCA_GUARDED_BY user in the same
+    // file; an unguarded mutex guards nothing and is usually a mistake.
+    if (!startsWith(file.relPath, "src/")) continue;
+    std::set<std::string> guardedNames;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].text == "HCA_GUARDED_BY" && tokens[i + 1].text == "(" &&
+          tokens[i + 2].kind == TokenKind::kIdentifier) {
+        guardedNames.insert(tokens[i + 2].text);
+      }
+      // HCA_REQUIRES / HCA_EXCLUDES / HCA_ACQUIRE-style users also count:
+      // the mutex name appears as the macro argument.
+      if (startsWith(tokens[i].text, "HCA_") && tokens[i + 1].text == "(" &&
+          tokens[i + 2].kind == TokenKind::kIdentifier) {
+        guardedNames.insert(tokens[i + 2].text);
+      }
+    }
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].text != "Mutex") continue;
+      // `Mutex name ;` / `Mutex name {` / `Mutex name =` declares a member
+      // or variable. `MutexLock` and `Mutex` as a qualifier don't match.
+      const Token& name = tokens[i + 1];
+      if (name.kind != TokenKind::kIdentifier) continue;
+      if (i + 2 >= tokens.size()) continue;
+      const std::string& after = tokens[i + 2].text;
+      if (after != ";" && after != "{" && after != "=") continue;
+      if (guardedNames.count(name.text) != 0) continue;
+      out.push_back(makeDiagnostic(
+          "locking", file.relPath, name.line, name.text,
+          strCat("mutex '", name.text,
+                 "' has no HCA_GUARDED_BY user in this file — annotate the "
+                 "state it protects, or it protects nothing")));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// exit-contract
+
+namespace {
+
+/// Files allowed to end the process: the signal/abort machinery itself and
+/// tool mains mapping errors to exit codes.
+[[nodiscard]] bool exitAllowlisted(const std::string& file) {
+  return startsWith(file, "src/support/signals.") ||
+         startsWith(file, "tools/");
+}
+
+}  // namespace
+
+std::vector<Diagnostic> runExitContractRule(const SourceModel& model) {
+  static const std::set<std::string> kExitCalls = {"exit", "_exit", "_Exit",
+                                                   "abort", "quick_exit"};
+  std::vector<Diagnostic> out;
+  for (const SourceFile& file : model.files()) {
+    if (file.module.rank < 0 || exitAllowlisted(file.relPath)) continue;
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier) continue;
+      const bool exitCall =
+          kExitCalls.count(tokens[i].text) != 0 &&
+          nextTokenIs(tokens, i, "(") &&
+          (i == 0 ||
+           (tokens[i - 1].text != "." && tokens[i - 1].text != ">" &&
+            // qualified: only the std:: forms are the libc functions
+            (tokens[i - 1].text != ":" || isStdQualified(tokens, i))));
+      const bool terminateCall =
+          tokens[i].text == "terminate" && isStdQualified(tokens, i) &&
+          nextTokenIs(tokens, i, "(");
+      if (!exitCall && !terminateCall) continue;
+      out.push_back(makeDiagnostic(
+          "exit-contract", file.relPath, tokens[i].line, tokens[i].text,
+          strCat("'", tokens[i].text,
+                 "' ends the process from library code — throw hca::Error "
+                 "and let the tool main map it to an exit code "
+                 "(allowed only in support/signals.* and tools/)")));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string suppressionKeyForRule(const std::string& rule) {
+  if (rule == "determinism-clock") return "clock-ok";
+  if (rule == "determinism-ordered") return "ordered-ok";
+  if (rule == "layering") return "layer-ok";
+  if (rule == "locking") return "mutex-ok";
+  if (rule == "exit-contract") return "exit-ok";
+  return {};
+}
+
+std::vector<Diagnostic> applyInlineSuppressions(
+    const SourceModel& model, std::vector<Diagnostic> diagnostics) {
+  std::vector<Diagnostic> kept;
+  kept.reserve(diagnostics.size());
+  for (Diagnostic& d : diagnostics) {
+    const SourceFile* file = model.find(d.file);
+    bool suppressed = false;
+    if (file != nullptr) {
+      const std::string key = suppressionKeyForRule(d.rule);
+      for (const SuppressionMarker& marker : file->lexed.suppressions) {
+        if (marker.key == key &&
+            (marker.line == d.line || marker.line == d.line - 1)) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+std::vector<Diagnostic> runAllRules(const SourceModel& model) {
+  std::vector<Diagnostic> all = runDeterminismClockRule(model);
+  for (auto* runner :
+       {&runDeterminismOrderedRule, &runLayeringRule, &runLockingRule,
+        &runExitContractRule}) {
+    std::vector<Diagnostic> part = (*runner)(model);
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return applyInlineSuppressions(model, std::move(all));
+}
+
+}  // namespace hca::analysis

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/source_model.hpp"
+
+/// The four `hca-lint` rule families, run over a SourceModel.
+///
+/// Rules are token-level: they never see comments or string literals (the
+/// lexer strips those), so they cannot be fooled by documentation. Each
+/// diagnostic carries a stable suppression key (`rule:file:entity`) used by
+/// the checked-in baseline, and every rule honours inline markers of the
+/// form `// hca-lint: <key>(<reason>)` on the flagged line or the line
+/// directly above it.
+///
+/// Families (rule ids in parentheses):
+///  - determinism (`determinism-clock`, `determinism-ordered`): no raw
+///    clock/random reads outside the sanctioned wrappers in support/trace.*
+///    and support/stats.hpp (bench/ is exempt — measuring time is its job),
+///    and no iteration over unordered containers in result-affecting
+///    modules (see/, hca/, mapper/, verify/) without an `ordered-ok` note.
+///  - layering (`layering`): the module DAG
+///    support -> graph -> ddg/machine -> see/mapper/sched/baseline/sim ->
+///    hca -> verify -> analysis -> tools/bench/tests/examples
+///    admits no back-edges; include cycles are reported with the full path.
+///  - locking (`locking`): mutexes are `hca::Mutex` (support/mutex.hpp)
+///    with at least one `HCA_GUARDED_BY` user in the same file; raw
+///    std::mutex / std::lock_guard and friends outside support/ are errors.
+///  - exit contract (`exit-contract`): `exit` / `abort` / `std::terminate`
+///    only in support/signals.* and tools/ (main-function error mapping).
+namespace hca::analysis {
+
+struct Diagnostic {
+  std::string rule;     ///< rule id, e.g. "determinism-clock"
+  std::string file;     ///< repo-relative path
+  int line = 0;
+  std::string entity;   ///< what was flagged: identifier, member, include
+  std::string message;
+  /// Stable baseline key: "<rule>:<file>:<entity>". Line numbers are
+  /// deliberately absent so unrelated edits do not churn the baseline.
+  std::string suppressionKey;
+};
+
+/// Runs every rule family. The result is sorted by (file, line, rule) and
+/// already has inline-suppressed diagnostics removed.
+[[nodiscard]] std::vector<Diagnostic> runAllRules(const SourceModel& model);
+
+/// Individual families, exposed for the fixture tests. These do NOT apply
+/// inline suppressions; runAllRules does.
+[[nodiscard]] std::vector<Diagnostic> runDeterminismClockRule(
+    const SourceModel& model);
+[[nodiscard]] std::vector<Diagnostic> runDeterminismOrderedRule(
+    const SourceModel& model);
+[[nodiscard]] std::vector<Diagnostic> runLayeringRule(
+    const SourceModel& model);
+[[nodiscard]] std::vector<Diagnostic> runLockingRule(const SourceModel& model);
+[[nodiscard]] std::vector<Diagnostic> runExitContractRule(
+    const SourceModel& model);
+
+/// The inline suppression key each rule answers to ("clock-ok", ...).
+[[nodiscard]] std::string suppressionKeyForRule(const std::string& rule);
+
+/// Removes diagnostics whose file carries a matching suppression marker on
+/// the same line or the line directly above, and sorts the remainder by
+/// (file, line, rule).
+[[nodiscard]] std::vector<Diagnostic> applyInlineSuppressions(
+    const SourceModel& model, std::vector<Diagnostic> diagnostics);
+
+}  // namespace hca::analysis

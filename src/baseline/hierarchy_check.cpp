@@ -135,7 +135,7 @@ struct Checker {
         std::max(result.maxWirePressure, mapped.maxValuesPerWire);
 
     if (collect != nullptr) {
-      auto record = std::make_unique<core::ProblemRecord>();
+      auto record = std::make_unique<mapper::ProblemRecord>();
       record->path = path;
       record->level = level;
       record->leaf = leaf;
@@ -154,7 +154,7 @@ struct Checker {
       // Per-cluster occupancy, derived the same way the driver's records
       // are (instructions + copy traffic), so computeMii works unchanged.
       for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
-        core::ClusterSummary summary;
+        mapper::ClusterSummary summary;
         summary.cluster = clusters[ci];
         std::set<ValueId> valuesIn, valuesOut;
         for (const PgArcId a : pg.inArcs(clusters[ci])) {

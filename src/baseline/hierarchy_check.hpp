@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "ddg/ddg.hpp"
-#include "hca/records.hpp"
+#include "mapper/problem_record.hpp"
 #include "machine/dspfabric.hpp"
 #include "machine/reconfig.hpp"
 #include "support/ids.hpp"
@@ -37,7 +37,7 @@ struct HierarchyCheckResult {
 /// driver's flat-ICA fallback turns a flat assignment into a full,
 /// coherency-checkable HcaResult.
 struct HierarchyCollect {
-  std::vector<std::unique_ptr<core::ProblemRecord>> records;
+  std::vector<std::unique_ptr<mapper::ProblemRecord>> records;
   machine::ReconfigurationProgram reconfig;
 };
 

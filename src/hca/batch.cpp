@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -22,6 +21,7 @@
 #include "support/mutex.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace hca::core {
 
@@ -141,9 +141,8 @@ void backoffSleep(std::int64_t delayMs, const BatchOptions& batch) {
     batch.sleeper(delayMs);
     return;
   }
-  const auto until = std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(delayMs);
-  while (std::chrono::steady_clock::now() < until) {
+  const auto until = monotonicNow() + std::chrono::milliseconds(delayMs);
+  while (monotonicNow() < until) {
     if (batch.cancel != nullptr && batch.cancel->cancelled()) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -164,7 +163,7 @@ class ProgressTracker {
   ProgressTracker(const BatchOptions& options, int jobsTotal)
       : options_(options),
         jobsTotal_(jobsTotal),
-        started_(std::chrono::steady_clock::now()) {
+        started_(monotonicNow()) {
     if (!options.progressPath.empty()) {
       log_ = std::make_unique<ProgressLog>(options.progressPath);
     }
@@ -268,9 +267,7 @@ class ProgressTracker {
     event.jobsDone = jobsDone_;
     event.jobsOk = jobsOk_;
     event.jobsFailed = jobsFailed_;
-    event.elapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          std::chrono::steady_clock::now() - started_)
-                          .count();
+    event.elapsedMs = microsBetween(started_, monotonicNow()) / 1000;
     // ETA: mean completed-job duration times the jobs still to run. Honest
     // about what it is — an extrapolation that only exists once at least
     // one job finished in *this* process.
@@ -317,10 +314,10 @@ class ProgressTracker {
 
   const BatchOptions& options_;
   const int jobsTotal_;
-  const std::chrono::steady_clock::time_point started_;
+  const MonotonicTime started_;
   std::unique_ptr<ProgressLog> log_;
   Mutex mu_;
-  std::condition_variable_any cv_;
+  CondVar cv_;
   bool stopped_ HCA_GUARDED_BY(mu_) = false;
   int jobsDone_ HCA_GUARDED_BY(mu_) = 0;
   int jobsOk_ HCA_GUARDED_BY(mu_) = 0;
@@ -436,7 +433,7 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
   for (const BatchJob& job : jobs) {
     BatchJobResult jr;
     jr.name = job.name;
-    const auto started = std::chrono::steady_clock::now();
+    const auto started = monotonicNow();
 
     const bool shuttingDown =
         options.cancel != nullptr && options.cancel->cancelled();
@@ -482,9 +479,7 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
       jr.status = BatchJobStatus::kInvalid;
       jr.failureReason = loadError;
       notify(options, job, 0, "invalid");
-      jr.wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      std::chrono::steady_clock::now() - started)
-                      .count();
+      jr.wallMs = microsBetween(started, monotonicNow()) / 1000;
       progress.jobDone(job, BatchJobStatus::kInvalid, 0, jr.wallMs);
       summary.jobs.push_back(std::move(jr));
       ++summary.invalid;
@@ -578,9 +573,7 @@ BatchSummary runBatch(const std::vector<BatchJob>& jobs,
         notify(options, job, jr.triesUsed, "cancelled");
         break;
     }
-    jr.wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
-                    std::chrono::steady_clock::now() - started)
-                    .count();
+    jr.wallMs = microsBetween(started, monotonicNow()) / 1000;
     progress.jobDone(job, jr.status, jr.triesUsed, jr.wallMs);
 
     // Best-so-far run report, even for failed/cancelled jobs (an IoError

@@ -12,6 +12,7 @@
 #include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace hca::core {
 
@@ -168,7 +169,7 @@ HcaStats parseStats(const JsonValue& v) {
 
 std::int64_t nowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             monotonicNow().time_since_epoch())
       .count();
 }
 

@@ -8,12 +8,12 @@
 
 #include "baseline/flat_ica.hpp"
 #include "hca/checkpoint.hpp"
+#include "hca/verify_hook.hpp"
 #include "mapper/mapper.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
-#include "verify/verify.hpp"
 
 namespace hca::core {
 
@@ -65,24 +65,22 @@ HcaResult failureResult(FailureCause cause, std::string message,
 void runVerifyEach(const ddg::Ddg& ddg, const machine::DspFabricModel& model,
                    const HcaOptions& options, const HcaResult& result,
                    const ProblemRecord* record) {
-  verify::VerifyInput input;
-  input.ddg = &ddg;
-  input.model = &model;
-  input.result = &result;
-  input.record = record;
-  const auto& registry = verify::CheckRegistry::builtin();
-  const std::vector<verify::Diagnostic> diagnostics =
-      record != nullptr ? registry.runRecord(input, options.verifyChecks)
-                        : registry.run(input, options.verifyChecks);
-  if (diagnostics.empty()) return;
+  PipelineVerifyRequest request;
+  request.ddg = &ddg;
+  request.model = &model;
+  request.result = &result;
+  request.record = record;
+  request.checks = &options.verifyChecks;
+  const PipelineVerifyOutcome outcome = runPipelineVerify(request);
+  if (outcome.violations == 0) return;
   throw InternalError(
-      strCat("verify-each found ", diagnostics.size(),
+      strCat("verify-each found ", outcome.violations,
              " invariant violation(s) ",
              record != nullptr
                  ? strCat("after mapping sub-problem [",
                           strJoin(record->path, "."), "]")
                  : std::string("on the legal result"),
-             ":\n", verify::formatDiagnostics(diagnostics)));
+             ":\n", outcome.formatted));
 }
 
 /// Per-level metric name: `base + ".L" + level` (DESIGN.md section 4e).
@@ -156,7 +154,7 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
     span.arg("target", std::to_string(target));
     span.arg("profile", std::to_string(profile));
   }
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = monotonicNow();
   // Resolve the per-level `.L<n>` metric names once: map nodes are stable,
   // so solve() bumps raw pointers instead of rebuilding names per problem.
   std::vector<LevelMetrics> levelMetrics;
@@ -186,9 +184,7 @@ HcaResult HcaDriver::runAttempt(const ddg::Ddg& ddg,
   const SolveContext ctx{seeOptions, cache, cancel, tracer_, &levelMetrics};
   result.legal = solve(ddg, /*path=*/{}, rootWs, /*relayValues=*/{},
                        Boundary{}, ctx, result);
-  const auto wallUs = std::chrono::duration_cast<std::chrono::microseconds>(
-                          std::chrono::steady_clock::now() - started)
-                          .count();
+  const auto wallUs = microsBetween(started, monotonicNow());
   result.metrics.observe("attempt.wall_us", static_cast<double>(wallUs));
   result.metrics.add(result.legal ? "attempt.legal" : "attempt.illegal", 1);
   if (span.active()) span.arg("legal", result.legal ? "true" : "false");
@@ -525,7 +521,7 @@ HcaResult HcaDriver::runChecked(const ddg::Ddg& ddg) const {
   CancellationToken deadlineToken;
   const CancellationToken* deadline = nullptr;
   if (options_.deadlineMs > 0) {
-    deadlineToken.setDeadline(std::chrono::steady_clock::now() +
+    deadlineToken.setDeadline(monotonicNow() +
                               std::chrono::milliseconds(options_.deadlineMs));
     deadline = &deadlineToken;
   }

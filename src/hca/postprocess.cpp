@@ -7,17 +7,6 @@
 
 namespace hca::core {
 
-int FinalMapping::instructionsOn(CnId cn) const {
-  int count = 0;
-  for (std::int32_t v = 0; v < finalDdg.numNodes(); ++v) {
-    if (cnOf[static_cast<std::size_t>(v)] == cn &&
-        ddg::isInstruction(finalDdg.node(DdgNodeId(v)).op)) {
-      ++count;
-    }
-  }
-  return count;
-}
-
 FinalMapping buildFinalMapping(const ddg::Ddg& ddg,
                                const machine::DspFabricModel& model,
                                const HcaResult& result) {

@@ -1,10 +1,9 @@
 #pragma once
 
-#include <vector>
-
 #include "ddg/ddg.hpp"
 #include "hca/driver.hpp"
 #include "machine/dspfabric.hpp"
+#include "mapper/final_mapping.hpp"
 
 /// Post-processing (paper Section 4.1, last paragraph): exploits the leaf
 /// placements to build the final DDG — every node is pinned to a
@@ -12,25 +11,14 @@
 /// that perform the migration of operands between CNs. A consumer reading a
 /// value produced on another CN is rewritten to read its CN-local recv;
 /// relay placements materialize as receive-and-forward recvs.
+///
+/// The FinalMapping struct itself lives in mapper/final_mapping.hpp (the
+/// sched/sim consumers depend on it without depending on the driver); this
+/// header owns the driver-side construction and re-exports the alias the
+/// core pipeline has always used.
 namespace hca::core {
 
-struct FinalMapping {
-  ddg::Ddg finalDdg;
-  /// Per final-DDG node: the CN executing it (invalid for consts).
-  std::vector<CnId> cnOf;
-  /// Number of nodes copied from the original DDG (recvs follow).
-  std::int32_t numOriginalNodes = 0;
-
-  struct RecvInfo {
-    DdgNodeId recvNode;  // in finalDdg
-    ValueId value;       // original producer
-    CnId cn;
-    bool isRelay = false;
-  };
-  std::vector<RecvInfo> recvs;
-
-  [[nodiscard]] int instructionsOn(CnId cn) const;
-};
+using mapper::FinalMapping;
 
 /// Requires a legal HcaResult. The returned DDG validates and is
 /// functionally equivalent to the original (recv is the identity).

@@ -2,20 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
 
-#include "machine/pattern_graph.hpp"
-#include "mapper/mapper.hpp"
-#include "see/problem.hpp"
-#include "support/ids.hpp"
+#include "mapper/problem_record.hpp"
 
 /// Per-sub-problem records kept by the HCA driver. They are the audit trail
 /// of the decomposition: the coherency checker re-derives value routability
 /// from them, and the MII computation reads the per-cluster summaries and
-/// wire pressures.
+/// wire pressures. The record structs themselves live in
+/// mapper/problem_record.hpp (the baselines produce the same shape without
+/// depending on the driver); this header re-exports the core aliases and
+/// owns the driver-wide search statistics.
 namespace hca::core {
+
+using mapper::ClusterSummary;
+using mapper::ProblemRecord;
 
 /// Search-effort statistics of one full `HcaDriver::run` — the *aggregate*
 /// over every (target II, heuristic profile) attempt of the outer sweep,
@@ -85,35 +85,6 @@ struct HcaStats {
     seeSnapshotsMaterialized += other.seeSnapshotsMaterialized;
     seeArenaBytesPeak = std::max(seeArenaBytesPeak, other.seeArenaBytesPeak);
   }
-};
-
-/// Occupancy snapshot of one PG cluster after single-level assignment.
-struct ClusterSummary {
-  ClusterId cluster;
-  int instructions = 0;  // WS ops + parked relays
-  int aluOps = 0;
-  int agOps = 0;
-  int distinctValuesIn = 0;
-  int distinctValuesOut = 0;
-};
-
-struct ProblemRecord {
-  std::vector<int> path;  // problem path: one child index per solved level
-  int level = 0;
-  bool leaf = false;
-
-  machine::PatternGraph pg;  // including boundary nodes
-  machine::CopyFlow flow;    // copy flow after assignment
-  std::vector<DdgNodeId> workingSet;
-  std::vector<ValueId> relayValues;
-  /// Cluster (child index) of each WS node, parallel to workingSet.
-  std::vector<int> wsChild;
-  /// Child index parking each relay value, parallel to relayValues.
-  std::vector<int> relayChild;
-
-  std::vector<ClusterSummary> clusterSummaries;
-  mapper::MapResult mapResult;
-  see::SeeStats seeStats;
 };
 
 }  // namespace hca::core

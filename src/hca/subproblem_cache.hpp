@@ -114,6 +114,8 @@ class SubproblemCache {
  private:
   struct Shard {
     mutable Mutex mutex;
+    /// Point lookups only; every walk (forEach, eviction) goes through
+    /// `insertionOrder` below, so hash order never reaches a result.
     std::unordered_map<std::string, std::shared_ptr<const see::SeeResult>> map
         HCA_GUARDED_BY(mutex);
     /// Keys in insertion order, for bounded-mode eviction.

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "hca/driver.hpp"
+#include "machine/dspfabric.hpp"
+
+/// Link-time seam between the driver and the pipeline verifier.
+///
+/// In the module DAG, verify/ sits *above* hca/ (it reads the core records
+/// and final mappings), so the driver must not include verify headers. But
+/// `HcaOptions::verifyEach` runs the invariant checks between the driver's
+/// own pipeline stages. The seam: the driver calls the function *declared*
+/// here, and the verify module *defines* it (verify/driver_hook.cpp) — the
+/// include arrow points verify -> hca while control flows hca -> verify.
+/// hca_core links hca_verify, so the symbol always resolves; there is no
+/// registration step to forget.
+namespace hca::core {
+
+struct PipelineVerifyRequest {
+  const ddg::Ddg* ddg = nullptr;
+  const machine::DspFabricModel* model = nullptr;
+  const HcaResult* result = nullptr;
+  /// Non-null restricts the run to the per-record (between-stages) checks
+  /// on this record; null runs the whole-result checks.
+  const ProblemRecord* record = nullptr;
+  /// Check ids to run (empty = all; unknown ids throw InvalidArgumentError).
+  const std::vector<std::string>* checks = nullptr;
+};
+
+struct PipelineVerifyOutcome {
+  std::size_t violations = 0;
+  /// One line per diagnostic (verify::formatDiagnostics); empty when clean.
+  std::string formatted;
+};
+
+/// Runs the selected built-in pipeline checks. Defined by the verify
+/// module; see the header comment for why the declaration lives here.
+[[nodiscard]] PipelineVerifyOutcome runPipelineVerify(
+    const PipelineVerifyRequest& request);
+
+}  // namespace hca::core

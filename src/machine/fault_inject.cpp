@@ -1,4 +1,4 @@
-#include "support/fault_inject.hpp"
+#include "machine/fault_inject.hpp"
 
 #include <numeric>
 #include <utility>

@@ -1,0 +1,16 @@
+#include "mapper/final_mapping.hpp"
+
+namespace hca::mapper {
+
+int FinalMapping::instructionsOn(CnId cn) const {
+  int count = 0;
+  for (std::int32_t v = 0; v < finalDdg.numNodes(); ++v) {
+    if (cnOf[static_cast<std::size_t>(v)] == cn &&
+        ddg::isInstruction(finalDdg.node(DdgNodeId(v)).op)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace hca::mapper

@@ -8,7 +8,7 @@
 
 namespace hca::sched {
 
-int edgeLatency(const core::FinalMapping& mapping,
+int edgeLatency(const mapper::FinalMapping& mapping,
                 const machine::DspFabricModel& model, DdgNodeId producer,
                 DdgNodeId consumer) {
   const int base = model.config().latency.of(
@@ -60,7 +60,7 @@ struct ReservationTable {
 
 }  // namespace
 
-ModuloResult moduloSchedule(const core::FinalMapping& mapping,
+ModuloResult moduloSchedule(const mapper::FinalMapping& mapping,
                             const machine::DspFabricModel& model, int startIi,
                             const ModuloOptions& options) {
   const auto& ddg = mapping.finalDdg;
@@ -216,7 +216,7 @@ ModuloResult moduloSchedule(const core::FinalMapping& mapping,
   return result;
 }
 
-std::vector<std::string> validateSchedule(const core::FinalMapping& mapping,
+std::vector<std::string> validateSchedule(const mapper::FinalMapping& mapping,
                                           const machine::DspFabricModel& model,
                                           const Schedule& schedule) {
   const auto& ddg = mapping.finalDdg;

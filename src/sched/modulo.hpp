@@ -3,7 +3,7 @@
 #include <string>
 #include <vector>
 
-#include "hca/postprocess.hpp"
+#include "mapper/final_mapping.hpp"
 #include "machine/dspfabric.hpp"
 
 /// Iterative modulo scheduling (Rau, MICRO'94) on the clusterized DDG —
@@ -46,18 +46,18 @@ struct ModuloResult {
 
 /// Latency of the dependence edge producer -> consumer in the mapping
 /// (producer latency + inter-CN transport if they sit on different CNs).
-int edgeLatency(const core::FinalMapping& mapping,
+int edgeLatency(const mapper::FinalMapping& mapping,
                 const machine::DspFabricModel& model, DdgNodeId producer,
                 DdgNodeId consumer);
 
 /// Schedules the mapping starting at `startIi` (usually the final MII).
-ModuloResult moduloSchedule(const core::FinalMapping& mapping,
+ModuloResult moduloSchedule(const mapper::FinalMapping& mapping,
                             const machine::DspFabricModel& model, int startIi,
                             const ModuloOptions& options = {});
 
 /// Checks every dependence and resource constraint of `schedule`; returns
 /// a human-readable violation list (empty = valid).
-std::vector<std::string> validateSchedule(const core::FinalMapping& mapping,
+std::vector<std::string> validateSchedule(const mapper::FinalMapping& mapping,
                                           const machine::DspFabricModel& model,
                                           const Schedule& schedule);
 

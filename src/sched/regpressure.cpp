@@ -13,7 +13,7 @@ std::string RegisterPressureReport::toString() const {
 }
 
 RegisterPressureReport analyzeRegisterPressure(
-    const core::FinalMapping& mapping, const machine::DspFabricModel& model,
+    const mapper::FinalMapping& mapping, const machine::DspFabricModel& model,
     const Schedule& schedule) {
   const auto& ddg = mapping.finalDdg;
   HCA_REQUIRE(schedule.ii > 0, "schedule has non-positive II");

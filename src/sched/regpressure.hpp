@@ -3,7 +3,7 @@
 #include <string>
 #include <vector>
 
-#include "hca/postprocess.hpp"
+#include "mapper/final_mapping.hpp"
 #include "sched/modulo.hpp"
 
 /// Register pressure analysis of a modulo-scheduled kernel — the
@@ -50,7 +50,7 @@ struct RegisterPressureReport {
 /// one register from definition to the end of the producing instruction's
 /// latency.
 RegisterPressureReport analyzeRegisterPressure(
-    const core::FinalMapping& mapping, const machine::DspFabricModel& model,
+    const mapper::FinalMapping& mapping, const machine::DspFabricModel& model,
     const Schedule& schedule);
 
 }  // namespace hca::sched

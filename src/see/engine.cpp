@@ -472,6 +472,8 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
     std::vector<char> isParentBest(frontier.size(), 0);
     std::vector<char> selected(next.size(), 0);
     std::vector<std::size_t> chosen;
+    // Insert-only membership test (dedup by signature); never iterated,
+    // so hash order cannot reach the result.
     std::unordered_set<std::uint64_t> seen;
     for (const std::size_t i : order) {  // best child per parent
       const int parent = parentOf[i];

@@ -37,6 +37,7 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
       HCA_REQUIRE(inserted, "value assigned to two output wires");
     }
   }
+  // hca-lint: ordered-ok(validation only; visit order cannot affect result)
   for (const auto& [value, source] : problem.valueSources) {
     HCA_REQUIRE(problem.pg->node(source).kind != machine::PgNodeKind::kOutput,
                 "value source cannot be an output node");

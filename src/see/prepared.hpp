@@ -119,6 +119,8 @@ class PreparedProblem {
   std::vector<char> inWs_;
   std::vector<std::vector<ValueId>> operandValues_;
   std::vector<std::vector<DdgNodeId>> wsConsumers_;
+  /// Point lookups (find/count/emplace) only — never iterated, so hash
+  /// order cannot reach the result.
   std::unordered_map<ValueId, ClusterId> valueToOutput_;
   std::vector<std::int64_t> heights_;
   std::vector<std::int32_t> wsIndexOf_;

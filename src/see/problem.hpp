@@ -40,6 +40,8 @@ struct SeeProblem {
   int outWiresPerCluster = 1;
 
   /// Where each out-of-WS operand value is available (its input node).
+  /// Point lookups only; the one whole-map walk (prepared.cpp validation)
+  /// is order-insensitive and annotated ordered-ok.
   std::unordered_map<ValueId, ClusterId> valueSources;
   /// Values that must reach a given output node (one entry per outgoing
   /// wire; all values of one wire must be fed by a single cluster —

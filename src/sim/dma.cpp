@@ -13,7 +13,7 @@ std::string DmaProfile::toString() const {
                 "}");
 }
 
-DmaProfile profileDma(const core::FinalMapping& mapping,
+DmaProfile profileDma(const mapper::FinalMapping& mapping,
                       const machine::DspFabricModel& model,
                       const sched::Schedule& schedule, int serviceLatency) {
   HCA_REQUIRE(schedule.ii > 0, "schedule has non-positive II");

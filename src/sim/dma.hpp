@@ -3,7 +3,7 @@
 #include <string>
 #include <vector>
 
-#include "hca/postprocess.hpp"
+#include "mapper/final_mapping.hpp"
 #include "machine/dspfabric.hpp"
 #include "sched/modulo.hpp"
 
@@ -43,7 +43,7 @@ struct DmaProfile {
 /// Replays the schedule's memory operations through the DMA model. The
 /// service latency defaults to the load latency of the machine's latency
 /// model (the FIFO depth the paper describes).
-DmaProfile profileDma(const core::FinalMapping& mapping,
+DmaProfile profileDma(const mapper::FinalMapping& mapping,
                       const machine::DspFabricModel& model,
                       const sched::Schedule& schedule,
                       int serviceLatency = 0);

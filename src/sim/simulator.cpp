@@ -7,7 +7,7 @@
 
 namespace hca::sim {
 
-SimResult simulate(const core::FinalMapping& mapping,
+SimResult simulate(const mapper::FinalMapping& mapping,
                    const machine::DspFabricModel& model,
                    const sched::Schedule& schedule, const SimConfig& config) {
   const auto& ddg = mapping.finalDdg;
@@ -102,7 +102,7 @@ SimResult simulate(const core::FinalMapping& mapping,
 }
 
 bool matchesReference(const ddg::Ddg& originalDdg,
-                      const core::FinalMapping& mapping,
+                      const mapper::FinalMapping& mapping,
                       const machine::DspFabricModel& model,
                       const sched::Schedule& schedule,
                       const SimConfig& config, std::string* whyNot) {

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "ddg/interp.hpp"
-#include "hca/postprocess.hpp"
+#include "mapper/final_mapping.hpp"
 #include "machine/dspfabric.hpp"
 #include "sched/modulo.hpp"
 
@@ -35,14 +35,14 @@ struct SimResult {
 
 /// Runs the schedule. Throws InvalidArgumentError on out-of-bounds memory
 /// accesses or an invalid schedule.
-SimResult simulate(const core::FinalMapping& mapping,
+SimResult simulate(const mapper::FinalMapping& mapping,
                    const machine::DspFabricModel& model,
                    const sched::Schedule& schedule, const SimConfig& config);
 
 /// Convenience: true when the simulator and the reference interpreter
 /// produce identical memory images for the given run.
 bool matchesReference(const ddg::Ddg& originalDdg,
-                      const core::FinalMapping& mapping,
+                      const mapper::FinalMapping& mapping,
                       const machine::DspFabricModel& model,
                       const sched::Schedule& schedule,
                       const SimConfig& config, std::string* whyNot = nullptr);

@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <iostream>
+
+#include "support/trace.hpp"
 
 namespace hca {
 
@@ -52,18 +53,13 @@ Logger::Logger() {
 
 std::string Logger::formatLine(LogLevel level, const std::string& message) {
   static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN"};
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
-  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          now.time_since_epoch())
-                          .count() %
-                      1000;
+  const WallClockSample now = wallClockNow();
   std::tm tm{};
-  gmtime_r(&seconds, &tm);
+  gmtime_r(&now.seconds, &tm);
   char stamp[40];
   std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
-                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+                tm.tm_min, tm.tm_sec, now.millis);
   char prefix[96];
   std::snprintf(prefix, sizeof(prefix), "[%s hca:%s t%d] ", stamp,
                 kNames[static_cast<int>(level)], threadLogId());

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "support/thread_annotations.hpp"
@@ -12,8 +13,8 @@
 /// the compiler can track, so a forgotten lock around a HCA_GUARDED_BY
 /// member is a *compile-time* error instead of a ThreadSanitizer finding.
 ///
-/// Condition variables: use `std::condition_variable_any` with a
-/// `MutexLock` (it satisfies BasicLockable). Prefer explicit predicate
+/// Condition variables: use `hca::CondVar` (below) with a `MutexLock`
+/// (it satisfies BasicLockable). Prefer explicit predicate
 /// loops over the predicate-lambda overloads — the analysis cannot see
 /// that a lambda body runs under the caller's lock, so guarded members
 /// read inside a predicate lambda would need an escape hatch:
@@ -60,5 +61,12 @@ class HCA_SCOPED_CAPABILITY MutexLock {
  private:
   Mutex& mutex_;
 };
+
+/// The condition variable that pairs with Mutex/MutexLock. An alias rather
+/// than a wrapper: condition_variable_any accepts any BasicLockable, and
+/// the thread-safety analysis keys off the lock it waits on, not the cv
+/// itself. Outside support/ this alias is the only sanctioned condvar —
+/// hca-lint's locking rule flags the raw std name.
+using CondVar = std::condition_variable_any;
 
 }  // namespace hca

@@ -27,8 +27,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
     HCA_CHECK(!stop_, "submit on a stopped thread pool");
-    queue_.push_back(QueuedTask{std::move(task),
-                               std::chrono::steady_clock::now()});
+    queue_.push_back(QueuedTask{std::move(task), monotonicNow()});
     stats_.maxQueueDepth =
         std::max(stats_.maxQueueDepth, static_cast<int>(queue_.size()));
   }
@@ -64,15 +63,12 @@ int ThreadPool::effectiveThreads(int requested, bool allowOversubscribe) {
 }
 
 void ThreadPool::workerLoop() {
-  const auto microsSince = [](std::chrono::steady_clock::time_point since,
-                              std::chrono::steady_clock::time_point until) {
-    return static_cast<double>(
-        std::chrono::duration_cast<std::chrono::microseconds>(until - since)
-            .count());
+  const auto microsSince = [](MonotonicTime since, MonotonicTime until) {
+    return static_cast<double>(microsBetween(since, until));
   };
   for (;;) {
     QueuedTask task;
-    std::chrono::steady_clock::time_point started;
+    MonotonicTime started;
     {
       MutexLock lock(mutex_);
       while (!(stop_ || !queue_.empty())) workCv_.wait(lock);
@@ -80,11 +76,11 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
-      started = std::chrono::steady_clock::now();
+      started = monotonicNow();
     }
     task.fn();
     {
-      const auto finished = std::chrono::steady_clock::now();
+      const auto finished = monotonicNow();
       MutexLock lock(mutex_);
       ++stats_.tasksExecuted;
       stats_.taskWaitUs.add(microsSince(task.enqueued, started));

@@ -1,8 +1,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -12,6 +10,7 @@
 #include "support/metrics.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
+#include "support/trace.hpp"
 
 /// Minimal fixed-size thread pool and cooperative cancellation primitive.
 ///
@@ -45,7 +44,7 @@ class CancellationToken {
 
   /// Arms a wall-clock deadline; polling `cancelled()` after this instant
   /// cancels the token. Must be set before the token is shared.
-  void setDeadline(std::chrono::steady_clock::time_point deadline) noexcept {
+  void setDeadline(MonotonicTime deadline) noexcept {
     deadline_ = deadline;
     hasDeadline_ = true;
   }
@@ -57,7 +56,7 @@ class CancellationToken {
 
   [[nodiscard]] bool cancelled() const noexcept {
     if (cancelled_.load(std::memory_order_acquire)) return true;
-    if ((hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) ||
+    if ((hasDeadline_ && monotonicNow() >= deadline_) ||
         (parent_ != nullptr && parent_->cancelled())) {
       cancelled_.store(true, std::memory_order_release);
       return true;
@@ -67,7 +66,7 @@ class CancellationToken {
 
  private:
   mutable std::atomic<bool> cancelled_{false};
-  std::chrono::steady_clock::time_point deadline_{};
+  MonotonicTime deadline_{};
   bool hasDeadline_ = false;
   const CancellationToken* parent_ = nullptr;
 };
@@ -124,7 +123,7 @@ class ThreadPool {
  private:
   struct QueuedTask {
     std::function<void()> fn;
-    std::chrono::steady_clock::time_point enqueued;
+    MonotonicTime enqueued;
   };
 
   void workerLoop() HCA_EXCLUDES(mutex_);
@@ -132,9 +131,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   mutable Mutex mutex_;
   std::deque<QueuedTask> queue_ HCA_GUARDED_BY(mutex_);
-  /// condition_variable_any: waits on the annotated MutexLock directly.
-  std::condition_variable_any workCv_;  // queue non-empty or shutting down
-  std::condition_variable_any idleCv_;  // queue empty and no task in flight
+  /// CondVar (condition_variable_any): waits on the annotated MutexLock.
+  CondVar workCv_;  // queue non-empty or shutting down
+  CondVar idleCv_;  // queue empty and no task in flight
   int active_ HCA_GUARDED_BY(mutex_) = 0;
   bool stop_ HCA_GUARDED_BY(mutex_) = false;
   PoolStats stats_ HCA_GUARDED_BY(mutex_);

@@ -17,10 +17,20 @@ thread_local std::vector<std::pair<const Tracer*, std::int64_t>> tActiveSpans;
 
 }  // namespace
 
+WallClockSample wallClockNow() {
+  const auto now = std::chrono::system_clock::now();
+  WallClockSample sample;
+  sample.seconds = std::chrono::system_clock::to_time_t(now);
+  sample.millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  return sample;
+}
+
 Tracer::Tracer(bool enabled, std::size_t maxSpans)
-    : enabled_(enabled),
-      maxSpans_(maxSpans),
-      epoch_(std::chrono::steady_clock::now()) {}
+    : enabled_(enabled), maxSpans_(maxSpans), epoch_(monotonicNow()) {}
 
 std::size_t Tracer::spanCount() const {
   MutexLock lock(mutex_);
@@ -114,12 +124,12 @@ TraceSpan::TraceSpan(Tracer* tracer, const char* category, const char* name) {
     record_.parentId = tActiveSpans.back().second;
   }
   tActiveSpans.emplace_back(tracer_, record_.id);
-  start_ = std::chrono::steady_clock::now();
+  start_ = monotonicNow();
 }
 
 TraceSpan::~TraceSpan() {
   if (tracer_ == nullptr) return;
-  const auto end = std::chrono::steady_clock::now();
+  const auto end = monotonicNow();
   record_.tsUs = std::chrono::duration_cast<std::chrono::microseconds>(
                      start_ - tracer_->epoch_)
                      .count();

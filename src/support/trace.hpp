@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <map>
 #include <ostream>
 #include <string>
@@ -33,6 +34,36 @@
 ///     are counted in `droppedSpans()` and reported in the export metadata
 ///     rather than silently discarded.
 namespace hca {
+
+/// The repo's only sanctioned clock readings. Determinism contract: result-
+/// affecting code never reads a clock, and code that *measures* (deadlines,
+/// wall-clock stats, log stamps) goes through these wrappers so every clock
+/// read in the tree lives in an allowlisted timing wrapper. `hca-lint`'s
+/// determinism-clock rule bans std::chrono clocks / rand / time() everywhere
+/// else (see DESIGN.md section 4j).
+using MonotonicClock = std::chrono::steady_clock;
+using MonotonicTime = MonotonicClock::time_point;
+
+/// Current monotonic instant (deadlines, durations — never serialized).
+[[nodiscard]] inline MonotonicTime monotonicNow() noexcept {
+  return MonotonicClock::now();
+}
+
+/// Whole microseconds elapsed from `from` to `until`.
+[[nodiscard]] inline std::int64_t microsBetween(MonotonicTime from,
+                                                MonotonicTime until) noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(until - from)
+      .count();
+}
+
+/// One wall-clock sample for human-facing timestamps (log-line prefixes):
+/// UTC seconds-since-epoch plus the sub-second millisecond part. Wall time
+/// is presentation-only — nothing result-affecting may consume it.
+struct WallClockSample {
+  std::time_t seconds = 0;
+  int millis = 0;
+};
+[[nodiscard]] WallClockSample wallClockNow();
 
 class Tracer {
  public:
@@ -89,7 +120,7 @@ class Tracer {
 
   const bool enabled_;
   const std::size_t maxSpans_;
-  const std::chrono::steady_clock::time_point epoch_;
+  const MonotonicTime epoch_;
 
   mutable Mutex mutex_;
   std::vector<SpanRecord> spans_ HCA_GUARDED_BY(mutex_);
@@ -129,7 +160,7 @@ class TraceSpan {
 
  private:
   Tracer* tracer_ = nullptr;  // null = inactive
-  std::chrono::steady_clock::time_point start_{};
+  MonotonicTime start_{};
   Tracer::SpanRecord record_;
 };
 

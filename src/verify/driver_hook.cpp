@@ -1,0 +1,30 @@
+#include "hca/verify_hook.hpp"
+#include "verify/verify.hpp"
+
+/// The verify half of the driver <-> verifier seam (see hca/verify_hook.hpp):
+/// hca declares runPipelineVerify, this translation unit defines it against
+/// the built-in check registry.
+namespace hca::core {
+
+PipelineVerifyOutcome runPipelineVerify(const PipelineVerifyRequest& request) {
+  verify::VerifyInput input;
+  input.ddg = request.ddg;
+  input.model = request.model;
+  input.result = request.result;
+  input.record = request.record;
+  static const std::vector<std::string> kAllChecks;
+  const std::vector<std::string>& checks =
+      request.checks != nullptr ? *request.checks : kAllChecks;
+  const auto& registry = verify::CheckRegistry::builtin();
+  const std::vector<verify::Diagnostic> diagnostics =
+      request.record != nullptr ? registry.runRecord(input, checks)
+                                : registry.run(input, checks);
+  PipelineVerifyOutcome outcome;
+  outcome.violations = diagnostics.size();
+  if (!diagnostics.empty()) {
+    outcome.formatted = verify::formatDiagnostics(diagnostics);
+  }
+  return outcome;
+}
+
+}  // namespace hca::core

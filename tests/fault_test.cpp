@@ -9,7 +9,7 @@
 #include "hca/mii.hpp"
 #include "machine/fault.hpp"
 #include "support/check.hpp"
-#include "support/fault_inject.hpp"
+#include "machine/fault_inject.hpp"
 #include "support/rng.hpp"
 
 namespace hca::core {

@@ -1,0 +1,11 @@
+// Fixture: flagged by determinism-clock and no other rule. The test maps
+// this file to src/see/bad_clock.cpp, outside the clock allowlist.
+#include <chrono>
+
+namespace hca::see {
+
+[[nodiscard]] long long fixtureNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace hca::see

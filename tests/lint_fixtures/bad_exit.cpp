@@ -1,0 +1,11 @@
+// Fixture: flagged by exit-contract and no other rule. The test maps this
+// file to src/see/bad_exit.cpp — library code must throw, not exit.
+#include <cstdlib>
+
+namespace hca::see {
+
+void fixtureFail(bool fatal) {
+  if (fatal) std::exit(2);
+}
+
+}  // namespace hca::see

@@ -1,0 +1,10 @@
+// Fixture: flagged by layering and no other rule. The test maps this file
+// to src/support/bad_layering.cpp — support (rank 0) must not include hca
+// (rank 4), so the include below is a back-edge in the module DAG.
+#include "hca/layering_stub.hpp"
+
+namespace hca {
+
+[[nodiscard]] int fixtureUsesUpperLayer() { return core::fixtureStubValue(); }
+
+}  // namespace hca

@@ -1,0 +1,21 @@
+// Fixture: flagged by locking (both shapes) and no other rule. The test
+// maps this file to src/see/bad_locking.cpp.
+#include <mutex>
+
+#include "support/mutex.hpp"
+
+namespace hca::see {
+
+// Shape 1: raw std::mutex outside support/.
+struct FixtureCounter {
+  std::mutex m;
+  int value = 0;
+};
+
+// Shape 2: an hca::Mutex member with no HCA_GUARDED_BY user in this file.
+struct FixtureQueue {
+  Mutex mu_;
+  int depth = 0;
+};
+
+}  // namespace hca::see

@@ -1,0 +1,15 @@
+// Fixture: flagged by determinism-ordered and no other rule. The test maps
+// this file to src/see/bad_ordered.cpp, a result-affecting module.
+#include <unordered_map>
+
+namespace hca::see {
+
+[[nodiscard]] int fixtureSum(const std::unordered_map<int, int>& weights) {
+  int sum = 0;
+  for (const auto& [key, value] : weights) {
+    sum += key * value;
+  }
+  return sum;
+}
+
+}  // namespace hca::see

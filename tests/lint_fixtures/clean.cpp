@@ -1,0 +1,19 @@
+// Fixture: flagged by no rule. Mapped to src/see/clean.cpp. Also exercises
+// token-awareness: "steady_clock" below appears only in a comment and a
+// string literal, which the lexer strips before the rules run.
+#include <map>
+
+namespace hca::see {
+
+// A comment mentioning steady_clock must not trip the clock rule.
+[[nodiscard]] inline const char* fixtureLabel() {
+  return "steady_clock in a string is not a token";
+}
+
+[[nodiscard]] int fixtureTotal(const std::map<int, int>& weights) {
+  int total = 0;
+  for (const auto& [key, value] : weights) total += key * value;
+  return total;
+}
+
+}  // namespace hca::see

@@ -1,0 +1,9 @@
+// Fixture helper: the include target of bad_layering.cpp. The test maps it
+// to src/hca/layering_stub.hpp; the file itself is clean.
+#pragma once
+
+namespace hca::core {
+
+[[nodiscard]] inline int fixtureStubValue() { return 42; }
+
+}  // namespace hca::core

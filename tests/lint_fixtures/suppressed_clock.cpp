@@ -1,0 +1,12 @@
+// Fixture: a determinism-clock hit carrying a valid inline suppression on
+// the line above. The raw rule sees it; runAllRules must drop it.
+#include <chrono>
+
+namespace hca::see {
+
+[[nodiscard]] long long fixtureSuppressed() {
+  // hca-lint: clock-ok(fixture: proves inline suppression round-trips)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace hca::see

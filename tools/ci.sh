@@ -10,6 +10,12 @@
 #                 no thread-safety analysis)
 #   3. lint     — tools/run_clang_tidy.sh over src/tools/examples; skips
 #                 itself when clang-tidy is missing
+#   3b. hca-lint — the in-repo contract checker (determinism, layering,
+#                 locking, exit contract) against tools/lint_baseline.json;
+#                 any diagnostic not in the baseline fails the stage naming
+#                 the rule. Skips with a notice when compile_commands.json
+#                 is absent (e.g. a build tree configured by a generator
+#                 that does not export it)
 #   4. perf     — a Release build running the bench_micro suite once (tiny
 #                 repetitions). This is a smoke test: it fails on crash,
 #                 assertion, or sanitizer abort inside the benchmarked
@@ -48,6 +54,22 @@ fi
 
 echo "=== ci: clang-tidy ==="
 "${root}/tools/run_clang_tidy.sh" "${root}/build"
+
+echo "=== ci: hca-lint (determinism / layering / locking / exit contract) ==="
+if [[ -s "${root}/build/compile_commands.json" ]]; then
+  cmake --build "${root}/build" -j "${jobs}" --target hca_lint
+  # Exit 1 here means a NEW diagnostic (stderr names the rule); known debt
+  # lives in tools/lint_baseline.json. lint_report.json is the machine-
+  # readable artifact CI uploads on failure.
+  "${root}/build/tools/hca_lint" \
+    --compile-commands "${root}/build/compile_commands.json" \
+    --root "${root}" \
+    --baseline "${root}/tools/lint_baseline.json" \
+    --json "${root}/build/lint_report.json"
+  echo "ci: hca-lint clean against baseline"
+else
+  echo "ci: compile_commands.json not found; skipping hca-lint"
+fi
 
 echo "=== ci: perf smoke (Release bench_micro) ==="
 cmake -B "${root}/build-perf" -S "${root}" -DCMAKE_BUILD_TYPE=Release

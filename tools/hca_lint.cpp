@@ -1,0 +1,170 @@
+// hca_lint — the in-repo static contract checker.
+//
+// Loads compile_commands.json, lexes every translation unit and every repo
+// header it reaches, and enforces the four rule families documented in
+// src/analysis/rules.hpp: determinism (clocks + unordered iteration),
+// layering (module DAG back-edges and include cycles), locking (hca::Mutex
+// + HCA_GUARDED_BY discipline), and the exit contract.
+//
+//   hca_lint --compile-commands build/compile_commands.json
+//   hca_lint --compile-commands build/compile_commands.json
+//            --baseline tools/lint_baseline.json --json lint.json
+//   hca_lint ... --update-baseline       # rewrite the baseline in place
+//
+// Exit codes: 0 clean (no diagnostics outside the baseline), 1 fresh
+// diagnostics found (stderr names each offending rule), 2 usage or I/O
+// error.
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/report.hpp"
+#include "analysis/rules.hpp"
+#include "analysis/source_model.hpp"
+#include "support/check.hpp"
+#include "support/io.hpp"
+#include "support/str.hpp"
+
+using namespace hca;
+using namespace hca::analysis;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: hca_lint --compile-commands PATH [options]\n"
+      "  --compile-commands PATH  compile_commands.json from the build tree\n"
+      "  --root DIR               repo root (default: parent of this file's\n"
+      "                           heuristics — pass it explicitly in CI)\n"
+      "  --baseline PATH          known-debt baseline (deltas-only gating)\n"
+      "  --update-baseline        rewrite --baseline from current findings\n"
+      "                           (prunes stale entries) and exit 0\n"
+      "  --json PATH              write the full report as JSON\n"
+      "  --help                   this text\n");
+}
+
+struct Options {
+  std::string compileCommands;
+  std::string root;
+  std::string baselinePath;
+  std::string jsonPath;
+  bool updateBaseline = false;
+};
+
+[[nodiscard]] Options parseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      HCA_REQUIRE(i + 1 < argc, "missing value for " << arg);
+      return argv[++i];
+    };
+    if (arg == "--compile-commands") {
+      options.compileCommands = value();
+    } else if (arg == "--root") {
+      options.root = value();
+    } else if (arg == "--baseline") {
+      options.baselinePath = value();
+    } else if (arg == "--json") {
+      options.jsonPath = value();
+    } else if (arg == "--update-baseline") {
+      options.updateBaseline = true;
+    } else if (arg == "--help") {
+      usage();
+      std::exit(0);
+    } else {
+      throw InvalidArgumentError(strCat("unknown argument: ", arg));
+    }
+  }
+  HCA_REQUIRE(!options.compileCommands.empty(),
+              "--compile-commands is required");
+  HCA_REQUIRE(!options.updateBaseline || !options.baselinePath.empty(),
+              "--update-baseline requires --baseline");
+  return options;
+}
+
+/// Default repo root: the directory holding compile_commands.json is the
+/// build tree, and the build tree lives directly under the root.
+[[nodiscard]] std::string inferRoot(const Options& options) {
+  if (!options.root.empty()) return options.root;
+  namespace fs = std::filesystem;
+  const fs::path db = fs::absolute(options.compileCommands).lexically_normal();
+  return db.parent_path().parent_path().string();
+}
+
+[[nodiscard]] int run(const Options& options) {
+  const std::string root = inferRoot(options);
+  const std::vector<CompileCommand> commands =
+      parseCompileCommands(readFile(options.compileCommands));
+  const SourceModel model = SourceModel::load(root, commands);
+  HCA_REQUIRE(!model.files().empty(),
+              "no repo sources found under root " << root
+                  << " — pass --root explicitly");
+
+  const std::vector<Diagnostic> diagnostics = runAllRules(model);
+
+  Baseline baseline;
+  if (!options.baselinePath.empty() && fileExists(options.baselinePath)) {
+    baseline = parseBaseline(readFile(options.baselinePath));
+  }
+
+  if (options.updateBaseline) {
+    const Baseline updated = baselineFromDiagnostics(diagnostics);
+    atomicWriteFile(options.baselinePath, formatBaseline(updated));
+    std::printf("hca-lint: baseline updated: %zu suppression(s) -> %s\n",
+                updated.suppressions.size(), options.baselinePath.c_str());
+    return 0;
+  }
+
+  const BaselineSplit split = splitAgainstBaseline(baseline, diagnostics);
+
+  if (!options.jsonPath.empty()) {
+    atomicWriteFile(options.jsonPath, formatReportJson(split));
+  }
+
+  std::printf("hca-lint: %zu file(s) scanned, %zu diagnostic(s) (%zu new, "
+              "%zu baselined, %zu stale baseline entr%s)\n",
+              model.files().size(), diagnostics.size(), split.fresh.size(),
+              split.baselined.size(), split.stale.size(),
+              split.stale.size() == 1 ? "y" : "ies");
+  const std::string baselinedTable =
+      formatDiagnosticsTable("known debt (baselined)", split.baselined);
+  if (!baselinedTable.empty()) std::printf("%s", baselinedTable.c_str());
+  for (const std::string& key : split.stale) {
+    std::printf("stale baseline entry (fixed? run --update-baseline): %s\n",
+                key.c_str());
+  }
+  const std::string freshTable =
+      formatDiagnosticsTable("NEW diagnostics", split.fresh);
+  if (!freshTable.empty()) std::fprintf(stderr, "%s", freshTable.c_str());
+
+  if (split.fresh.empty()) return 0;
+  std::set<std::string> rules;
+  for (const Diagnostic& d : split.fresh) rules.insert(d.rule);
+  std::fprintf(stderr,
+               "hca-lint: FAILED — %zu new diagnostic(s) from rule(s): %s\n",
+               split.fresh.size(), strJoin(rules, ", ").c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parseArgs(argc, argv));
+  } catch (const InvalidArgumentError& e) {
+    std::fprintf(stderr, "hca-lint: %s\n", e.what());
+    usage();
+    return 2;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "hca-lint: I/O error: %s\n", e.what());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hca-lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the tier-1 test suite under UndefinedBehaviorSanitizer.
+#
+# Builds into a separate tree (build-ubsan/) so the instrumented binaries
+# never pollute the regular build directory, then runs the full ctest
+# suite. The build uses -fno-sanitize-recover=all, so the first UB report
+# aborts the offending test instead of letting it limp on — a signed
+# overflow in the SEE cost accumulators or a bad enum load in the machine
+# model fails loudly right where it happens.
+#
+# Pass --with-asan to build the address,undefined combo instead (one tree,
+# both runtimes; slower but catches UB whose symptom is a bad memory
+# access).
+#
+# Usage: tools/run_ubsan_tier1.sh [--with-asan] [extra ctest args...]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+sanitize="undefined"
+build="${root}/build-ubsan"
+if [[ "${1:-}" == "--with-asan" ]]; then
+  sanitize="address,undefined"
+  build="${root}/build-aubsan"
+  shift
+fi
+
+cmake -B "${build}" -S "${root}" -DHCA_SANITIZE="${sanitize}"
+cmake --build "${build}" -j "$(nproc)"
+
+# print_stacktrace: a UBSan report without a stack is nearly useless in the
+# recursive clusterizer. halt_on_error matters only for the combo build
+# (plain UBSan already aborts via -fno-sanitize-recover).
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+if [[ "${sanitize}" == "address,undefined" ]]; then
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+fi
+
+cd "${build}"
+ctest --output-on-failure -j "$(nproc)" "$@"
