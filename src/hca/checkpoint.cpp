@@ -137,6 +137,9 @@ void writeStats(JsonWriter& json, const HcaStats& s) {
   json.key("seeCopiesAvoided").value(s.seeCopiesAvoided);
   json.key("seeSnapshotsMaterialized").value(s.seeSnapshotsMaterialized);
   json.key("seeArenaBytesPeak").value(s.seeArenaBytesPeak);
+  json.key("seeOracleRejects").value(s.seeOracleRejects);
+  json.key("seeRouteMemoHits").value(s.seeRouteMemoHits);
+  json.key("seeDominancePruned").value(s.seeDominancePruned);
   json.endObject();
 }
 
@@ -164,6 +167,15 @@ HcaStats parseStats(const JsonValue& v) {
                                      "seeSnapshotsMaterialized");
   s.seeArenaBytesPeak =
       asInt(member(v, "seeArenaBytesPeak"), "seeArenaBytesPeak");
+  // Counters added after the first checkpoint schema: absent in older
+  // files, parsed as 0.
+  const auto optInt = [&v](const char* key) {
+    const JsonValue* m = v.find(key);
+    return m == nullptr ? std::int64_t{0} : asInt(*m, key);
+  };
+  s.seeOracleRejects = optInt("seeOracleRejects");
+  s.seeRouteMemoHits = optInt("seeRouteMemoHits");
+  s.seeDominancePruned = optInt("seeDominancePruned");
   return s;
 }
 
@@ -339,6 +351,7 @@ std::string runFingerprint(const ddg::Ddg& ddg,
      << s.maxOpsPerUnit << ',' << s.enableRouteAllocator << ','
      << s.eagerRouting << ',' << s.retryLadder << ',' << s.maxRouteHops << ','
      << s.maxBeamSteps << ',' << s.arenaBudgetBytes << ',' << s.chainGrouping
+     << ',' << s.dominancePruning
      << ',' << bits(s.weights.iiEstimate) << ',' << bits(s.weights.copyCount)
      << ',' << bits(s.weights.loadBalance) << ','
      << bits(s.weights.criticalPath) << ',' << bits(s.weights.wiringSlack)

@@ -1,5 +1,6 @@
 #include "hca/diff.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -180,8 +181,32 @@ ReportDiff diffReports(const JsonValue& oldReport, const JsonValue& newReport,
     names.insert(name);
   }
   for (const std::string& name : names) {
+    // An entry ending in '*' ignores every series with that prefix — the
+    // per-level metric families (see.dominance_pruned.L0, .L1, ...) have a
+    // workload-dependent level count no caller can enumerate up front.
+    const bool ignored = std::any_of(
+        options.ignoreCounters.begin(), options.ignoreCounters.end(),
+        [&](const std::string& pat) {
+          if (!pat.empty() && pat.back() == '*') {
+            return name.compare(0, pat.size() - 1, pat, 0, pat.size() - 1) ==
+                   0;
+          }
+          return name == pat;
+        });
     const auto oldIt = oldView.series.find(name);
     const auto newIt = newView.series.find(name);
+    if (ignored) {
+      // Ignored series never gate; a differing or one-sided value is
+      // surfaced as a note so the verdict stays honest.
+      const double ov = oldIt != oldView.series.end() ? oldIt->second : 0.0;
+      const double nv = newIt != newView.series.end() ? newIt->second : 0.0;
+      if (ov != nv) {
+        diff.notes.push_back(strCat("ignored series ", name, ": ",
+                                    fmtValue(ov), " -> ",
+                                    fmtValue(nv)));
+      }
+      continue;
+    }
     if (oldIt != oldView.series.end() && newIt != newView.series.end()) {
       ++diff.seriesCompared;
       if (oldIt->second == newIt->second) continue;

@@ -73,6 +73,13 @@ struct DiffOptions {
   int minHistoryRuns = 3;
   /// Baseline history (loadHistory). Empty = wall-clock is informational.
   std::vector<HistoryRecord> history;
+  /// Deterministic series to exclude from the exact compare (still listed
+  /// in the verdict as informational when they differ). Lets a gate
+  /// tolerate counters that legitimately diverge between the two runs,
+  /// e.g. `stats.seeDominancePruned` when comparing pruning on vs off. A
+  /// trailing '*' matches every series with that prefix
+  /// (`metrics.see.dominance_pruned.*` covers all levels).
+  std::vector<std::string> ignoreCounters;
 };
 
 /// Diffs two parsed run reports. Throws InvalidArgumentError when either

@@ -67,6 +67,13 @@ struct HcaStats {
   /// Largest per-attempt snapshot-arena high-water mark seen by any SEE
   /// solve of the run.
   std::int64_t seeArenaBytesPeak = 0;
+  /// SEE candidates rejected by the feasibility oracle before any solution
+  /// state was materialized (see SeeStats::oracleRejects).
+  std::int64_t seeOracleRejects = 0;
+  /// SEE route searches answered from the negative route memo.
+  std::int64_t seeRouteMemoHits = 0;
+  /// SEE frontier expansions dropped by dominance pruning.
+  std::int64_t seeDominancePruned = 0;
 
   /// Folds another attempt's counters into this one. `achievedTargetIi`
   /// and `maxWirePressure` are properties of the winning attempt and are
@@ -84,6 +91,9 @@ struct HcaStats {
     seeCopiesAvoided += other.seeCopiesAvoided;
     seeSnapshotsMaterialized += other.seeSnapshotsMaterialized;
     seeArenaBytesPeak = std::max(seeArenaBytesPeak, other.seeArenaBytesPeak);
+    seeOracleRejects += other.seeOracleRejects;
+    seeRouteMemoHits += other.seeRouteMemoHits;
+    seeDominancePruned += other.seeDominancePruned;
   }
 };
 

@@ -16,6 +16,17 @@ ClusterId PatternGraph::addNode(PgNode node) {
   return ClusterId(static_cast<std::int32_t>(nodes_.size()) - 1);
 }
 
+void PatternGraph::ensureArcIndex() const {
+  const std::size_t n = nodes_.size();
+  if (arcIndex_.size() == n * n) return;
+  arcIndex_.assign(n * n, PgArcId::invalid());
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    const PgArc& a = arcs_[i];
+    arcIndex_[a.src.index() * n + a.dst.index()] =
+        PgArcId(static_cast<std::int32_t>(i));
+  }
+}
+
 ClusterId PatternGraph::addCluster(ResourceTable resources,
                                    std::string name) {
   PgNode node;
@@ -53,6 +64,9 @@ PgArcId PatternGraph::addArc(ClusterId src, ClusterId dst) {
   arcs_.push_back(PgArc{src, dst});
   out_[src.index()].push_back(id);
   in_[dst.index()].push_back(id);
+  ensureArcIndex();
+  arcIndex_[src.index() * static_cast<std::size_t>(numNodes()) +
+            dst.index()] = id;
   return id;
 }
 
@@ -98,36 +112,6 @@ bool PatternGraph::hasFaults() const {
     if (n.dead || n.inWireCap >= 0 || n.outWireCap >= 0) return true;
   }
   return false;
-}
-
-const PgNode& PatternGraph::node(ClusterId id) const {
-  HCA_REQUIRE(id.valid() && id.value() < numNodes(),
-              "PG node id out of range: " << to_string(id));
-  return nodes_[id.index()];
-}
-
-const PgArc& PatternGraph::arc(PgArcId id) const {
-  HCA_REQUIRE(id.valid() && id.value() < numArcs(),
-              "PG arc id out of range: " << to_string(id));
-  return arcs_[id.index()];
-}
-
-const std::vector<PgArcId>& PatternGraph::outArcs(ClusterId id) const {
-  HCA_REQUIRE(id.valid() && id.value() < numNodes(), "PG node out of range");
-  return out_[id.index()];
-}
-
-const std::vector<PgArcId>& PatternGraph::inArcs(ClusterId id) const {
-  HCA_REQUIRE(id.valid() && id.value() < numNodes(), "PG node out of range");
-  return in_[id.index()];
-}
-
-std::optional<PgArcId> PatternGraph::arcBetween(ClusterId src,
-                                                ClusterId dst) const {
-  for (const PgArcId arc : out_[src.index()]) {
-    if (arcs_[arc.index()].dst == dst) return arc;
-  }
-  return std::nullopt;
 }
 
 namespace {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "machine/resources.hpp"
+#include "support/check.hpp"
 #include "support/ids.hpp"
 
 /// Pattern Graph (paper Section 3): the abstract, per-level view of the
@@ -89,12 +90,39 @@ class PatternGraph {
   [[nodiscard]] std::int32_t numArcs() const {
     return static_cast<std::int32_t>(arcs_.size());
   }
-  [[nodiscard]] const PgNode& node(ClusterId id) const;
-  [[nodiscard]] const PgArc& arc(PgArcId id) const;
-  [[nodiscard]] const std::vector<PgArcId>& outArcs(ClusterId id) const;
-  [[nodiscard]] const std::vector<PgArcId>& inArcs(ClusterId id) const;
+  // The five topology accessors below are the innermost reads of the SEE
+  // search (hundreds of millions of calls per compile), so they are
+  // defined inline; arcBetween answers from a dense adjacency index
+  // instead of scanning the out-arc list.
+  [[nodiscard]] const PgNode& node(ClusterId id) const {
+    HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+                "PG node id out of range: " << id.value());
+    return nodes_[id.index()];
+  }
+  [[nodiscard]] const PgArc& arc(PgArcId id) const {
+    HCA_REQUIRE(id.valid() && id.value() < numArcs(),
+                "PG arc id out of range: " << id.value());
+    return arcs_[id.index()];
+  }
+  [[nodiscard]] const std::vector<PgArcId>& outArcs(ClusterId id) const {
+    HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+                "PG node out of range");
+    return out_[id.index()];
+  }
+  [[nodiscard]] const std::vector<PgArcId>& inArcs(ClusterId id) const {
+    HCA_REQUIRE(id.valid() && id.value() < numNodes(),
+                "PG node out of range");
+    return in_[id.index()];
+  }
   [[nodiscard]] std::optional<PgArcId> arcBetween(ClusterId src,
-                                                  ClusterId dst) const;
+                                                  ClusterId dst) const {
+    ensureArcIndex();
+    const PgArcId a =
+        arcIndex_[src.index() * static_cast<std::size_t>(numNodes()) +
+                  dst.index()];
+    if (!a.valid()) return std::nullopt;
+    return a;
+  }
 
   [[nodiscard]] std::vector<ClusterId> clusterNodes() const;
   [[nodiscard]] std::vector<ClusterId> inputNodes() const;
@@ -104,11 +132,20 @@ class PatternGraph {
 
  private:
   ClusterId addNode(PgNode node);
+  /// (Re)builds the dense index when the node count changed since the last
+  /// build. Arc insertion keeps it current, so after construction this is
+  /// a size check.
+  void ensureArcIndex() const;
 
   std::vector<PgNode> nodes_;
   std::vector<PgArc> arcs_;
   std::vector<std::vector<PgArcId>> out_;
   std::vector<std::vector<PgArcId>> in_;
+  /// Dense numNodes x numNodes arc index (invalid = no arc), row-major by
+  /// source; lazily re-laid after node insertion, point-updated on arc
+  /// insertion (mutable: a cache of nodes_/arcs_, fully built by the first
+  /// addArc, so post-construction readers never trigger a rebuild).
+  mutable std::vector<PgArcId> arcIndex_;
 };
 
 /// The copy traffic of an assignment over a PatternGraph: for every arc, the

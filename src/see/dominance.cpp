@@ -1,0 +1,63 @@
+#include "see/dominance.hpp"
+
+#include "see/snapshot.hpp"
+
+namespace hca::see {
+
+namespace {
+
+/// True when `a` strictly dominates `b`: componentwise no worse on the
+/// objective and every resource residual, strictly better somewhere.
+bool dominates(const PreparedProblem& prepared, const DeltaSolution& a,
+               const DeltaSolution& b) {
+  if (a.objective() > b.objective()) return false;
+  if (a.totalCopies() > b.totalCopies()) return false;
+  bool strict =
+      a.objective() < b.objective() || a.totalCopies() < b.totalCopies();
+  const auto& pg = *prepared.problem().pg;
+  for (const ClusterId c : prepared.clusters()) {
+    if (pg.node(c).dead) continue;
+    const auto& ua = a.usage(c);
+    const auto& ub = b.usage(c);
+    if (ua.instructions > ub.instructions || ua.alu > ub.alu ||
+        ua.ag > ub.ag) {
+      return false;
+    }
+    const std::uint64_t ma = a.inNbrMask(c);
+    const std::uint64_t mb = b.inNbrMask(c);
+    if ((ma & ~mb) != 0) return false;
+    if (a.distinctValuesIn(c) > b.distinctValuesIn(c)) return false;
+    if (a.distinctValuesOut(c) > b.distinctValuesOut(c)) return false;
+    strict = strict || ua.instructions < ub.instructions || ua.alu < ub.alu ||
+             ua.ag < ub.ag || ma != mb ||
+             a.distinctValuesIn(c) < b.distinctValuesIn(c) ||
+             a.distinctValuesOut(c) < b.distinctValuesOut(c);
+  }
+  return strict;
+}
+
+}  // namespace
+
+std::size_t markDominated(const PreparedProblem& prepared,
+                          const std::vector<DeltaSolution*>& states,
+                          const std::vector<char>& selected,
+                          std::vector<char>& dominated) {
+  dominated.assign(states.size(), 0);
+  std::size_t marked = 0;
+  for (std::size_t j = 0; j < states.size(); ++j) {
+    if (selected[j] != 0) continue;  // beam survivors are never pruned
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (i == j) continue;
+      // Marked states may still dominate others: strict dominance is
+      // transitive, so their own dominator dominates `j` too.
+      if (dominates(prepared, *states[i], *states[j])) {
+        dominated[j] = 1;
+        ++marked;
+        break;
+      }
+    }
+  }
+  return marked;
+}
+
+}  // namespace hca::see

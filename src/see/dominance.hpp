@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "see/prepared.hpp"
+
+/// Frontier dominance pruning for the SEE beam loop
+/// (SeeOptions::dominancePruning).
+///
+/// Expansion A *strictly dominates* expansion B when A is no worse on the
+/// objective and on every resource residual — copy total, per-cluster
+/// functional-unit usage, in-neighbor masks (subset-wise) and distinct
+/// value in/out counts — and strictly better on at least one of them.
+/// Under a monotone-assignability assumption B's lineage can reach nothing
+/// A's cannot reach at equal-or-lower cost. That assumption is *not* a
+/// theorem (the balance and wiring-slack criteria can favor a fuller
+/// cluster), which is why the pass never overrides beam selection: the
+/// node filter picks the surviving beam exactly as it would with the flag
+/// off, and dominance is then evaluated over the discarded expansions
+/// only. A dominated discard is pruned from the search either way, so the
+/// surviving beam, every downstream counter, and the final mapping stay
+/// byte-identical with the flag on or off — the oracle work's hard
+/// constraint — while `SeeStats::dominancePruned` quantifies how much of
+/// the frontier churn a sibling covered outright (the signal to watch
+/// before widening the beam: a high ratio means width buys redundancy,
+/// not diversity).
+///
+/// Exact duplicates (same assignment signature) are *not* handled here —
+/// the node filter already drops those during beam selection.
+namespace hca::see {
+
+class DeltaSolution;
+
+/// Marks every *discarded* expansion (`selected[i] == 0`) in `states` that
+/// is strictly dominated by some other expansion (selected or not).
+/// `dominated` is resized to `states.size()`; returns the number of marked
+/// entries. The relation is a strict partial order, so at least one
+/// element of every comparable chain survives.
+std::size_t markDominated(const PreparedProblem& prepared,
+                          const std::vector<DeltaSolution*>& states,
+                          const std::vector<char>& selected,
+                          std::vector<char>& dominated);
+
+}  // namespace hca::see

@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "see/dominance.hpp"
+#include "see/feasibility.hpp"
 #include "see/route_allocator.hpp"
 #include "see/snapshot.hpp"
 #include "support/arena.hpp"
@@ -140,11 +142,15 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
   MonotonicArena* cur = &arenaA;
   MonotonicArena* nxt = &arenaB;
   DeltaPool pool(prepared);
+  const FeasibilityOracle& oracle = prepared.oracle();
+  RouteScratch routeScratch;
 
   const auto finishStats = [&] {
     result.stats.arenaBytesPeak =
         std::max(static_cast<std::int64_t>(arenaA.peakBytesUsed()),
                  static_cast<std::int64_t>(arenaB.peakBytesUsed()));
+    result.stats.routeMemoHits += routeScratch.memoHits();
+    result.stats.oracleRejects += routeScratch.hopRejects();
   };
 
   std::vector<const FlatSolution*> frontier;
@@ -163,6 +169,7 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
   std::vector<std::size_t> order;
   std::vector<char> isParentBest;
   std::vector<char> selected;
+  std::vector<char> dominated;
   std::vector<std::size_t> chosen;
   std::vector<std::uint64_t> seenSigs;
   std::vector<const FlatSolution*> survivors;
@@ -176,7 +183,8 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
     return true;
   };
 
-  for (const ItemGroup& group : prepared.items()) {
+  for (std::size_t gi = 0; gi < prepared.items().size(); ++gi) {
+    const ItemGroup& group = prepared.items()[gi];
     if (cancel != nullptr && cancel->cancelled()) {
       result.legal = false;
       result.failedItem = group.members.front();
@@ -218,7 +226,23 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
       // routing, clusters that are only reachable through relays are
       // offered too (at their true copy cost).
       scored.clear();
+      // Feasibility oracle: with eager routing a direct-infeasible cluster
+      // may still be routable, so only provably-hopeless clusters (dead or
+      // not a cluster node — the route allocator rejects those with zero
+      // side effects) are skipped; otherwise the full direct mask applies.
+      // Skips mirror the counter increments of the code path they replace.
+      const bool eagerRoutes =
+          options.eagerRouting && options.enableRouteAllocator;
+      const std::uint64_t feasible =
+          eagerRoutes ? oracle.aliveMask()
+                      : oracle.directFeasibleMask(*state, gi);
       for (const ClusterId c : prepared.clusters()) {
+        if ((feasible & detail::pgBit(c)) == 0) {
+          ++result.stats.copiesAvoided;
+          ++result.stats.oracleRejects;
+          if (eagerRoutes) ++result.stats.routeFailures;
+          continue;
+        }
         DeltaSolution* candidate = pool.acquire(state);
         ++result.stats.copiesAvoided;
         bool direct = true;
@@ -233,10 +257,11 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
           ++result.stats.candidatesEvaluated;
           candidate->setObjective(incremental.evaluate(prepared, *candidate));
           scored.push_back(candidate);
-        } else if (options.eagerRouting && options.enableRouteAllocator) {
+        } else if (eagerRoutes) {
           candidate->reset(state);  // discard the partial direct attempt
           int routed = 0;
-          if (!routeAssignGroupT(prepared, *candidate, group, c, &routed)) {
+          if (!routeAssignGroupT(prepared, *candidate, group, c, &routed,
+                                 &routeScratch)) {
             ++result.stats.routeFailures;
             pool.release(candidate);
             continue;
@@ -251,13 +276,23 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
       }
       if (scored.empty() && options.enableRouteAllocator &&
           !options.eagerRouting) {
-        // No candidates action: try routing onto each cluster.
+        // No candidates action: try routing onto each cluster. Dead and
+        // non-cluster nodes fail routeAssignGroupT with zero side effects,
+        // so the oracle skips them before the acquire (mirroring the
+        // failure-path counters).
         ++result.stats.routeInvocations;
         int routed = 0;
         for (const ClusterId c : prepared.clusters()) {
+          if ((oracle.aliveMask() & detail::pgBit(c)) == 0) {
+            ++result.stats.copiesAvoided;
+            ++result.stats.routeFailures;
+            ++result.stats.oracleRejects;
+            continue;
+          }
           DeltaSolution* candidate = pool.acquire(state);
           ++result.stats.copiesAvoided;
-          if (!routeAssignGroupT(prepared, *candidate, group, c, &routed)) {
+          if (!routeAssignGroupT(prepared, *candidate, group, c, &routed,
+                                 &routeScratch)) {
             ++result.stats.routeFailures;
             pool.release(candidate);
             continue;
@@ -327,6 +362,18 @@ SeeResult SpaceExplorationEngine::runOnceDelta(
       selected[i] = 1;
       chosen.push_back(i);
     }
+    // Dominance pruning (opt-in): drop strictly-dominated expansions from
+    // the discard set. Selection above never consults the dominance
+    // relation — a dominated state the filter chose stays chosen — so the
+    // surviving beam, and with it every downstream counter and the final
+    // mapping, is byte-identical with the flag on or off (the hard
+    // constraint of the oracle work); what the pass buys is the
+    // dominancePruned counter quantifying how much of the frontier churn
+    // was covered outright by a sibling. See dominance.hpp.
+    if (options.dominancePruning) {
+      result.stats.dominancePruned += static_cast<std::int64_t>(
+          markDominated(prepared, next, selected, dominated));
+    }
     std::sort(chosen.begin(), chosen.end(), [&](std::size_t a, std::size_t b) {
       return next[a]->objective() < next[b]->objective();
     });
@@ -363,19 +410,27 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
     const CancellationToken* cancel) const {
   const PreparedProblem prepared(problem, options);
   const WeightedObjective objective(options.weights);
+  const FeasibilityOracle& oracle = prepared.oracle();
+  RouteScratch routeScratch;
 
   SeeResult result;
+  const auto finishStats = [&] {
+    result.stats.routeMemoHits += routeScratch.memoHits();
+    result.stats.oracleRejects += routeScratch.hopRejects();
+  };
   std::vector<PartialSolution> frontier;
   frontier.push_back(PartialSolution::initial(prepared));
   frontier.back().setObjective(
       objective.evaluate(prepared, frontier.back()));
 
-  for (const ItemGroup& group : prepared.items()) {
+  for (std::size_t gi = 0; gi < prepared.items().size(); ++gi) {
+    const ItemGroup& group = prepared.items()[gi];
     if (cancel != nullptr && cancel->cancelled()) {
       result.legal = false;
       result.failedItem = group.members.front();
       result.failureReason = "cancelled";
       result.solution = frontier.front();
+      finishStats();
       return result;
     }
     if (options.maxBeamSteps > 0 &&
@@ -385,6 +440,7 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
       result.failureReason =
           strCat("beam step budget exhausted (", options.maxBeamSteps, ")");
       result.solution = frontier.front();
+      finishStats();
       return result;
     }
     std::vector<PartialSolution> next;
@@ -397,15 +453,27 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
       // routing, clusters that are only reachable through relays are
       // offered too (at their true copy cost).
       std::vector<PartialSolution> scored;
+      // Same oracle pre-filter as the delta path; here a skip also avoids
+      // the PartialSolution deep copy assignGroupDirect would clone.
+      const bool eagerRoutes =
+          options.eagerRouting && options.enableRouteAllocator;
+      const std::uint64_t feasible =
+          eagerRoutes ? oracle.aliveMask()
+                      : oracle.directFeasibleMask(state, gi);
       for (const ClusterId c : prepared.clusters()) {
+        if ((feasible & detail::pgBit(c)) == 0) {
+          ++result.stats.oracleRejects;
+          if (eagerRoutes) ++result.stats.routeFailures;
+          continue;
+        }
         if (auto candidate = assignGroupDirect(prepared, state, group, c)) {
           ++result.stats.candidatesEvaluated;
           candidate->setObjective(objective.evaluate(prepared, *candidate));
           scored.push_back(std::move(*candidate));
-        } else if (options.eagerRouting && options.enableRouteAllocator) {
+        } else if (eagerRoutes) {
           int routed = 0;
           auto sol = RouteAllocator::tryAssignGroup(prepared, state, group, c,
-                                                    &routed);
+                                                    &routed, &routeScratch);
           if (!sol.has_value()) {
             ++result.stats.routeFailures;
             continue;
@@ -418,12 +486,18 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
       }
       if (scored.empty() && options.enableRouteAllocator &&
           !options.eagerRouting) {
-        // No candidates action: try routing onto each cluster.
+        // No candidates action: try routing onto each cluster (dead and
+        // non-cluster nodes skipped up front, mirroring the failure path).
         ++result.stats.routeInvocations;
         int routed = 0;
         for (const ClusterId c : prepared.clusters()) {
+          if ((oracle.aliveMask() & detail::pgBit(c)) == 0) {
+            ++result.stats.routeFailures;
+            ++result.stats.oracleRejects;
+            continue;
+          }
           auto sol = RouteAllocator::tryAssignGroup(prepared, state, group,
-                                                    c, &routed);
+                                                    c, &routed, &routeScratch);
           if (!sol.has_value()) {
             ++result.stats.routeFailures;
             continue;
@@ -457,6 +531,7 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
                  " in any frontier state (communication patterns exhausted)");
       HCA_DEBUG("SEE failed: " << result.failureReason);
       result.solution = frontier.front();
+      finishStats();
       return result;
     }
 
@@ -507,6 +582,7 @@ SeeResult SpaceExplorationEngine::runOnceLegacy(
   result.legal = true;
   result.solution = frontier.front();
   result.alternatives = std::move(frontier);
+  finishStats();
   return result;
 }
 

@@ -1,0 +1,95 @@
+#include "see/feasibility.hpp"
+
+#include <vector>
+
+namespace hca::see {
+
+FeasibilityOracle::FeasibilityOracle(const PreparedProblem& prepared)
+    : prepared_(&prepared) {
+  const auto& pg = *prepared.problem().pg;
+  numPg_ = static_cast<std::size_t>(pg.numNodes());
+
+  for (const ClusterId c : prepared.clusters()) {
+    if (pg.node(c).dead) continue;
+    aliveMask_ |= detail::pgBit(c);
+    if (pg.node(c).outWireCap != 0) sendMask_ |= detail::pgBit(c);
+    const auto& rt = pg.node(c).resources;
+    if (rt.count(ddg::ResourceClass::kAlu) > 0) {
+      rcMask_[static_cast<int>(ddg::ResourceClass::kAlu)] |= detail::pgBit(c);
+    }
+    if (rt.count(ddg::ResourceClass::kAg) > 0) {
+      rcMask_[static_cast<int>(ddg::ResourceClass::kAg)] |= detail::pgBit(c);
+    }
+  }
+
+  // Static prefixes of canAddCopyT: a copy src -> dst requires a live
+  // sender with a surviving output wire, an arc, and a live receiver.
+  arcOutMask_.assign(numPg_, 0);
+  arcInMask_.assign(numPg_, 0);
+  for (std::int32_t u = 0; u < pg.numNodes(); ++u) {
+    const ClusterId src(u);
+    if (pg.node(src).dead || pg.node(src).outWireCap == 0) continue;
+    for (const PgArcId a : pg.outArcs(src)) {
+      const ClusterId dst = pg.arc(a).dst;
+      if (pg.node(dst).dead) continue;
+      arcOutMask_[src.index()] |= detail::pgBit(dst);
+      arcInMask_[dst.index()] |= detail::pgBit(src);
+    }
+  }
+
+  // Per-group static mask: alive, resource-class-capable for every node
+  // member, and able to feed every output wire a node member's value must
+  // leave on (the produced value cannot be delivered anywhere before its
+  // producer is placed, so the arc requirement is unconditional).
+  groupMask_.reserve(prepared.items().size());
+  for (const ItemGroup& group : prepared.items()) {
+    std::uint64_t m = aliveMask_;
+    for (const Item& item : group.members) {
+      if (item.kind != Item::Kind::kNode) continue;
+      const ddg::ResourceClass rc =
+          ddg::opResource(prepared.problem().ddg->node(item.node).op);
+      if (rc != ddg::ResourceClass::kNone) {
+        m &= rcMask_[static_cast<int>(rc)];
+      }
+      const ClusterId out = prepared.outputNodeOf(ValueId(item.node.value()));
+      if (out.valid()) m &= arcInMask_[out.index()];
+    }
+    groupMask_.push_back(m);
+  }
+}
+
+// Static relay-hop distances: BFS from every node over arcs whose
+// intermediate hops are alive clusters that can re-send. Distances are
+// recorded for every live node (findPathT's destination may be an output
+// node), but only clusters are expanded — exactly the relay rule of the
+// dynamic BFS with all budget checks assumed to pass, so a static
+// kUnreachable implies dynamic unreachability at any budget.
+void FeasibilityOracle::buildHopMatrix() const {
+  const auto& pg = *prepared_->problem().pg;
+  hop_.assign(numPg_ * numPg_, kUnreachable);
+  std::vector<ClusterId> queue;
+  for (std::int32_t s = 0; s < pg.numNodes(); ++s) {
+    const ClusterId src(s);
+    std::uint8_t* dist = &hop_[static_cast<std::size_t>(s) * numPg_];
+    dist[src.index()] = 0;
+    if (pg.node(src).dead || pg.node(src).outWireCap == 0) continue;
+    queue.clear();
+    queue.push_back(src);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const ClusterId u = queue[head];
+      if (dist[u.index()] == kUnreachable - 1) continue;
+      for (const PgArcId a : pg.outArcs(u)) {
+        const ClusterId w = pg.arc(a).dst;
+        if (pg.node(w).dead || dist[w.index()] != kUnreachable) continue;
+        dist[w.index()] = static_cast<std::uint8_t>(dist[u.index()] + 1);
+        if (pg.node(w).kind == machine::PgNodeKind::kCluster &&
+            pg.node(w).outWireCap != 0) {
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  hopsBuilt_ = true;
+}
+
+}  // namespace hca::see

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "see/feasibility.hpp"
 #include "support/check.hpp"
 
 namespace hca::see {
@@ -289,7 +290,11 @@ PreparedProblem::PreparedProblem(const SeeProblem& problem,
   for (auto& bucket : ordered) {
     items_.push_back(ItemGroup{std::move(bucket.members)});
   }
+
+  oracle_ = std::make_unique<FeasibilityOracle>(*this);
 }
+
+PreparedProblem::~PreparedProblem() = default;
 
 ClusterId PreparedProblem::outputNodeOf(ValueId value) const {
   const auto it = valueToOutput_.find(value);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -52,12 +53,21 @@ struct CritUse {
   std::int32_t operandIndex = 0;
 };
 
+class FeasibilityOracle;
+
 class PreparedProblem {
  public:
   PreparedProblem(const SeeProblem& problem, const SeeOptions& options);
+  ~PreparedProblem();
+  // The oracle keeps a back-reference; prepared problems live in place.
+  PreparedProblem(PreparedProblem&&) = delete;
+  PreparedProblem& operator=(PreparedProblem&&) = delete;
 
   [[nodiscard]] const SeeProblem& problem() const { return *problem_; }
   [[nodiscard]] const SeeOptions& options() const { return options_; }
+  /// Static feasibility/reachability tables (see/feasibility.hpp), built
+  /// once per prepared problem.
+  [[nodiscard]] const FeasibilityOracle& oracle() const { return *oracle_; }
 
   [[nodiscard]] const std::vector<ItemGroup>& items() const { return items_; }
   [[nodiscard]] const std::vector<ClusterId>& clusters() const {
@@ -127,6 +137,7 @@ class PreparedProblem {
   std::int64_t maxWsHeight_ = 1;
   std::vector<std::vector<CritOperand>> critOperands_;
   std::vector<std::vector<CritUse>> critUses_;
+  std::unique_ptr<FeasibilityOracle> oracle_;
 };
 
 }  // namespace hca::see

@@ -114,6 +114,15 @@ struct SeeOptions {
   /// as an escape hatch. Deliberately *not* part of the sub-problem cache
   /// key.
   bool legacySearch = false;
+  /// Frontier dominance pruning (see/dominance.hpp): before the node filter
+  /// selects the beam, drop expansions that are dominated by a
+  /// better-or-equal-scored sibling with a pointwise better-or-equal
+  /// resource-residual vector. A heuristic (unlike the feasibility oracle it
+  /// can change the search trajectory), so it defaults to off, *is* part of
+  /// the sub-problem cache key and checkpoint fingerprint, and leaves the
+  /// legacy path untouched. The identity test suite asserts the final
+  /// mapping survives it on the Table 1 kernels.
+  bool dominancePruning = false;
   CostWeights weights;
 };
 
@@ -137,6 +146,18 @@ struct SeeStats {
   std::int64_t snapshotsMaterialized = 0;
   /// High-water mark of bytes live in one search attempt's snapshot arenas.
   std::int64_t arenaBytesPeak = 0;
+  /// Candidate clusters rejected by the feasibility oracle before any
+  /// solution state was materialized: direct-loop mask rejections plus
+  /// findPathT calls refused by the static hop-distance table. Each of
+  /// these is work the pre-oracle engine spent on a provably-doomed
+  /// candidate.
+  std::int64_t oracleRejects = 0;
+  /// findPathT failures answered from the negative route memo (exact
+  /// region-state match with an earlier failed BFS) instead of a re-search.
+  std::int64_t routeMemoHits = 0;
+  /// Frontier expansions dropped by dominance pruning (0 unless
+  /// SeeOptions::dominancePruning).
+  std::int64_t dominancePruned = 0;
 
   /// Folds another search's counters into this one (retry-ladder rungs,
   /// per-level aggregation in the driver's metrics registry).
@@ -151,6 +172,9 @@ struct SeeStats {
     copiesAvoided += other.copiesAvoided;
     snapshotsMaterialized += other.snapshotsMaterialized;
     arenaBytesPeak = std::max(arenaBytesPeak, other.arenaBytesPeak);
+    oracleRejects += other.oracleRejects;
+    routeMemoHits += other.routeMemoHits;
+    dominancePruned += other.dominancePruned;
   }
 };
 

@@ -71,6 +71,12 @@ class FlatSolution {
     return inNbrMask_[c.index()];
   }
   [[nodiscard]] bool inValuesContain(ClusterId c, ValueId v) const;
+  /// Sol-interface alias for inValuesContain: snapshots are the parent
+  /// states the feasibility oracle reads through the same template code as
+  /// the legacy PartialSolution path.
+  [[nodiscard]] bool valueDelivered(ClusterId dst, ValueId value) const {
+    return inValuesContain(dst, value);
+  }
   [[nodiscard]] bool flowContains(PgArcId arc, ValueId v) const;
   [[nodiscard]] bool flowIsReal(PgArcId arc) const {
     return flowOff_[arc.index() + 1] > flowOff_[arc.index()];

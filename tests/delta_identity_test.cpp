@@ -47,24 +47,30 @@ void expectIdenticalStats(const HcaStats& legacy, const HcaStats& delta) {
   }
 }
 
-void expectIdenticalResults(const HcaResult& legacy, const HcaResult& delta) {
-  ASSERT_EQ(legacy.legal, delta.legal)
-      << legacy.failureReason << " vs " << delta.failureReason;
-  EXPECT_EQ(legacy.failureReason, delta.failureReason);
-  ASSERT_EQ(legacy.assignment.size(), delta.assignment.size());
-  for (std::size_t i = 0; i < legacy.assignment.size(); ++i) {
-    ASSERT_EQ(legacy.assignment[i], delta.assignment[i])
+/// Placement, relays and reconfiguration stream — the search outputs every
+/// identity contract in this file shares, independent of which counters
+/// the contract lets differ.
+void expectIdenticalOutputs(const HcaResult& a, const HcaResult& b) {
+  ASSERT_EQ(a.legal, b.legal) << a.failureReason << " vs " << b.failureReason;
+  EXPECT_EQ(a.failureReason, b.failureReason);
+  ASSERT_EQ(a.assignment.size(), b.assignment.size());
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    ASSERT_EQ(a.assignment[i], b.assignment[i])
         << "assignment diverges at node " << i;
   }
-  ASSERT_EQ(legacy.relays.size(), delta.relays.size());
-  for (std::size_t i = 0; i < legacy.relays.size(); ++i) {
-    EXPECT_EQ(legacy.relays[i].value, delta.relays[i].value);
-    EXPECT_EQ(legacy.relays[i].cn, delta.relays[i].cn);
+  ASSERT_EQ(a.relays.size(), b.relays.size());
+  for (std::size_t i = 0; i < a.relays.size(); ++i) {
+    EXPECT_EQ(a.relays[i].value, b.relays[i].value);
+    EXPECT_EQ(a.relays[i].cn, b.relays[i].cn);
   }
-  ASSERT_EQ(legacy.reconfig.settings.size(), delta.reconfig.settings.size());
-  for (std::size_t i = 0; i < legacy.reconfig.settings.size(); ++i) {
-    EXPECT_EQ(legacy.reconfig.settings[i], delta.reconfig.settings[i]);
+  ASSERT_EQ(a.reconfig.settings.size(), b.reconfig.settings.size());
+  for (std::size_t i = 0; i < a.reconfig.settings.size(); ++i) {
+    EXPECT_EQ(a.reconfig.settings[i], b.reconfig.settings[i]);
   }
+}
+
+void expectIdenticalResults(const HcaResult& legacy, const HcaResult& delta) {
+  expectIdenticalOutputs(legacy, delta);
   expectIdenticalStats(legacy.stats, delta.stats);
 }
 
@@ -141,6 +147,65 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(FailurePolicy::kStrict,
                                          FailurePolicy::kDegrade)),
     paramName);
+
+/// Dominance pruning's identity contract: the pass only marks states the
+/// node filter already discarded, so with the flag on or off the surviving
+/// beam — and with it every placement, relay, reconfiguration setting and
+/// deterministic counter — is byte-identical. Only seeDominancePruned
+/// itself may (and must, on these workloads) move off zero.
+class DominanceIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceIdentityTest, PruningIsInvisibleToTheSearch) {
+  auto kernels = ddg::table1Kernels();
+  const auto kernelIndex = static_cast<std::size_t>(GetParam());
+  auto k = std::move(kernels[kernelIndex]);
+  const auto model = paperFabric();
+
+  HcaOptions options;
+  options.failurePolicy = FailurePolicy::kStrict;
+  if (kernelIndex == 3) {
+    options.targetIiSlack = 0;
+    options.searchProfiles = 1;
+  } else {
+    options.targetIiSlack = 1;
+    options.searchProfiles = 2;
+  }
+  HcaOptions prunedOptions = options;
+  prunedOptions.see.dominancePruning = true;
+
+  const auto off = HcaDriver(model, options).run(k.ddg);
+  const auto on = HcaDriver(model, prunedOptions).run(k.ddg);
+  expectIdenticalOutputs(off, on);
+
+  EXPECT_EQ(off.stats.problemsSolved, on.stats.problemsSolved);
+  EXPECT_EQ(off.stats.backtrackAttempts, on.stats.backtrackAttempts);
+  EXPECT_EQ(off.stats.outerAttempts, on.stats.outerAttempts);
+  EXPECT_EQ(off.stats.achievedTargetIi, on.stats.achievedTargetIi);
+  EXPECT_EQ(off.stats.statesExplored, on.stats.statesExplored);
+  EXPECT_EQ(off.stats.candidatesEvaluated, on.stats.candidatesEvaluated);
+  EXPECT_EQ(off.stats.routeInvocations, on.stats.routeInvocations);
+  EXPECT_EQ(off.stats.cacheHits, on.stats.cacheHits);
+  EXPECT_EQ(off.stats.cacheMisses, on.stats.cacheMisses);
+  EXPECT_EQ(off.stats.maxWirePressure, on.stats.maxWirePressure);
+  EXPECT_EQ(off.stats.seeOracleRejects, on.stats.seeOracleRejects);
+  EXPECT_EQ(off.stats.seeRouteMemoHits, on.stats.seeRouteMemoHits);
+  EXPECT_EQ(off.stats.seeDominancePruned, 0);
+  EXPECT_GT(on.stats.seeDominancePruned, 0);
+
+  if (off.legal) {
+    expectIdenticalMappings(buildFinalMapping(k.ddg, model, off),
+                            buildFinalMapping(k.ddg, model, on));
+  }
+}
+
+std::string dominanceParamName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"fir2dim", "idcthor", "mpeg2inter",
+                                 "h264deblocking"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, DominanceIdentityTest, ::testing::Range(0, 4),
+                         dominanceParamName);
 
 }  // namespace
 }  // namespace hca::core

@@ -259,6 +259,8 @@ TEST(MetricsTest, OpenMetricsExpositionRoundTrips) {
   MetricsRegistry m;
   m.add("see.expansions.L0", 100);
   m.add("see.expansions.L1", 23);
+  m.add("see.oracle_rejects.L0", 41);
+  m.add("see.oracle_rejects.L2", 9);
   m.add("hca.backtracks", 7);
   for (int i = 1; i <= 4; ++i) m.observe("attempt.wall_us", i * 10.0);
 
@@ -277,6 +279,8 @@ TEST(MetricsTest, OpenMetricsExpositionRoundTrips) {
   // .L<level> suffixes are lifted into level labels of one family.
   EXPECT_EQ(samples.at("hca_see_expansions_total{level=\"0\"}"), 100.0);
   EXPECT_EQ(samples.at("hca_see_expansions_total{level=\"1\"}"), 23.0);
+  EXPECT_EQ(samples.at("hca_see_oracle_rejects_total{level=\"0\"}"), 41.0);
+  EXPECT_EQ(samples.at("hca_see_oracle_rejects_total{level=\"2\"}"), 9.0);
   EXPECT_EQ(samples.at("hca_hca_backtracks_total"), 7.0);
   // Summary count/sum reproduce the histogram's exact moments.
   EXPECT_EQ(samples.at("hca_attempt_wall_us_count"), 4.0);

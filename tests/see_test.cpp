@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "ddg/builder.hpp"
 #include "ddg/kernels.hpp"
 #include "machine/rcp.hpp"
@@ -607,6 +609,287 @@ TEST(FilterTest, StatsTrackPruning) {
   ASSERT_TRUE(result.legal);
   EXPECT_GT(result.stats.statesPruned, 0);
   EXPECT_GT(result.stats.statesExplored, 0);
+}
+
+// --- feasibility oracle -------------------------------------------------------
+
+/// Brute-force direct assignment of a whole group: the loop the oracle's
+/// directFeasibleMask summarizes. Probing on a copy leaves `sol` intact.
+bool bruteForceDirect(const PreparedProblem& prepared,
+                      const PartialSolution& sol, const ItemGroup& group,
+                      ClusterId c) {
+  PartialSolution probe = sol;
+  for (const Item& item : group.members) {
+    if (!canAssignT(prepared, probe, item, c)) return false;
+    assignT(prepared, probe, item, c);
+  }
+  return true;
+}
+
+/// Soundness property of the oracle's dynamic mask: walking random partial
+/// solutions through the priority list, a cluster where the brute-force
+/// direct-assignment loop succeeds must never be excluded from the mask.
+/// (The converse — the mask excluding every failing cluster — is not
+/// required: the oracle is an over-approximation.)
+void checkMaskSoundOnRandomWalks(const SeeProblem& problem,
+                                 const SeeOptions& options,
+                                 std::uint32_t seed) {
+  const PreparedProblem prepared(problem, options);
+  const FeasibilityOracle& oracle = prepared.oracle();
+  std::mt19937 rng(seed);
+  for (int walk = 0; walk < 8; ++walk) {
+    auto sol = PartialSolution::initial(prepared);
+    for (std::size_t gi = 0; gi < prepared.items().size(); ++gi) {
+      const ItemGroup& group = prepared.items()[gi];
+      const std::uint64_t mask = oracle.directFeasibleMask(sol, gi);
+      std::vector<ClusterId> feasible;
+      for (const ClusterId c : prepared.clusters()) {
+        if (!bruteForceDirect(prepared, sol, group, c)) continue;
+        feasible.push_back(c);
+        EXPECT_NE(mask & detail::pgBit(c), 0u)
+            << "oracle excluded assignable cluster " << c.value()
+            << " for group " << gi << " on walk " << walk;
+      }
+      if (feasible.empty()) break;  // dead end: restart from a fresh walk
+      const ClusterId pick =
+          feasible[rng() % static_cast<std::uint32_t>(feasible.size())];
+      for (const Item& item : group.members) {
+        assignT(prepared, sol, item, pick);
+      }
+    }
+  }
+}
+
+TEST(OracleTest, MaskNeverExcludesAssignableClusterDiamond) {
+  const auto ddg = diamondDdg();
+  const auto pg = smallPg(4);
+  SeeOptions options;
+  options.chainGrouping = false;
+  checkMaskSoundOnRandomWalks(baseProblem(ddg, pg), options, 1u);
+  options.maxOpsPerUnit = 1;
+  checkMaskSoundOnRandomWalks(baseProblem(ddg, pg), options, 2u);
+}
+
+TEST(OracleTest, MaskNeverExcludesAssignableClusterRcp) {
+  const auto ddg = diamondDdg();
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    machine::RcpConfig config;
+    config.clusters = 4 + static_cast<int>(rng() % 3);
+    config.neighborReach = 1 + static_cast<int>(rng() % 2);
+    config.inputPorts = 1 + static_cast<int>(rng() % 2);
+    config.memClusterStride = 1 + static_cast<int>(rng() % 2);
+    const auto pg = machine::rcpPatternGraph(config);
+    auto problem = baseProblem(ddg, pg);
+    problem.constraints = machine::rcpConstraints(config);
+    SeeOptions options;
+    options.chainGrouping = false;
+    options.maxOpsPerUnit = static_cast<int>(rng() % 3);
+    checkMaskSoundOnRandomWalks(problem, options, rng());
+  }
+}
+
+TEST(OracleTest, MaskNeverExcludesAssignableClusterFir2Dim) {
+  const auto kernel = ddg::buildFir2Dim();
+  const auto pg = smallPg(6);
+  auto problem = baseProblem(kernel.ddg, pg);
+  SeeOptions options;
+  options.maxOpsPerUnit = 2;
+  checkMaskSoundOnRandomWalks(problem, options, 11u);
+}
+
+TEST(OracleTest, HopDistanceMatchesBfsOnFreshLine) {
+  // Directed line 0 -> 1 -> ... -> 5 with generous budgets: the dynamic
+  // BFS sees exactly the static graph, so the (lazily built) hop matrix
+  // must agree with findPathT in both directions — forward pairs reachable
+  // at distance dst-src, backward pairs unreachable.
+  DdgBuilder b;
+  const auto x = b.load(b.cst(0), 0, "x");
+  b.store(b.cst(1), b.neg(x, "y"));
+  const auto ddg = b.finish();
+  machine::PatternGraph pg;
+  for (int i = 0; i < 6; ++i) {
+    pg.addCluster(machine::ResourceTable::computationNode());
+  }
+  for (int i = 0; i < 5; ++i) pg.addArc(ClusterId(i), ClusterId(i + 1));
+  const auto problem = baseProblem(ddg, pg);
+  const PreparedProblem prepared(problem, SeeOptions{});
+  const FeasibilityOracle& oracle = prepared.oracle();
+  const auto sol = PartialSolution::initial(prepared);
+  ValueId v;
+  for (std::int32_t n = 0; n < ddg.numNodes(); ++n) {
+    if (ddg.node(DdgNodeId(n)).name == "x") v = ValueId(n);
+  }
+  ASSERT_TRUE(v.valid());
+  for (int s = 0; s < 6; ++s) {
+    for (int d = 0; d < 6; ++d) {
+      const auto path = findPathT(prepared, sol, ClusterId(s), ClusterId(d),
+                                  v, /*maxHops=*/10);
+      const std::uint8_t hop = oracle.hopDistance(ClusterId(s), ClusterId(d));
+      if (d >= s) {
+        ASSERT_EQ(path.size(), static_cast<std::size_t>(d - s + 1))
+            << s << " -> " << d;
+        EXPECT_EQ(static_cast<int>(hop), d - s);
+      } else {
+        EXPECT_TRUE(path.empty());
+        EXPECT_EQ(hop, FeasibilityOracle::kUnreachable);
+      }
+    }
+  }
+  // The depth budget applies on top of reachability: 0 -> 4 needs 3
+  // relays, so maxHops = 2 must refuse even though hop says reachable.
+  EXPECT_TRUE(findPathT(prepared, sol, ClusterId(0), ClusterId(4), v, 2)
+                  .empty());
+  EXPECT_FALSE(findPathT(prepared, sol, ClusterId(0), ClusterId(4), v, 3)
+                   .empty());
+}
+
+// --- negative route memo ------------------------------------------------------
+
+/// A 26-cluster directed line and a two-chain DDG: big enough that a memo
+/// region can clear the explored-node floor, with independent value chains
+/// to edit budgets inside and outside a recorded region.
+struct MemoFixture {
+  ddg::Ddg ddg;
+  machine::PatternGraph pg;
+  SeeProblem problem;
+
+  MemoFixture() {
+    DdgBuilder b;
+    const auto x1 = b.load(b.cst(0), 0, "x1");
+    b.store(b.cst(1), b.neg(x1, "y1"));
+    const auto x2 = b.load(b.cst(2), 0, "x2");
+    b.store(b.cst(3), b.neg(x2, "y2"));
+    ddg = b.finish();
+    for (int i = 0; i < 26; ++i) {
+      pg.addCluster(machine::ResourceTable::computationNode());
+    }
+    for (int i = 0; i < 25; ++i) pg.addArc(ClusterId(i), ClusterId(i + 1));
+    problem = baseProblem(ddg, pg);
+  }
+
+  [[nodiscard]] Item itemNamed(const PreparedProblem& prepared,
+                               const std::string& name) const {
+    for (const auto& group : prepared.items()) {
+      for (const auto& item : group.members) {
+        if (item.kind == Item::Kind::kNode &&
+            ddg.node(item.node).name == name) {
+          return item;
+        }
+      }
+    }
+    ADD_FAILURE() << "no item named " << name;
+    return {};
+  }
+
+  [[nodiscard]] ValueId valueNamed(const std::string& name) const {
+    for (std::int32_t v = 0; v < ddg.numNodes(); ++v) {
+      if (ddg.node(DdgNodeId(v)).name == name) return ValueId(v);
+    }
+    ADD_FAILURE() << "no value named " << name;
+    return ValueId();
+  }
+};
+
+TEST(RouteMemoTest, CheapFailuresAreNeverRecorded) {
+  // Below the explored-node floor re-running the BFS is cheaper than a
+  // lookup, so recording must be a no-op and lookups must keep missing.
+  MemoFixture f;
+  SeeOptions options;
+  options.chainGrouping = false;
+  const PreparedProblem prepared(f.problem, options);
+  const auto sol = PartialSolution::initial(prepared);
+  const ValueId v = f.valueNamed("x1");
+  RouteScratch scratch;
+  const std::uint64_t tinyRegion = 0b11;  // 2 nodes: far below the floor
+  for (int i = 0; i < 3; ++i) {
+    scratch.recordFailure(prepared, sol, ClusterId(0), ClusterId(25), v, 27,
+                          tinyRegion);
+  }
+  EXPECT_FALSE(scratch.hasKnownFailure(prepared, sol, ClusterId(0),
+                                       ClusterId(25), v, 27));
+  EXPECT_EQ(scratch.memoHits(), 0);
+}
+
+TEST(RouteMemoTest, InvalidatedExactlyByBudgetTouchingEdits) {
+  MemoFixture f;
+  SeeOptions options;
+  options.chainGrouping = false;
+  const PreparedProblem prepared(f.problem, options);
+  auto sol = PartialSolution::initial(prepared);
+  const ValueId v = f.valueNamed("x1");
+  const std::uint64_t region = (std::uint64_t{1} << 24) - 1;  // nodes 0..23
+  RouteScratch scratch;
+  // First failure arms, second stores the slice of the current budgets.
+  scratch.recordFailure(prepared, sol, ClusterId(0), ClusterId(25), v, 27,
+                        region);
+  scratch.recordFailure(prepared, sol, ClusterId(0), ClusterId(25), v, 27,
+                        region);
+  EXPECT_TRUE(scratch.hasKnownFailure(prepared, sol, ClusterId(0),
+                                      ClusterId(25), v, 27));
+  EXPECT_EQ(scratch.memoHits(), 1);
+
+  // An edit outside the region — x2's chain on clusters 24/25 only touches
+  // arc 24->25 and cluster 25's in-neighbor mask — must keep the hit: the
+  // failed search never saw those budgets (the slice does cover
+  // inNbrMask(24), as the head of region-node 23's out-arc, but not 25's).
+  const Item x2 = f.itemNamed(prepared, "x2");
+  const Item y2 = f.itemNamed(prepared, "y2");
+  ASSERT_TRUE(canAssignT(prepared, sol, x2, ClusterId(24)));
+  assignT(prepared, sol, x2, ClusterId(24));
+  ASSERT_TRUE(canAssignT(prepared, sol, y2, ClusterId(25)));
+  assignT(prepared, sol, y2, ClusterId(25));
+  EXPECT_TRUE(scratch.hasKnownFailure(prepared, sol, ClusterId(0),
+                                      ClusterId(25), v, 27));
+
+  // An edit inside the region — x1's copy crosses arc 0->1, changing a
+  // flow byte and cluster 1's in-neighbor mask the slice covers — must
+  // invalidate the entry.
+  const Item x1 = f.itemNamed(prepared, "x1");
+  const Item y1 = f.itemNamed(prepared, "y1");
+  ASSERT_TRUE(canAssignT(prepared, sol, x1, ClusterId(0)));
+  assignT(prepared, sol, x1, ClusterId(0));
+  ASSERT_TRUE(canAssignT(prepared, sol, y1, ClusterId(1)));
+  assignT(prepared, sol, y1, ClusterId(1));
+  EXPECT_FALSE(scratch.hasKnownFailure(prepared, sol, ClusterId(0),
+                                       ClusterId(25), v, 27));
+  EXPECT_EQ(scratch.memoHits(), 2);
+}
+
+// --- dominance pruning --------------------------------------------------------
+
+TEST(DominanceTest, PruningNeverChangesTheSearch) {
+  const auto kernel = ddg::buildFir2Dim();
+  const auto pg = smallPg(8);
+  const auto problem = baseProblem(kernel.ddg, pg);
+  SeeOptions options;
+  // A narrow beam with a generous candidate keep maximizes the discard
+  // set, which is where dominated states appear on this workload.
+  options.beamWidth = 2;
+  options.candidateKeep = 8;
+  const auto off = SpaceExplorationEngine(options).run(problem);
+  options.dominancePruning = true;
+  const auto on = SpaceExplorationEngine(options).run(problem);
+  ASSERT_TRUE(off.legal);
+  ASSERT_TRUE(on.legal);
+  // Same beam, same counters, same mapping — the pass only prunes states
+  // the node filter discarded anyway.
+  EXPECT_EQ(off.solution.signature(), on.solution.signature());
+  EXPECT_DOUBLE_EQ(off.solution.objective(), on.solution.objective());
+  EXPECT_EQ(off.stats.statesExplored, on.stats.statesExplored);
+  EXPECT_EQ(off.stats.candidatesEvaluated, on.stats.candidatesEvaluated);
+  EXPECT_EQ(off.stats.statesPruned, on.stats.statesPruned);
+  EXPECT_EQ(off.stats.routeInvocations, on.stats.routeInvocations);
+  EXPECT_EQ(off.stats.routeFailures, on.stats.routeFailures);
+  EXPECT_EQ(off.stats.oracleRejects, on.stats.oracleRejects);
+  ASSERT_EQ(off.alternatives.size(), on.alternatives.size());
+  for (std::size_t i = 0; i < off.alternatives.size(); ++i) {
+    EXPECT_EQ(off.alternatives[i].signature(),
+              on.alternatives[i].signature());
+  }
+  // ...and it actually observed dominated discards on this workload.
+  EXPECT_EQ(off.stats.dominancePruned, 0);
+  EXPECT_GT(on.stats.dominancePruned, 0);
 }
 
 // --- copy-on-write delta path -----------------------------------------------

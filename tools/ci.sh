@@ -17,9 +17,15 @@
 #                 is absent (e.g. a build tree configured by a generator
 #                 that does not export it)
 #   4. perf     — a Release build running the bench_micro suite once (tiny
-#                 repetitions). This is a smoke test: it fails on crash,
+#                 repetitions, --strict-build so a debug-grade binary is a
+#                 hard error). This is a smoke test: it fails on crash,
 #                 assertion, or sanitizer abort inside the benchmarked
 #                 paths, never on timing.
+#   4b. prune   — pruning identity gate: a Release `hcac --compare` between
+#                 a --dominance-pruning run and a default run of the same
+#                 kernel; any deterministic-counter mismatch besides the
+#                 three oracle counters (seeOracleRejects, seeRouteMemoHits,
+#                 seeDominancePruned and their per-level metrics) fails
 #   5. robust   — kill-and-resume smoke (SIGTERM mid-search, then --resume
 #                 must complete legally) and a 3-job batch manifest with
 #                 one deliberately failing job (retry/backoff/isolation
@@ -73,13 +79,40 @@ fi
 
 echo "=== ci: perf smoke (Release bench_micro) ==="
 cmake -B "${root}/build-perf" -S "${root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${root}/build-perf" -j "${jobs}" --target bench_micro
+cmake --build "${root}/build-perf" -j "${jobs}" --target bench_micro hcac
 # One pass over every benchmark with minimal timing effort. Exit status is
 # the verdict — crashes/aborts in the CoW beam search, the arena, or any
 # other benchmarked component fail CI; wall-clock numbers are informational.
+# --strict-build is the default for every bench target CI runs: a
+# debug-grade binary silently producing a committed baseline is exactly
+# the mistake the flag exists to catch.
 (cd "${root}/build-perf/bench" &&
-  ./bench_micro --benchmark_min_time=0.01 --benchmark_repetitions=1)
+  ./bench_micro --strict-build \
+    --benchmark_min_time=0.01 --benchmark_repetitions=1)
 echo "ci: perf smoke passed (timings informational; BENCH_micro.json written)"
+
+echo "=== ci: pruning identity gate (hcac --compare, on vs off) ==="
+# Dominance pruning must be invisible to the search: it only drops states
+# the node filter already discarded. Diff a pruning-off against a
+# pruning-on Release compile of the same kernel with only the three
+# oracle/pruning counters excused — any other deterministic-counter
+# mismatch means the pass changed the beam, and fails CI.
+hcac_rel="${root}/build-perf/tools/hcac"
+prune_work="$(mktemp -d)"
+"${hcac_rel}" --kernel fir2dim --report-out "${prune_work}/off.json" \
+  >"${prune_work}/prune.log" 2>&1
+"${hcac_rel}" --kernel fir2dim --dominance-pruning \
+  --report-out "${prune_work}/on.json" >>"${prune_work}/prune.log" 2>&1
+"${hcac_rel}" --compare "${prune_work}/off.json" "${prune_work}/on.json" \
+  --ignore-counters "stats.seeOracleRejects,stats.seeRouteMemoHits,stats.seeDominancePruned,metrics.see.oracle_rejects.*,metrics.see.route_memo_hits.*,metrics.see.dominance_pruned.*" \
+  >>"${prune_work}/prune.log" 2>&1 || {
+    echo "ci: dominance pruning changed a deterministic counter"
+    cat "${prune_work}/prune.log"
+    rm -rf "${prune_work}"
+    exit 1
+  }
+rm -rf "${prune_work}"
+echo "ci: pruning identity gate passed"
 
 echo "=== ci: robustness smoke (kill/resume + batch isolation) ==="
 hcac="${root}/build/tools/hcac"

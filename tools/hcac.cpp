@@ -27,6 +27,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ddg/kernels.hpp"
 #include "ddg/serialize.hpp"
@@ -77,6 +78,12 @@ void usage() {
       "  --legacy-see         use the materialized (deep-copy) SEE beam\n"
       "                       loop instead of the copy-on-write delta path\n"
       "                       (byte-identical results; for comparison)\n"
+      "  --dominance-pruning  prune discarded beam states strictly\n"
+      "                       dominated by a sibling and report the count\n"
+      "                       (seeDominancePruned); never changes the\n"
+      "                       surviving beam or the mapping (off by\n"
+      "                       default: the scan is quadratic in frontier\n"
+      "                       size)\n"
       "  --verify-each        run every registered invariant check between\n"
       "                       pipeline stages and on the final result\n"
       "  --verify LIST        like --verify-each, restricted to a comma-\n"
@@ -138,6 +145,11 @@ void usage() {
       "                       wall-clock threshold (mean + k*stddev)\n"
       "  --wall-sigma K       compare mode: threshold width k (default 3)\n"
       "  --diff-out FILE      compare mode: write the machine verdict JSON\n"
+      "  --ignore-counters L  compare mode: comma-separated deterministic\n"
+      "                       series (e.g. stats.seeDominancePruned) that\n"
+      "                       never gate; differences become notes. A\n"
+      "                       trailing '*' matches a prefix, e.g.\n"
+      "                       metrics.see.dominance_pruned.*\n"
       "  (every VALUE flag also accepts --flag=VALUE)\n");
 }
 
@@ -173,13 +185,15 @@ double parseDoubleFlag(const std::string& flag, const std::string& text) {
 /// regression; non-comparable reports throw (exit 2).
 int runCompareTool(const std::string& oldPath, const std::string& newPath,
                    const std::string& historyPath, double wallSigma,
-                   const std::string& diffOut) {
+                   const std::string& diffOut,
+                   const std::vector<std::string>& ignoreCounters) {
   HCA_REQUIRE(fileExists(oldPath),
               "report '" << oldPath << "' does not exist");
   HCA_REQUIRE(fileExists(newPath),
               "report '" << newPath << "' does not exist");
   core::DiffOptions options;
   options.wallSigma = wallSigma;
+  options.ignoreCounters = ignoreCounters;
   if (!historyPath.empty()) options.history = loadHistory(historyPath);
   const core::ReportDiff diff =
       core::diffReportTexts(readFile(oldPath), readFile(newPath), options);
@@ -239,6 +253,7 @@ int runTool(int argc, char** argv) {
   int numThreads = 1;
   bool oversubscribe = false;
   bool legacySee = false;
+  bool dominancePruning = false;
   bool schedule = false;
   int simulateIterations = 0;
   bool emitReconfig = false;
@@ -263,6 +278,7 @@ int runTool(int argc, char** argv) {
   std::string historyIn;
   double wallSigma = 3.0;
   std::string diffOut;
+  std::vector<std::string> ignoreCounters;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -295,6 +311,7 @@ int runTool(int argc, char** argv) {
     else if (arg == "--threads") numThreads = parseIntFlag(arg, value());
     else if (arg == "--oversubscribe") oversubscribe = true;
     else if (arg == "--legacy-see") legacySee = true;
+    else if (arg == "--dominance-pruning") dominancePruning = true;
     else if (arg == "--verify-each") verifyEach = true;
     else if (arg == "--verify") {
       verifyEach = true;
@@ -333,6 +350,13 @@ int runTool(int argc, char** argv) {
     else if (arg == "--history") historyIn = value();
     else if (arg == "--wall-sigma") wallSigma = parseDoubleFlag(arg, value());
     else if (arg == "--diff-out") diffOut = value();
+    else if (arg == "--ignore-counters") {
+      std::istringstream list(value());
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        if (!name.empty()) ignoreCounters.push_back(name);
+      }
+    }
     else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -350,7 +374,7 @@ int runTool(int argc, char** argv) {
                 "--compare is exclusive with --kernel/--file/--batch (it "
                 "reads two existing reports)");
     return runCompareTool(compareOld, compareNew, historyIn, wallSigma,
-                          diffOut);
+                          diffOut, ignoreCounters);
   }
 
   installShutdownHandlers();
@@ -365,6 +389,7 @@ int runTool(int argc, char** argv) {
     }
     base.maxBeamSteps = maxBeamSteps;
     base.see.legacySearch = legacySee;
+    base.see.dominancePruning = dominancePruning;
     base.verifyEach = verifyEach;
     base.verifyChecks = verifyChecks;
     core::BatchOptions batchTemplate;
@@ -431,6 +456,7 @@ int runTool(int argc, char** argv) {
   hcaOptions.numThreads = numThreads;
   hcaOptions.allowOversubscribe = oversubscribe;
   hcaOptions.see.legacySearch = legacySee;
+  hcaOptions.see.dominancePruning = dominancePruning;
   hcaOptions.verifyEach = verifyEach;
   hcaOptions.verifyChecks = verifyChecks;
   hcaOptions.memoryBudgetBytes =
